@@ -1,0 +1,71 @@
+// Shared helpers for the figure/table reproduction benches: scenario
+// bootstrap, steady-state TCP measurement, and aligned table printing.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::bench {
+
+struct Scenario {
+  sim::Simulator simulator;
+  sim::Rng rng{20130101};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+};
+
+inline void header(const char* title, const char* paperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paperRef);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Steady-state goodput of one bulk TCP flow between two hosts: start an
+/// effectively infinite transfer, discard `warmup`, measure `window`.
+struct SteadyFlow {
+  SteadyFlow(Scenario& s, net::Host& src, net::Host& dst, tcp::TcpConfig config,
+             std::uint16_t port = 5001)
+      : scenario(s) {
+    listener = std::make_unique<tcp::TcpListener>(dst, port, config);
+    listener->onAccept = [this](tcp::TcpConnection& c) { server = &c; };
+    client = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+    client->onEstablished = [this] { client->sendData(sim::DataSize::terabytes(100)); };
+    client->start();
+  }
+
+  /// Receiver-side goodput over `window` after discarding `warmup`.
+  [[nodiscard]] sim::DataRate measure(sim::Duration warmup, sim::Duration window) {
+    scenario.simulator.runFor(warmup);
+    const auto base = server != nullptr ? server->deliveredBytes() : sim::DataSize::zero();
+    scenario.simulator.runFor(window);
+    if (server == nullptr) return sim::DataRate::zero();
+    const auto delta = server->deliveredBytes() - base;
+    return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(delta.bitCount()) / window.toSeconds()));
+  }
+
+  Scenario& scenario;
+  std::unique_ptr<tcp::TcpListener> listener;
+  std::unique_ptr<tcp::TcpConnection> client;
+  tcp::TcpConnection* server = nullptr;
+};
+
+}  // namespace scidmz::bench

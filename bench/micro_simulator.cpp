@@ -1,0 +1,102 @@
+// Infrastructure microbenchmarks (google-benchmark): the discrete-event
+// kernel and the hot per-packet paths that bound how much simulated
+// traffic the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "net/host.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/connection.hpp"
+
+using namespace scidmz;
+using namespace scidmz::sim::literals;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(sim::SimTime::fromNs(t + (i * 7919) % 1000), [] {});
+    }
+    while (!queue.empty()) {
+      auto ev = queue.pop();
+      benchmark::DoNotOptimize(ev.at);
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+/// Full packet forwarding: host -> switch -> host probe delivery.
+void BM_PacketForwarding(benchmark::State& state) {
+  sim::Simulator simulator;
+  sim::Rng rng{2};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+  auto& a = topo.addHost("a", net::Address(10, 0, 0, 1));
+  auto& sw = topo.addSwitch("sw");
+  auto& b = topo.addHost("b", net::Address(10, 0, 0, 2));
+  net::LinkParams lp;
+  lp.rate = 100_Gbps;
+  lp.delay = 1_us;
+  topo.connect(a, sw, lp);
+  topo.connect(sw, b, lp);
+  topo.computeRoutes();
+
+  net::Packet probe;
+  probe.flow = net::FlowKey{a.address(), b.address(), 99, 7, net::Protocol::kUdp};
+  probe.body = net::ProbeHeader{};
+  probe.payload = 1000_B;
+
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) a.send(probe);
+    simulator.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_PacketForwarding);
+
+/// Sustained TCP at 10G: events per simulated second of a full flow.
+void BM_TcpSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Rng rng{3};
+    sim::Logger logger;
+    net::Context ctx{simulator, rng, logger};
+    net::Topology topo{ctx};
+    auto& a = topo.addHost("a", net::Address(10, 0, 0, 1));
+    auto& b = topo.addHost("b", net::Address(10, 0, 0, 2));
+    net::LinkParams lp;
+    lp.rate = 10_Gbps;
+    lp.delay = 1_ms;
+    lp.mtu = 9000_B;
+    topo.connect(a, b, lp);
+    topo.computeRoutes();
+
+    tcp::TcpConfig cfg = tcp::TcpConfig::tunedDtn();
+    tcp::TcpListener listener{b, 5001, cfg};
+    tcp::TcpConnection client{a, b.address(), 5001, cfg};
+    client.onEstablished = [&client] { client.sendData(10_GB); };
+    client.start();
+    simulator.runFor(1_s);
+    benchmark::DoNotOptimize(simulator.eventsExecuted());
+  }
+}
+BENCHMARK(BM_TcpSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

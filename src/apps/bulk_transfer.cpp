@@ -1,0 +1,43 @@
+#include "apps/bulk_transfer.hpp"
+
+namespace scidmz::apps {
+
+BulkTransfer::BulkTransfer(net::Host& src, net::Host& dst, std::uint16_t port,
+                           sim::DataSize bytes, tcp::TcpConfig config)
+    : src_(src), bytes_(bytes) {
+  listener_ = std::make_unique<tcp::TcpListener>(dst, port, config);
+  client_ = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+  client_->onEstablished = [this] { client_->sendData(bytes_); };
+  client_->onSendComplete = [this] {
+    finished_ = true;
+    result_.completed = true;
+    result_.elapsed = src_.ctx().now() - started_at_;
+    result_.bytes = bytes_;
+    result_.goodput = client_->goodput();
+    result_.senderStats = client_->stats();
+    if (onComplete) onComplete(result_);
+  };
+}
+
+BulkTransfer::~BulkTransfer() = default;
+
+void BulkTransfer::start() {
+  started_ = true;
+  started_at_ = src_.ctx().now();
+  client_->start();
+}
+
+void BulkTransfer::abort() {
+  // Destroying the endpoints cancels their timers and unbinds their ports;
+  // packets already in flight drain harmlessly into unbound ports.
+  result_.senderStats = client_ ? client_->stats() : result_.senderStats;
+  client_.reset();
+  listener_.reset();
+  finished_ = true;
+}
+
+sim::DataSize BulkTransfer::progress() const {
+  return client_ ? client_->stats().bytesAcked : result_.bytes;
+}
+
+}  // namespace scidmz::apps

@@ -1,0 +1,58 @@
+// Single-stream bulk data transfer: the building block for FTP-style and
+// scp-style movement of one file between two hosts.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/host.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::apps {
+
+/// Moves `bytes` from `src` to `dst` over one TCP connection. Owns both the
+/// server-side listener and the client connection for its lifetime.
+class BulkTransfer {
+ public:
+  struct Result {
+    bool completed = false;
+    sim::Duration elapsed = sim::Duration::zero();
+    sim::DataSize bytes = sim::DataSize::zero();
+    sim::DataRate goodput = sim::DataRate::zero();
+    tcp::TcpStats senderStats;
+  };
+
+  BulkTransfer(net::Host& src, net::Host& dst, std::uint16_t port, sim::DataSize bytes,
+               tcp::TcpConfig config);
+  ~BulkTransfer();
+
+  BulkTransfer(const BulkTransfer&) = delete;
+  BulkTransfer& operator=(const BulkTransfer&) = delete;
+
+  /// Begin the handshake and transfer.
+  void start();
+
+  /// Tear the transfer down mid-flight (used by retry logic).
+  void abort();
+
+  std::function<void(const Result&)> onComplete;
+
+  [[nodiscard]] bool running() const { return started_ && !finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Result& result() const { return result_; }
+  [[nodiscard]] tcp::TcpConnection* clientConnection() { return client_.get(); }
+  /// Bytes ACKed so far (progress snapshot).
+  [[nodiscard]] sim::DataSize progress() const;
+
+ private:
+  net::Host& src_;
+  sim::DataSize bytes_;
+  std::unique_ptr<tcp::TcpListener> listener_;
+  std::unique_ptr<tcp::TcpConnection> client_;
+  sim::SimTime started_at_;
+  bool started_ = false;
+  bool finished_ = false;
+  Result result_;
+};
+
+}  // namespace scidmz::apps

@@ -1,0 +1,64 @@
+#include "apps/parallel_transfer.hpp"
+
+namespace scidmz::apps {
+
+ParallelTransfer::ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t port,
+                                   sim::DataSize totalBytes, int streamCount,
+                                   tcp::TcpConfig config)
+    : src_(src), total_(totalBytes) {
+  if (streamCount < 1) streamCount = 1;
+  listener_ = std::make_unique<tcp::TcpListener>(dst, port, config);
+
+  // Stripe bytes as evenly as possible; the first stream takes the slack.
+  const std::uint64_t base = totalBytes.byteCount() / static_cast<std::uint64_t>(streamCount);
+  const std::uint64_t slack = totalBytes.byteCount() % static_cast<std::uint64_t>(streamCount);
+  for (int i = 0; i < streamCount; ++i) {
+    shares_.push_back(sim::DataSize::bytes(base + (i == 0 ? slack : 0)));
+  }
+
+  for (int i = 0; i < streamCount; ++i) {
+    auto conn = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+    auto* raw = conn.get();
+    const auto share = shares_[static_cast<std::size_t>(i)];
+    raw->onEstablished = [raw, share] { raw->sendData(share); };
+    raw->onSendComplete = [this] {
+      ++completed_streams_;
+      if (completed_streams_ == streams_.size()) {
+        finished_at_ = src_.ctx().now();
+        if (onComplete) onComplete();
+      }
+    };
+    streams_.push_back(std::move(conn));
+  }
+}
+
+ParallelTransfer::~ParallelTransfer() = default;
+
+void ParallelTransfer::start() {
+  started_ = true;
+  started_at_ = src_.ctx().now();
+  for (auto& s : streams_) s->start();
+}
+
+sim::Duration ParallelTransfer::elapsed() const {
+  if (!started_) return sim::Duration::zero();
+  const auto end = finished() ? finished_at_ : src_.ctx().now();
+  return end - started_at_;
+}
+
+sim::DataRate ParallelTransfer::aggregateGoodput() const {
+  const auto span = elapsed();
+  if (span <= sim::Duration::zero()) return sim::DataRate::zero();
+  sim::DataSize acked = sim::DataSize::zero();
+  for (const auto& s : streams_) acked += s->stats().bytesAcked;
+  return sim::DataRate::bitsPerSecond(
+      static_cast<std::uint64_t>(static_cast<double>(acked.bitCount()) / span.toSeconds()));
+}
+
+std::uint64_t ParallelTransfer::totalRetransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& s : streams_) n += s->stats().retransmits;
+  return n;
+}
+
+}  // namespace scidmz::apps

@@ -1,0 +1,53 @@
+// Parallel-stream transfer tool in the mold of GridFTP / FDT: stripes one
+// logical dataset across N TCP streams to the same server port.
+//
+// Parallel streams matter under residual loss: each stream keeps its own
+// congestion window, so a drop halves 1/N of the aggregate instead of all
+// of it — the reason DTN tooling defaults to striped transfers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::apps {
+
+class ParallelTransfer {
+ public:
+  ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t port, sim::DataSize totalBytes,
+                   int streamCount, tcp::TcpConfig config);
+  ~ParallelTransfer();
+
+  ParallelTransfer(const ParallelTransfer&) = delete;
+  ParallelTransfer& operator=(const ParallelTransfer&) = delete;
+
+  void start();
+
+  std::function<void()> onComplete;
+
+  [[nodiscard]] bool finished() const { return completed_streams_ == streams_.size(); }
+  [[nodiscard]] int streamCount() const { return static_cast<int>(streams_.size()); }
+  [[nodiscard]] sim::Duration elapsed() const;
+  /// Aggregate goodput: total bytes over wall time from start to last
+  /// stream completion.
+  [[nodiscard]] sim::DataRate aggregateGoodput() const;
+  [[nodiscard]] std::uint64_t totalRetransmits() const;
+  [[nodiscard]] sim::DataSize totalBytes() const { return total_; }
+
+ private:
+  net::Host& src_;
+  sim::DataSize total_;
+  std::unique_ptr<tcp::TcpListener> listener_;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> streams_;
+  std::vector<sim::DataSize> shares_;
+  std::size_t completed_streams_ = 0;
+  sim::SimTime started_at_;
+  sim::SimTime finished_at_;
+  bool started_ = false;
+};
+
+}  // namespace scidmz::apps

@@ -1,0 +1,126 @@
+#include "apps/transfer_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace scidmz::apps {
+
+TransferManager::TransferManager(net::Host& src, net::Host& dst, tcp::TcpConfig tcpConfig,
+                                 Options options)
+    : src_(src), dst_(dst), tcp_config_(tcpConfig), options_(options) {
+  slots_.resize(static_cast<std::size_t>(std::max(1, options_.concurrency)));
+}
+
+void TransferManager::enqueue(FileSpec file) {
+  ++report_.filesTotal;
+  queue_.push_back(std::move(file));
+  if (started_) fillSlots();
+}
+
+void TransferManager::enqueue(std::vector<FileSpec> files) {
+  for (auto& f : files) enqueue(std::move(f));
+}
+
+void TransferManager::start() {
+  if (started_) return;
+  started_ = true;
+  started_at_ = src_.ctx().now();
+  fillSlots();
+  finishIfDrained();
+}
+
+TransferReport TransferManager::report() const {
+  TransferReport r = report_;
+  r.elapsed = src_.ctx().now() - started_at_;
+  return r;
+}
+
+void TransferManager::fillSlots() {
+  for (std::size_t i = 0; i < slots_.size() && !queue_.empty(); ++i) {
+    if (slots_[i].busy) continue;
+    FileSpec file = std::move(queue_.front());
+    queue_.pop_front();
+    launch(i, std::move(file), 0);
+  }
+}
+
+void TransferManager::launch(std::size_t slotIndex, FileSpec file, int attempts) {
+  auto& slot = slots_[slotIndex];
+  slot.busy = true;
+  slot.file = std::move(file);
+  slot.attempts = attempts;
+  slot.lastProgress = sim::DataSize::zero();
+  ++active_count_;
+
+  const auto port = static_cast<std::uint16_t>(options_.basePort + slotIndex);
+  slot.transfer =
+      std::make_unique<BulkTransfer>(src_, dst_, port, slot.file.size, tcp_config_);
+  slot.transfer->onComplete = [this, slotIndex](const BulkTransfer::Result& r) {
+    onSlotComplete(slotIndex, r);
+  };
+  slot.transfer->start();
+  armWatchdog(slotIndex);
+}
+
+void TransferManager::armWatchdog(std::size_t slotIndex) {
+  auto& slot = slots_[slotIndex];
+  if (slot.watchdog.valid()) src_.ctx().sim().cancel(slot.watchdog);
+  slot.watchdog = src_.ctx().sim().schedule(options_.stallTimeout, [this, slotIndex] {
+    auto& s = slots_[slotIndex];
+    s.watchdog = sim::EventId{};
+    if (!s.busy || s.transfer == nullptr) return;
+    const auto progress = s.transfer->progress();
+    if (progress > s.lastProgress) {
+      // Still moving; keep watching.
+      s.lastProgress = progress;
+      armWatchdog(slotIndex);
+      return;
+    }
+    onSlotStalled(slotIndex);
+  });
+}
+
+void TransferManager::onSlotComplete(std::size_t slotIndex, const BulkTransfer::Result& result) {
+  auto& slot = slots_[slotIndex];
+  if (slot.watchdog.valid()) {
+    src_.ctx().sim().cancel(slot.watchdog);
+    slot.watchdog = sim::EventId{};
+  }
+  ++report_.filesDone;
+  report_.bytesMoved += result.bytes;
+  slot.busy = false;
+  --active_count_;
+  // Defer teardown and refill: we are inside the transfer's own callback
+  // chain, so destroying it here would free the object under our feet.
+  src_.ctx().sim().schedule(sim::Duration::zero(), [this, slotIndex] {
+    slots_[slotIndex].transfer.reset();
+    fillSlots();
+    finishIfDrained();
+  });
+}
+
+void TransferManager::onSlotStalled(std::size_t slotIndex) {
+  auto& slot = slots_[slotIndex];
+  slot.transfer->abort();
+  slot.transfer.reset();
+  slot.busy = false;
+  --active_count_;
+
+  if (slot.attempts + 1 <= options_.maxRetries) {
+    ++report_.retries;
+    launch(slotIndex, slot.file, slot.attempts + 1);
+  } else {
+    ++report_.filesFailed;
+    fillSlots();
+    finishIfDrained();
+  }
+}
+
+void TransferManager::finishIfDrained() {
+  if (!started_ || announced_ || !idle()) return;
+  announced_ = true;
+  report_.elapsed = src_.ctx().now() - started_at_;
+  if (onAllComplete) onAllComplete(report_);
+}
+
+}  // namespace scidmz::apps

@@ -1,0 +1,100 @@
+// Transfer orchestration in the mold of Globus Online: a queue of files
+// moved with bounded concurrency, per-file stall timeouts, and automatic
+// retries — the service layer scientists actually click on, sitting above
+// raw GridFTP streams.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/bulk_transfer.hpp"
+
+namespace scidmz::apps {
+
+struct FileSpec {
+  std::string name;
+  sim::DataSize size = sim::DataSize::zero();
+};
+
+struct TransferReport {
+  std::size_t filesTotal = 0;
+  std::size_t filesDone = 0;
+  std::size_t filesFailed = 0;
+  std::uint64_t retries = 0;
+  sim::DataSize bytesMoved = sim::DataSize::zero();
+  sim::Duration elapsed = sim::Duration::zero();
+
+  [[nodiscard]] sim::DataRate averageRate() const {
+    if (elapsed <= sim::Duration::zero()) return sim::DataRate::zero();
+    return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(bytesMoved.bitCount()) / elapsed.toSeconds()));
+  }
+};
+
+struct TransferManagerOptions {
+  int concurrency = 4;
+  int maxRetries = 3;
+  /// A file whose transfer makes no progress for this long is aborted
+  /// and retried (stall detection, not a hard deadline).
+  sim::Duration stallTimeout = sim::Duration::seconds(60);
+  std::uint16_t basePort = 2811;  // the GridFTP control port, by tradition
+};
+
+class TransferManager {
+ public:
+  using Options = TransferManagerOptions;
+
+  TransferManager(net::Host& src, net::Host& dst, tcp::TcpConfig tcpConfig,
+                  Options options = TransferManagerOptions());
+
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  void enqueue(FileSpec file);
+  void enqueue(std::vector<FileSpec> files);
+
+  /// Kick off up to `concurrency` transfers; further files start as slots
+  /// free up. onAllComplete fires once when the queue drains.
+  void start();
+
+  std::function<void(const TransferReport&)> onAllComplete;
+
+  [[nodiscard]] TransferReport report() const;
+  [[nodiscard]] bool idle() const { return active_count_ == 0 && queue_.empty(); }
+  [[nodiscard]] std::size_t activeCount() const { return active_count_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<BulkTransfer> transfer;
+    FileSpec file;
+    int attempts = 0;
+    sim::DataSize lastProgress = sim::DataSize::zero();
+    sim::EventId watchdog{};
+    bool busy = false;
+  };
+
+  void fillSlots();
+  void launch(std::size_t slotIndex, FileSpec file, int attempts);
+  void armWatchdog(std::size_t slotIndex);
+  void onSlotComplete(std::size_t slotIndex, const BulkTransfer::Result& result);
+  void onSlotStalled(std::size_t slotIndex);
+  void finishIfDrained();
+
+  net::Host& src_;
+  net::Host& dst_;
+  tcp::TcpConfig tcp_config_;
+  Options options_;
+  std::deque<FileSpec> queue_;
+  std::vector<Slot> slots_;
+  std::size_t active_count_ = 0;
+  bool started_ = false;
+  bool announced_ = false;
+  sim::SimTime started_at_;
+  TransferReport report_;
+};
+
+}  // namespace scidmz::apps

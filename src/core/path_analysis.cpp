@@ -1,0 +1,47 @@
+#include "core/path_analysis.hpp"
+
+#include <algorithm>
+
+#include "net/firewall.hpp"
+#include "tcp/mathis.hpp"
+
+namespace scidmz::core {
+
+std::optional<PathAssessment> assessPath(const net::Topology& topology, net::Address src,
+                                         net::Address dst, PathAssumptions assumptions) {
+  const auto path = topology.trace(src, dst);
+  if (!path || !path->complete()) return std::nullopt;
+
+  PathAssessment out;
+  out.description = path->toString();
+  out.hopCount = path->hops.size();
+  out.bottleneck = path->bottleneckRate();
+  out.rtt = path->propagationDelay() * 2;
+  out.bdp = tcp::bandwidthDelayWindow(out.bottleneck, out.rtt);
+
+  // MSS from the smallest MTU on the path.
+  sim::DataSize minMtu = sim::DataSize::bytes(9000);
+  for (const auto& hop : path->hops) minMtu = std::min(minMtu, hop.link->mtu());
+  out.mss = minMtu - net::kTcpIpHeaderBytes;
+
+  for (auto* device : path->devices()) {
+    if (dynamic_cast<net::FirewallDevice*>(device) != nullptr) {
+      out.crossesFirewall = true;
+      break;
+    }
+  }
+
+  const auto window =
+      assumptions.windowScalingBroken
+          ? sim::DataSize::bytes(65535)
+          : std::min(assumptions.endpoint.rcvBuf, assumptions.endpoint.sndBuf);
+  out.windowLimitedRate = tcp::lossFreeThroughput(out.bottleneck, window, out.rtt);
+  out.lossLimitedRate = assumptions.lossRate > 0
+                            ? tcp::mathisThroughput(out.mss, out.rtt, assumptions.lossRate)
+                            : out.bottleneck;
+  out.expectedThroughput = std::min({out.bottleneck, out.windowLimitedRate,
+                                     out.lossLimitedRate});
+  return out;
+}
+
+}  // namespace scidmz::core

@@ -1,0 +1,48 @@
+// Analytic assessment of a science path: hops, bottleneck, RTT, BDP, and
+// the Mathis-equation throughput prediction under an assumed residual loss
+// rate — the back-of-envelope a network engineer runs before and after a
+// deployment (and the analytic line of Figure 1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/topology.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::core {
+
+struct PathAssessment {
+  std::string description;           ///< "src -> hop -> ... -> dst"
+  std::size_t hopCount = 0;
+  sim::DataRate bottleneck = sim::DataRate::zero();
+  sim::Duration rtt = sim::Duration::zero();
+  sim::DataSize bdp = sim::DataSize::zero();      ///< Equation 2 window
+  sim::DataSize mss = sim::DataSize::zero();
+  bool crossesFirewall = false;
+
+  /// Ceiling imposed by the endpoint's advertised window.
+  sim::DataRate windowLimitedRate = sim::DataRate::zero();
+  /// Mathis bound at the assumed loss rate (Equation 1).
+  sim::DataRate lossLimitedRate = sim::DataRate::zero();
+  /// min(bottleneck, window bound, loss bound): the expected throughput.
+  sim::DataRate expectedThroughput = sim::DataRate::zero();
+};
+
+struct PathAssumptions {
+  /// Residual random loss assumed on the path (0 = clean).
+  double lossRate = 0.0;
+  /// Endpoint TCP settings used for the window ceiling.
+  tcp::TcpConfig endpoint = tcp::TcpConfig::tunedDtn();
+  /// Effective window override: when window scaling is broken by a
+  /// middlebox the usable window caps at 64 KiB - 1 regardless of buffers.
+  bool windowScalingBroken = false;
+};
+
+/// Assess the routed path between two hosts. Returns nullopt when routing
+/// fails. Pure analysis: no packets are simulated.
+[[nodiscard]] std::optional<PathAssessment> assessPath(const net::Topology& topology,
+                                                       net::Address src, net::Address dst,
+                                                       PathAssumptions assumptions = {});
+
+}  // namespace scidmz::core

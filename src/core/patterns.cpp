@@ -1,0 +1,27 @@
+#include "core/patterns.hpp"
+
+namespace scidmz::core {
+
+std::string_view describe(Pattern p) {
+  switch (p) {
+    case Pattern::kLocation:
+      return "Deploy the Science DMZ at or near the network perimeter so the "
+             "science data path involves as few devices as possible and stays "
+             "separate from the general-purpose network.";
+    case Pattern::kDedicatedSystems:
+      return "Use purpose-built, tuned Data Transfer Nodes running only data "
+             "transfer applications, matched to the WAN capacity and backed "
+             "by adequate storage.";
+    case Pattern::kMonitoring:
+      return "Integrate active test and measurement (perfSONAR: OWAMP loss "
+             "probes, BWCTL throughput tests) so soft failures are found and "
+             "fixed before scientists notice.";
+    case Pattern::kAppropriateSecurity:
+      return "Enforce security with router ACLs, IDS and per-service policy "
+             "scaled to the data rate, instead of stateful firewalls whose "
+             "buffering collapses TCP.";
+  }
+  return "";
+}
+
+}  // namespace scidmz::core

@@ -1,0 +1,29 @@
+// The four Science DMZ sub-patterns (Section 3 of the paper), as an
+// enumeration the validator and reports key off. Each design rule checked
+// by the validator belongs to exactly one pattern.
+#pragma once
+
+#include <string_view>
+
+namespace scidmz::core {
+
+enum class Pattern {
+  kLocation,             ///< §3.1 proper location to reduce complexity
+  kDedicatedSystems,     ///< §3.2 the Data Transfer Node
+  kMonitoring,           ///< §3.3 performance measurement (perfSONAR)
+  kAppropriateSecurity,  ///< §3.4 security without performance penalty
+};
+
+[[nodiscard]] constexpr std::string_view toString(Pattern p) {
+  switch (p) {
+    case Pattern::kLocation: return "location";
+    case Pattern::kDedicatedSystems: return "dedicated-systems";
+    case Pattern::kMonitoring: return "monitoring";
+    case Pattern::kAppropriateSecurity: return "appropriate-security";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::string_view describe(Pattern p);
+
+}  // namespace scidmz::core

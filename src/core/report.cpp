@@ -1,0 +1,86 @@
+#include "core/report.hpp"
+
+namespace scidmz::core {
+namespace {
+
+const char* severityLabel(Severity s) {
+  return s == Severity::kCritical ? "CRITICAL" : "warning";
+}
+
+}  // namespace
+
+std::string renderFindings(const ValidationResult& validation) {
+  if (validation.clean()) {
+    return "  no findings: all four design patterns satisfied\n";
+  }
+  std::string out;
+  for (const auto& v : validation.violations) {
+    out += "  [";
+    out += severityLabel(v.severity);
+    out += "] ";
+    out += toString(patternOf(v.rule));
+    out += " / ";
+    out += toString(v.rule);
+    out += " (";
+    out += v.subject;
+    out += ")\n      ";
+    out += v.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string renderSiteReport(const Site& site, const ValidationResult& validation,
+                             const PathAssumptions& assumptions) {
+  std::string out;
+  out += "=== Science DMZ site assessment: ";
+  out += toString(site.kind());
+  out += " ===\n";
+
+  out += "roles:\n";
+  auto role = [&out](const char* name, const std::string& value) {
+    out += "  ";
+    out += name;
+    out += ": ";
+    out += value.empty() ? "(none)" : value;
+    out += "\n";
+  };
+  role("border router", site.borderRouter ? site.borderRouter->name() : "");
+  role("dmz switch", site.dmzSwitch ? site.dmzSwitch->name() : "");
+  role("enterprise firewall",
+       site.enterpriseFirewall ? site.enterpriseFirewall->name() : "");
+  role("measurement host", site.perfsonarHost ? site.perfsonarHost->name() : "");
+  std::string dtnNames;
+  for (const auto* d : site.dtns) {
+    if (!dtnNames.empty()) dtnNames += ", ";
+    dtnNames += d->host().name();
+  }
+  role("data transfer nodes", dtnNames);
+
+  if (site.remoteDtn != nullptr && site.primaryDtn() != nullptr) {
+    const auto assessment =
+        assessPath(site.topology(), site.remoteDtn->host().address(),
+                   site.primaryDtn()->host().address(), assumptions);
+    if (assessment) {
+      out += "science path:\n";
+      out += "  " + assessment->description + "\n";
+      out += "  bottleneck: " + sim::toString(assessment->bottleneck) +
+             ", rtt: " + sim::toString(assessment->rtt) +
+             ", bdp: " + sim::toString(assessment->bdp) + "\n";
+      out += "  crosses firewall: ";
+      out += assessment->crossesFirewall ? "YES" : "no";
+      out += "\n";
+      out += "  expected throughput: " + sim::toString(assessment->expectedThroughput) +
+             " (window bound " + sim::toString(assessment->windowLimitedRate) +
+             ", loss bound " + sim::toString(assessment->lossLimitedRate) + ")\n";
+    } else {
+      out += "science path: UNROUTABLE\n";
+    }
+  }
+
+  out += "findings:\n";
+  out += renderFindings(validation);
+  return out;
+}
+
+}  // namespace scidmz::core

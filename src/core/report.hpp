@@ -1,0 +1,21 @@
+// Human-readable site assessment: roles, science-path analysis, and the
+// validator's findings grouped by pattern — the report a network engineer
+// would hand a campus CIO after a Science DMZ review.
+#pragma once
+
+#include <string>
+
+#include "core/path_analysis.hpp"
+#include "core/site.hpp"
+#include "core/validator.hpp"
+
+namespace scidmz::core {
+
+/// Render a full assessment (roles + path analysis + findings).
+[[nodiscard]] std::string renderSiteReport(const Site& site, const ValidationResult& validation,
+                                           const PathAssumptions& assumptions = {});
+
+/// Render just the findings list.
+[[nodiscard]] std::string renderFindings(const ValidationResult& validation);
+
+}  // namespace scidmz::core

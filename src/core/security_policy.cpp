@@ -1,0 +1,65 @@
+#include "core/security_policy.hpp"
+
+namespace scidmz::core {
+namespace {
+
+void permitService(net::AclTable& acl, const DmzServicePolicy& policy, net::Address host,
+                   net::Protocol proto, net::PortRange ports, const char* comment) {
+  const net::Prefix hostPrefix{host, 32};
+  // Inbound to the service port.
+  net::AclRule in;
+  in.action = net::AclAction::kPermit;
+  in.src = policy.collaborators;
+  in.dst = hostPrefix;
+  in.proto = proto;
+  in.dstPorts = ports;
+  in.comment = comment;
+  acl.append(in);
+  // Return traffic of locally-initiated sessions anchored on the same
+  // service port at the far end.
+  net::AclRule back;
+  back.action = net::AclAction::kPermit;
+  back.src = policy.collaborators;
+  back.dst = hostPrefix;
+  back.proto = proto;
+  back.srcPorts = ports;
+  back.comment = comment;
+  acl.append(back);
+}
+
+}  // namespace
+
+net::AclTable compileDmzAcl(const DmzServicePolicy& policy) {
+  net::AclTable acl{net::AclAction::kDeny};
+
+  // Everything sourced inside the institution may leave.
+  net::AclRule outbound;
+  outbound.action = net::AclAction::kPermit;
+  outbound.src = policy.localNetworks;
+  outbound.comment = "local networks outbound";
+  acl.append(outbound);
+
+  // Transit toward the enterprise zone is not the DMZ's problem: hand it
+  // to the enterprise firewall rather than dropping it here.
+  net::AclRule transit;
+  transit.action = net::AclAction::kPermit;
+  transit.dst = policy.enterpriseNetworks;
+  transit.comment = "transit to enterprise (firewalled downstream)";
+  acl.append(transit);
+
+  for (const auto dtn : policy.dtnAddresses) {
+    permitService(acl, policy, dtn, net::Protocol::kTcp,
+                  net::PortRange::single(kGridFtpControlPort), "gridftp control");
+    permitService(acl, policy, dtn, net::Protocol::kTcp, kGridFtpDataPorts, "gridftp data");
+    permitService(acl, policy, dtn, net::Protocol::kUdp,
+                  net::PortRange::single(kRocePort), "roce data");
+  }
+  for (const auto host : policy.measurementHosts) {
+    permitService(acl, policy, host, net::Protocol::kUdp, kOwampPorts, "owamp probes");
+    permitService(acl, policy, host, net::Protocol::kTcp,
+                  net::PortRange::single(kBwctlPort), "bwctl tests");
+  }
+  return acl;
+}
+
+}  // namespace scidmz::core

@@ -1,0 +1,42 @@
+// The appropriate-security pattern, compiled: a per-service policy for the
+// Science DMZ expressed as data, turned into a default-deny ACL applied in
+// the DMZ switch's forwarding plane (no firewall in the science path).
+#pragma once
+
+#include <vector>
+
+#include "net/acl.hpp"
+
+namespace scidmz::core {
+
+/// Well-known science service ports used across this library.
+inline constexpr std::uint16_t kGridFtpControlPort = 2811;
+inline constexpr net::PortRange kGridFtpDataPorts{50000, 51000};
+inline constexpr std::uint16_t kOwampPortBase = 861;
+inline constexpr net::PortRange kOwampPorts{861, 880};
+inline constexpr std::uint16_t kBwctlPort = 4823;
+inline constexpr std::uint16_t kRocePort = 4791;
+
+struct DmzServicePolicy {
+  /// Who is allowed to talk to the DMZ at all.
+  net::Prefix collaborators{net::Address(198, 128, 0, 0), 16};
+  /// The local institution's own address space (always allowed outbound).
+  net::Prefix localNetworks{net::Address(10, 0, 0, 0), 8};
+  /// Enterprise space reachable through the DMZ fabric on designs where
+  /// the business network rides the same front-end (Figure 5): traffic to
+  /// it is passed along — the enterprise firewall applies policy there.
+  net::Prefix enterpriseNetworks{net::Address(10, 20, 0, 0), 16};
+  /// The DTNs this policy protects.
+  std::vector<net::Address> dtnAddresses;
+  /// The measurement host (OWAMP/BWCTL targets).
+  std::vector<net::Address> measurementHosts;
+};
+
+/// Compile the policy to a first-match, default-deny ACL. For every
+/// protected host and service, both connection orientations are permitted:
+/// collaborator traffic *to* the service port, and collaborator traffic
+/// *from* the service port (the return half of locally-initiated
+/// transfers) — the standard stateless-ACL idiom for science DMZs.
+[[nodiscard]] net::AclTable compileDmzAcl(const DmzServicePolicy& policy);
+
+}  // namespace scidmz::core

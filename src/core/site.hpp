@@ -1,0 +1,87 @@
+// A Site: a built topology plus the role annotations the design-pattern
+// machinery reasons over (which device is the border router, which hosts
+// are DTNs, where the measurement host sits, ...). Builders in
+// site_builder.hpp produce Sites for each of the paper's reference
+// designs; the validator and report generator consume them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtn/dtn_node.hpp"
+#include "dtn/storage.hpp"
+#include "net/topology.hpp"
+
+namespace scidmz::core {
+
+enum class SiteKind {
+  kGeneralPurposeCampus,  ///< baseline anti-pattern: DTN behind the firewall
+  kSimpleScienceDmz,      ///< Figure 3
+  kSupercomputerCenter,   ///< Figure 4
+  kBigDataSite,           ///< Figure 5
+};
+
+[[nodiscard]] constexpr std::string_view toString(SiteKind k) {
+  switch (k) {
+    case SiteKind::kGeneralPurposeCampus: return "general-purpose campus";
+    case SiteKind::kSimpleScienceDmz: return "simple Science DMZ";
+    case SiteKind::kSupercomputerCenter: return "supercomputer center";
+    case SiteKind::kBigDataSite: return "big data site";
+  }
+  return "?";
+}
+
+class Site {
+ public:
+  Site(net::Topology& topology, SiteKind kind) : topology_(topology), kind_(kind) {}
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] SiteKind kind() const { return kind_; }
+
+  // --- roles (non-owning; devices live in the topology) -----------------
+  net::RouterDevice* borderRouter = nullptr;
+  net::SwitchDevice* dmzSwitch = nullptr;
+  net::FirewallDevice* enterpriseFirewall = nullptr;
+  net::Host* perfsonarHost = nullptr;
+  net::Host* remotePerfsonarHost = nullptr;
+  std::vector<dtn::DataTransferNode*> dtns;
+  dtn::DataTransferNode* remoteDtn = nullptr;
+  std::vector<net::Host*> enterpriseHosts;
+  std::vector<net::Host*> computeNodes;
+  net::Link* wanLink = nullptr;
+  dtn::ParallelFilesystem* parallelFs = nullptr;
+
+  /// The local transfer endpoint (first DTN), for convenience.
+  [[nodiscard]] dtn::DataTransferNode* primaryDtn() const {
+    return dtns.empty() ? nullptr : dtns.front();
+  }
+
+  // --- ownership helpers for site-scoped objects -------------------------
+  dtn::StorageSubsystem& addStorage(net::Context& ctx, dtn::StorageProfile profile) {
+    storages_.push_back(std::make_unique<dtn::StorageSubsystem>(ctx, profile));
+    return *storages_.back();
+  }
+  dtn::DataTransferNode& addDtnNode(net::Host& host, dtn::StorageSubsystem& storage,
+                                    dtn::DtnProfile profile) {
+    nodes_.push_back(std::make_unique<dtn::DataTransferNode>(host, storage, profile));
+    return *nodes_.back();
+  }
+  dtn::ParallelFilesystem& addFilesystem(net::Context& ctx, dtn::StorageProfile profile) {
+    filesystems_.push_back(std::make_unique<dtn::ParallelFilesystem>(ctx, profile));
+    return *filesystems_.back();
+  }
+
+ private:
+  net::Topology& topology_;
+  SiteKind kind_;
+  std::vector<std::unique_ptr<dtn::StorageSubsystem>> storages_;
+  std::vector<std::unique_ptr<dtn::DataTransferNode>> nodes_;
+  std::vector<std::unique_ptr<dtn::ParallelFilesystem>> filesystems_;
+};
+
+}  // namespace scidmz::core

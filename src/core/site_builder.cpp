@@ -1,0 +1,211 @@
+#include "core/site_builder.hpp"
+
+#include <string>
+
+#include "core/security_policy.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using sim::DataRate;
+using sim::DataSize;
+using sim::Duration;
+
+net::LinkParams lanLink(DataRate rate, DataSize mtu) {
+  net::LinkParams lp;
+  lp.rate = rate;
+  lp.delay = Duration::microseconds(5);
+  lp.mtu = mtu;
+  return lp;
+}
+
+/// Remote collaborator side: a DTN and a perfSONAR host hung off a WAN core
+/// router, plus the long-haul span toward the site border. Returns the WAN
+/// core router; `site->wanLink` is the long-haul link.
+net::RouterDevice& buildRemoteAndWan(net::Topology& topology, Site& site,
+                                     const SiteConfig& config, net::Device& siteEdge) {
+  auto& ctx = topology.ctx();
+  auto& wanCore = topology.addRouter("wan-core", net::SwitchProfile::scienceDmz());
+
+  auto& remoteHost = topology.addHost("remote-dtn", net::Address(198, 128, 1, 1));
+  topology.connect(remoteHost, wanCore, lanLink(config.wan.rate, config.wan.mtu));
+  auto& remoteStorage = site.addStorage(ctx, config.remoteStorage);
+  site.remoteDtn = &site.addDtnNode(remoteHost, remoteStorage, config.remoteProfile);
+
+  site.remotePerfsonarHost = &topology.addHost("remote-ps", net::Address(198, 128, 1, 2));
+  topology.connect(*site.remotePerfsonarHost, wanCore, lanLink(config.wan.rate, config.wan.mtu));
+
+  net::LinkParams span;
+  span.rate = config.wan.rate;
+  span.delay = config.wan.delay;
+  span.mtu = config.wan.mtu;
+  site.wanLink = &topology.connect(wanCore, siteEdge, span);
+  return wanCore;
+}
+
+/// Enterprise section: firewall -> campus switch -> N business hosts.
+net::SwitchDevice& buildEnterprise(net::Topology& topology, Site& site,
+                                   const SiteConfig& config, net::Device& attachTo) {
+  site.enterpriseFirewall = &topology.addFirewall("enterprise-fw", config.firewall);
+  topology.connect(attachTo, *site.enterpriseFirewall,
+                   lanLink(config.wan.rate, DataSize::bytes(1500)));
+  auto& campusSwitch = topology.addSwitch("campus-switch", net::SwitchProfile::cheapLan());
+  topology.connect(*site.enterpriseFirewall, campusSwitch,
+                   lanLink(DataRate::gigabitsPerSecond(10), DataSize::bytes(1500)));
+  for (int i = 0; i < config.enterpriseHostCount; ++i) {
+    auto& host = topology.addHost("office-" + std::to_string(i),
+                                  net::Address(10, 20, 1, static_cast<std::uint8_t>(i + 1)));
+    topology.connect(host, campusSwitch, lanLink(config.campusLinkRate, DataSize::bytes(1500)));
+    site.enterpriseHosts.push_back(&host);
+  }
+  return campusSwitch;
+}
+
+void applyDmzPolicy(Site& site) {
+  if (site.dmzSwitch == nullptr) return;
+  DmzServicePolicy policy;
+  for (const auto* node : site.dtns) policy.dtnAddresses.push_back(node->host().address());
+  if (site.perfsonarHost != nullptr) {
+    policy.measurementHosts.push_back(site.perfsonarHost->address());
+  }
+  site.dmzSwitch->setAcl(compileDmzAcl(policy));
+}
+
+}  // namespace
+
+std::unique_ptr<Site> buildGeneralPurposeCampus(net::Topology& topology,
+                                                const SiteConfig& config) {
+  auto site = std::make_unique<Site>(topology, SiteKind::kGeneralPurposeCampus);
+  auto& ctx = topology.ctx();
+
+  site->borderRouter = &topology.addRouter("border", net::SwitchProfile::scienceDmz());
+  buildRemoteAndWan(topology, *site, config, *site->borderRouter);
+  auto& campusSwitch = buildEnterprise(topology, *site, config, *site->borderRouter);
+
+  // The transfer server lives on the campus LAN, behind the firewall, on a
+  // campus-speed port — the baseline every use case starts from.
+  auto& serverHost = topology.addHost("campus-xfer", net::Address(10, 20, 1, 100));
+  topology.connect(serverHost, campusSwitch,
+                   lanLink(config.campusLinkRate, DataSize::bytes(1500)));
+  auto& storage = site->addStorage(ctx, config.dtnStorage);
+  site->dtns.push_back(&site->addDtnNode(serverHost, storage, config.dtnProfile));
+
+  topology.computeRoutes();
+  return site;
+}
+
+std::unique_ptr<Site> buildSimpleScienceDmz(net::Topology& topology, const SiteConfig& config) {
+  auto site = std::make_unique<Site>(topology, SiteKind::kSimpleScienceDmz);
+  auto& ctx = topology.ctx();
+
+  site->borderRouter = &topology.addRouter("border", net::SwitchProfile::scienceDmz());
+  buildRemoteAndWan(topology, *site, config, *site->borderRouter);
+
+  site->dmzSwitch = &topology.addSwitch("dmz-switch", net::SwitchProfile::scienceDmz());
+  topology.connect(*site->borderRouter, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+
+  auto& dtnHost = topology.addHost("dtn", net::Address(10, 10, 1, 10));
+  topology.connect(dtnHost, *site->dmzSwitch, lanLink(config.wan.rate, config.wan.mtu));
+  auto& storage = site->addStorage(ctx, config.dtnStorage);
+  site->dtns.push_back(&site->addDtnNode(dtnHost, storage, config.dtnProfile));
+
+  site->perfsonarHost = &topology.addHost("ps", net::Address(10, 10, 1, 250));
+  topology.connect(*site->perfsonarHost, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+
+  buildEnterprise(topology, *site, config, *site->borderRouter);
+
+  if (config.applyDmzAcls) applyDmzPolicy(*site);
+  topology.computeRoutes();
+  return site;
+}
+
+std::unique_ptr<Site> buildSupercomputerCenter(net::Topology& topology,
+                                               const SiteConfig& config) {
+  auto site = std::make_unique<Site>(topology, SiteKind::kSupercomputerCenter);
+  auto& ctx = topology.ctx();
+
+  site->borderRouter = &topology.addRouter("border", net::SwitchProfile::scienceDmz());
+  buildRemoteAndWan(topology, *site, config, *site->borderRouter);
+
+  // The center front-end IS the DMZ: a deep-buffered core switch.
+  site->dmzSwitch = &topology.addSwitch("core-switch", net::SwitchProfile::scienceDmz());
+  topology.connect(*site->borderRouter, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+
+  // DTN pool sharing the parallel filesystem.
+  site->parallelFs = &site->addFilesystem(ctx, dtn::StorageProfile::parallelFsBackend());
+  for (int i = 0; i < config.dtnCount; ++i) {
+    auto& host = topology.addHost("dtn-" + std::to_string(i),
+                                  net::Address(10, 10, 1, static_cast<std::uint8_t>(10 + i)));
+    topology.connect(host, *site->dmzSwitch, lanLink(config.wan.rate, config.wan.mtu));
+    auto& node = site->addDtnNode(host, site->parallelFs->storage(), config.dtnProfile);
+    node.attachFilesystem(site->parallelFs);
+    site->dtns.push_back(&node);
+  }
+
+  // Compute nodes mount the same filesystem (catalog visibility is the
+  // "no double copy" property; their network ports stay off the WAN path).
+  for (int i = 0; i < config.computeNodeCount; ++i) {
+    auto& host = topology.addHost("compute-" + std::to_string(i),
+                                  net::Address(10, 10, 2, static_cast<std::uint8_t>(1 + i)));
+    topology.connect(host, *site->dmzSwitch, lanLink(config.wan.rate, config.wan.mtu));
+    site->computeNodes.push_back(&host);
+  }
+
+  site->perfsonarHost = &topology.addHost("ps", net::Address(10, 10, 1, 250));
+  topology.connect(*site->perfsonarHost, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+
+  buildEnterprise(topology, *site, config, *site->borderRouter);
+
+  if (config.applyDmzAcls) applyDmzPolicy(*site);
+  topology.computeRoutes();
+  return site;
+}
+
+std::unique_ptr<Site> buildBigDataSite(net::Topology& topology, const SiteConfig& config) {
+  auto site = std::make_unique<Site>(topology, SiteKind::kBigDataSite);
+  auto& ctx = topology.ctx();
+
+  // Redundant borders, both reaching the WAN core.
+  site->borderRouter = &topology.addRouter("border-1", net::SwitchProfile::scienceDmz());
+  auto& border2 = topology.addRouter("border-2", net::SwitchProfile::scienceDmz());
+  auto& wanCore = buildRemoteAndWan(topology, *site, config, *site->borderRouter);
+  net::LinkParams span;
+  span.rate = config.wan.rate;
+  span.delay = config.wan.delay;
+  span.mtu = config.wan.mtu;
+  topology.connect(wanCore, border2, span);
+
+  // Data-service switch plane with the DTN cluster.
+  site->dmzSwitch = &topology.addSwitch("data-switch", net::SwitchProfile::scienceDmz());
+  topology.connect(*site->borderRouter, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+  topology.connect(border2, *site->dmzSwitch, lanLink(config.wan.rate, config.wan.mtu));
+
+  site->parallelFs = &site->addFilesystem(ctx, dtn::StorageProfile::parallelFsBackend());
+  for (int i = 0; i < config.dtnCount; ++i) {
+    auto& host = topology.addHost("xfer-" + std::to_string(i),
+                                  net::Address(10, 10, 1, static_cast<std::uint8_t>(10 + i)));
+    topology.connect(host, *site->dmzSwitch, lanLink(config.wan.rate, config.wan.mtu));
+    auto& node = site->addDtnNode(host, site->parallelFs->storage(), config.dtnProfile);
+    node.attachFilesystem(site->parallelFs);
+    site->dtns.push_back(&node);
+  }
+
+  site->perfsonarHost = &topology.addHost("ps", net::Address(10, 10, 1, 250));
+  topology.connect(*site->perfsonarHost, *site->dmzSwitch,
+                   lanLink(config.wan.rate, config.wan.mtu));
+
+  // Enterprise rides the same front-end but behind its firewalls; the
+  // science flows never traverse them.
+  buildEnterprise(topology, *site, config, *site->dmzSwitch);
+
+  if (config.applyDmzAcls) applyDmzPolicy(*site);
+  topology.computeRoutes();
+  return site;
+}
+
+}  // namespace scidmz::core

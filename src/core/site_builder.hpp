@@ -1,0 +1,62 @@
+// Builders for the paper's reference designs (Figures 3-5) and for the
+// general-purpose-campus baseline they improve upon. Every builder creates
+// a complete scenario: a remote collaborator DTN across a WAN, the site
+// network, DTN(s) with storage, and measurement hosts, with routing
+// computed and (where the design calls for it) ACL policy applied.
+#pragma once
+
+#include <memory>
+
+#include "core/site.hpp"
+#include "net/firewall.hpp"
+
+namespace scidmz::core {
+
+struct WanConfig {
+  sim::DataRate rate = sim::DataRate::gigabitsPerSecond(10);
+  /// One-way propagation delay of the WAN span.
+  sim::Duration delay = sim::Duration::milliseconds(10);
+  sim::DataSize mtu = sim::DataSize::bytes(9000);
+};
+
+struct SiteConfig {
+  WanConfig wan;
+  /// Tuning of the local transfer host(s).
+  dtn::DtnProfile dtnProfile;
+  dtn::StorageProfile dtnStorage = dtn::StorageProfile::raidArray();
+  /// Remote collaborator endpoint (always a proper DTN).
+  dtn::DtnProfile remoteProfile;
+  dtn::StorageProfile remoteStorage = dtn::StorageProfile::raidArray();
+  net::FirewallProfile firewall = net::FirewallProfile::enterprise10G();
+  int enterpriseHostCount = 3;
+  /// Campus access-layer link speed (enterprise hosts, campus-side DTN in
+  /// the baseline design).
+  sim::DataRate campusLinkRate = sim::DataRate::gigabitsPerSecond(1);
+  /// Install the default-deny DMZ ACL policy on the DMZ switch.
+  bool applyDmzAcls = true;
+  /// Number of DTNs (supercomputer/big-data designs).
+  int dtnCount = 4;
+  /// Compute nodes mounting the parallel filesystem (supercomputer design).
+  int computeNodeCount = 4;
+};
+
+/// Baseline: everything — including the would-be transfer server — sits on
+/// the campus LAN behind the enterprise firewall. This is the "before"
+/// picture in every Section 6 use case.
+std::unique_ptr<Site> buildGeneralPurposeCampus(net::Topology& topology, const SiteConfig& config);
+
+/// Figure 3: border router -> DMZ switch -> {DTN, perfSONAR}, enterprise
+/// network behind its firewall off the same border router, ACL policy on
+/// the DMZ switch instead of a firewall in the science path.
+std::unique_ptr<Site> buildSimpleScienceDmz(net::Topology& topology, const SiteConfig& config);
+
+/// Figure 4: the whole center front-end is the DMZ — border, core switch,
+/// DTN pool writing into a parallel filesystem shared with compute nodes.
+std::unique_ptr<Site> buildSupercomputerCenter(net::Topology& topology, const SiteConfig& config);
+
+/// Figure 5: LHC-scale data cluster — redundant borders, a data-service
+/// switch plane with a DTN cluster, enterprise network behind redundant
+/// firewalls hanging off the same front-end.
+std::unique_ptr<Site> buildBigDataSite(net::Topology& topology, const SiteConfig& config);
+
+}  // namespace scidmz::core

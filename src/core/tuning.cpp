@@ -1,0 +1,52 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+
+namespace scidmz::core {
+
+std::optional<TuningRecommendation> recommendTuning(const net::Topology& topology,
+                                                    net::Address src, net::Address dst,
+                                                    TuningInputs inputs) {
+  PathAssumptions assumptions;
+  assumptions.lossRate = inputs.expectedLossRate;
+  const auto path = assessPath(topology, src, dst, assumptions);
+  if (!path) return std::nullopt;
+
+  TuningRecommendation rec;
+
+  // Socket buffers: 2x BDP so congestion avoidance can probe past the pipe,
+  // floored for short paths.
+  const auto bdp2 = sim::DataSize::bytes(path->bdp.byteCount() * 2);
+  rec.socketBuffers = std::max(bdp2, sim::DataSize::megabytes(4));
+  rec.tcp.sndBuf = rec.socketBuffers;
+  rec.tcp.rcvBuf = rec.socketBuffers;
+  rec.rationale += "buffers = max(2 x BDP " + sim::toString(path->bdp) + ", 4 MB) = " +
+                   sim::toString(rec.socketBuffers) + "\n";
+
+  // High-BDP congestion control; pacing to protect shallow buffers.
+  rec.tcp.algorithm = tcp::CcAlgorithm::kHtcp;
+  rec.tcp.pacing = true;
+  rec.rationale += "congestion control = htcp (high-BDP recovery), fq-style pacing on\n";
+
+  // Parallel streams: one suffices on a clean path; under residual loss the
+  // aggregate window shrinks with sqrt(p), so stripe until the combined
+  // Mathis bound covers the pipe (capped at 8 per the GridFTP defaults).
+  if (inputs.expectedLossRate > 0 && path->lossLimitedRate < path->bottleneck) {
+    const double deficit = static_cast<double>(path->bottleneck.bps()) /
+                           std::max<double>(static_cast<double>(path->lossLimitedRate.bps()), 1.0);
+    rec.parallelStreams = static_cast<int>(std::clamp(deficit + 0.999, 2.0, 8.0));
+    rec.rationale += "streams = " + std::to_string(rec.parallelStreams) +
+                     " (loss-limited to " + sim::toString(path->lossLimitedRate) + " per flow)\n";
+  } else {
+    rec.parallelStreams = 2;  // headroom against transient events
+    rec.rationale += "streams = 2 (clean path; headroom only)\n";
+  }
+
+  rec.jumboFrames = path->mss >= sim::DataSize::bytes(8900);
+  rec.rationale += rec.jumboFrames
+                       ? "jumbo frames supported end-to-end: keep 9000-byte MTU\n"
+                       : "path MTU below 9000: fix the narrow segment before anything else\n";
+  return rec;
+}
+
+}  // namespace scidmz::core

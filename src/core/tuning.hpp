@@ -1,0 +1,48 @@
+// The DTN tuning advisor: the fasterdata.es.net "DTN Tuning" guidance the
+// paper cites (Section 3.2, footnotes 18-19), codified. Given a routed
+// path, produce the host configuration a reference DTN should run.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/path_analysis.hpp"
+#include "dtn/dtn_node.hpp"
+
+namespace scidmz::core {
+
+struct TuningRecommendation {
+  /// Ready-to-use TCP settings (buffers, CC algorithm, pacing).
+  tcp::TcpConfig tcp;
+  /// Socket buffer target: 2x the path BDP, floored at 4 MB.
+  sim::DataSize socketBuffers = sim::DataSize::zero();
+  /// GridFTP-style parallel streams for the path's loss regime.
+  int parallelStreams = 1;
+  /// Whether the path supports (and so the host should use) jumbo frames.
+  bool jumboFrames = false;
+  /// Human-readable explanation, one line per decision.
+  std::string rationale;
+
+  /// Bundle into a DTN profile directly usable by DataTransferNode.
+  [[nodiscard]] dtn::DtnProfile asDtnProfile() const {
+    dtn::DtnProfile profile;
+    profile.tcp = tcp;
+    profile.parallelStreams = parallelStreams;
+    profile.dedicatedApplicationSet = true;
+    return profile;
+  }
+};
+
+struct TuningInputs {
+  /// Residual loss the path is expected to carry (0 for a clean DMZ path;
+  /// use measured OWAMP rates when available).
+  double expectedLossRate = 0.0;
+};
+
+/// Recommend host tuning for transfers between two addresses. Returns
+/// nullopt when the path is unroutable.
+[[nodiscard]] std::optional<TuningRecommendation> recommendTuning(
+    const net::Topology& topology, net::Address src, net::Address dst,
+    TuningInputs inputs = {});
+
+}  // namespace scidmz::core

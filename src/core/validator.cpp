@@ -1,0 +1,219 @@
+#include "core/validator.hpp"
+
+#include <algorithm>
+
+#include "tcp/mathis.hpp"
+
+namespace scidmz::core {
+
+std::string_view toString(RuleId id) {
+  switch (id) {
+    case RuleId::kSciencePathAvoidsFirewall: return "science-path-avoids-firewall";
+    case RuleId::kDmzNearPerimeter: return "dmz-near-perimeter";
+    case RuleId::kScienceTrafficSeparated: return "science-traffic-separated";
+    case RuleId::kDtnIsDedicated: return "dtn-is-dedicated";
+    case RuleId::kDtnTuned: return "dtn-tuned";
+    case RuleId::kDtnMatchedToWan: return "dtn-matched-to-wan";
+    case RuleId::kJumboFramesOnPath: return "jumbo-frames-on-path";
+    case RuleId::kMeasurementHostPresent: return "measurement-host-present";
+    case RuleId::kMeasurementHostOnDmz: return "measurement-host-on-dmz";
+    case RuleId::kDmzAclPolicyPresent: return "dmz-acl-policy-present";
+    case RuleId::kAdequatePathBuffers: return "adequate-path-buffers";
+    case RuleId::kNoSequenceCheckingFirewall: return "no-sequence-checking-firewall";
+  }
+  return "?";
+}
+
+Pattern patternOf(RuleId id) {
+  switch (id) {
+    case RuleId::kSciencePathAvoidsFirewall:
+    case RuleId::kDmzNearPerimeter:
+    case RuleId::kScienceTrafficSeparated:
+      return Pattern::kLocation;
+    case RuleId::kDtnIsDedicated:
+    case RuleId::kDtnTuned:
+    case RuleId::kDtnMatchedToWan:
+    case RuleId::kJumboFramesOnPath:
+      return Pattern::kDedicatedSystems;
+    case RuleId::kMeasurementHostPresent:
+    case RuleId::kMeasurementHostOnDmz:
+      return Pattern::kMonitoring;
+    case RuleId::kDmzAclPolicyPresent:
+    case RuleId::kAdequatePathBuffers:
+    case RuleId::kNoSequenceCheckingFirewall:
+      return Pattern::kAppropriateSecurity;
+  }
+  return Pattern::kLocation;
+}
+
+namespace {
+
+void add(ValidationResult& result, RuleId rule, Severity severity, std::string subject,
+         std::string detail) {
+  result.violations.push_back(Violation{rule, severity, std::move(subject), std::move(detail)});
+}
+
+/// First-hop device a host attaches to (its access switch), or nullptr.
+net::Device* attachmentOf(const net::Host& host) {
+  if (host.interfaceCount() == 0 || !host.interface(0).attached()) return nullptr;
+  const auto& nic = host.interface(0);
+  return &nic.link()->peer(nic.linkEnd()).owner();
+}
+
+}  // namespace
+
+ValidationResult validate(const Site& site, ValidatorOptions options) {
+  ValidationResult result;
+  const auto& topo = site.topology();
+
+  dtn::DataTransferNode* local = site.primaryDtn();
+  if (local == nullptr || site.remoteDtn == nullptr) {
+    add(result, RuleId::kDtnIsDedicated, Severity::kCritical, "site",
+        "no data transfer node present");
+    return result;
+  }
+
+  const auto path = topo.trace(site.remoteDtn->host().address(), local->host().address());
+  if (!path || !path->complete()) {
+    add(result, RuleId::kSciencePathAvoidsFirewall, Severity::kCritical, "site",
+        "no routed path from the collaborator to the DTN");
+    return result;
+  }
+
+  const auto pathDevices = path->devices();
+  const auto rtt = path->propagationDelay() * 2;
+  const auto bottleneck = path->bottleneckRate();
+  const auto bdp = tcp::bandwidthDelayWindow(bottleneck, rtt);
+
+  // --- Location pattern ---------------------------------------------------
+  for (auto* device : pathDevices) {
+    if (auto* fw = dynamic_cast<net::FirewallDevice*>(device)) {
+      add(result, RuleId::kSciencePathAvoidsFirewall, Severity::kCritical, fw->name(),
+          "science data path traverses a stateful firewall; its per-engine "
+          "buffering will drop line-rate TCP bursts");
+    }
+  }
+
+  if (site.borderRouter != nullptr) {
+    const auto it = std::find(pathDevices.begin(), pathDevices.end(),
+                              static_cast<net::Device*>(site.borderRouter));
+    if (it == pathDevices.end()) {
+      add(result, RuleId::kDmzNearPerimeter, Severity::kWarning, site.borderRouter->name(),
+          "science path does not cross the border router");
+    } else {
+      // Devices strictly between the border router and the DTN host.
+      const auto between = std::distance(it, pathDevices.end()) - 2;
+      if (between > 2) {
+        add(result, RuleId::kDmzNearPerimeter, Severity::kWarning, local->host().name(),
+            std::to_string(between) + " devices between border and DTN; the DMZ "
+            "belongs at or near the perimeter");
+      }
+    }
+  }
+
+  if (net::Device* access = attachmentOf(local->host())) {
+    for (const auto* office : site.enterpriseHosts) {
+      if (attachmentOf(*office) == access) {
+        add(result, RuleId::kScienceTrafficSeparated, Severity::kCritical, access->name(),
+            "DTN shares its access switch with general-purpose hosts (" + office->name() + ")");
+        break;
+      }
+    }
+  }
+
+  // --- Dedicated systems pattern -------------------------------------------
+  if (!local->profile().dedicatedApplicationSet) {
+    add(result, RuleId::kDtnIsDedicated, Severity::kCritical, local->host().name(),
+        "transfer host runs a general-purpose application set");
+  }
+
+  const auto& tcpCfg = local->profile().tcp;
+  if (tcpCfg.rcvBuf < bdp || tcpCfg.sndBuf < bdp) {
+    add(result, RuleId::kDtnTuned, Severity::kCritical, local->host().name(),
+        "socket buffers (" + sim::toString(tcpCfg.rcvBuf) + ") below the path BDP (" +
+            sim::toString(bdp) + "); throughput will be window-limited");
+  }
+
+  if (local->host().nicRate() > bottleneck) {
+    add(result, RuleId::kDtnMatchedToWan, Severity::kWarning, local->host().name(),
+        "DTN NIC (" + sim::toString(local->host().nicRate()) + ") exceeds the WAN bottleneck (" +
+            sim::toString(bottleneck) + "); line-rate bursts can overwhelm the slower span");
+  }
+
+  for (const auto& hop : path->hops) {
+    if (hop.link->mtu() < sim::DataSize::bytes(9000)) {
+      add(result, RuleId::kJumboFramesOnPath, Severity::kWarning, hop.device->name(),
+          "link MTU " + sim::toString(hop.link->mtu()) + " on the science path; jumbo "
+          "frames multiply loss-limited throughput six-fold");
+      break;
+    }
+  }
+
+  // --- Monitoring pattern ---------------------------------------------------
+  if (site.perfsonarHost == nullptr) {
+    add(result, RuleId::kMeasurementHostPresent, Severity::kCritical, "site",
+        "no perfSONAR measurement host: soft failures will go unnoticed "
+        "until scientists complain");
+  } else if (net::Device* psAccess = attachmentOf(*site.perfsonarHost)) {
+    if (std::find(pathDevices.begin(), pathDevices.end(), psAccess) == pathDevices.end()) {
+      add(result, RuleId::kMeasurementHostOnDmz, Severity::kWarning,
+          site.perfsonarHost->name(),
+          "measurement host is not attached to the science path; its tests "
+          "will not exercise the segments that matter");
+    }
+  }
+
+  // --- Appropriate security pattern -----------------------------------------
+  if (site.dmzSwitch != nullptr) {
+    const auto& acl = site.dmzSwitch->acl();
+    if (!acl.has_value()) {
+      add(result, RuleId::kDmzAclPolicyPresent, Severity::kCritical, site.dmzSwitch->name(),
+          "no ACL policy on the DMZ switch; apply per-service permits with "
+          "default deny");
+    } else if (acl->defaultAction() != net::AclAction::kDeny) {
+      add(result, RuleId::kDmzAclPolicyPresent, Severity::kWarning, site.dmzSwitch->name(),
+          "DMZ ACL present but default action is permit");
+    }
+  }
+
+  {
+    const auto required = std::max(
+        options.bufferFloor,
+        sim::DataSize::bytes(static_cast<std::uint64_t>(
+            static_cast<double>(bdp.byteCount()) * options.bufferBdpFraction)));
+    // The transmitting interface of each hop belongs to the previous device
+    // on the path; start from the remote host and ignore host NICs.
+    const net::Device* prev = path->src;
+    for (const auto& hop : path->hops) {
+      const bool prevIsSwitch = dynamic_cast<const net::SwitchDevice*>(prev) != nullptr;
+      if (prevIsSwitch) {
+        const auto& txIf =
+            &hop.link->end(0).owner() == prev ? hop.link->end(0) : hop.link->end(1);
+        if (txIf.queue().capacity() < required) {
+          add(result, RuleId::kAdequatePathBuffers, Severity::kCritical, prev->name(),
+              "egress buffer " + sim::toString(txIf.queue().capacity()) + " below " +
+                  sim::toString(required) + " needed for fan-in bursts at this BDP");
+        }
+      }
+      prev = hop.device;
+    }
+  }
+
+  for (const auto& devicePtr : topo.devices()) {
+    if (auto* fw = dynamic_cast<net::FirewallDevice*>(devicePtr.get())) {
+      if (fw->profile().tcpSequenceChecking) {
+        const bool onPath =
+            std::find(pathDevices.begin(), pathDevices.end(), devicePtr.get()) !=
+            pathDevices.end();
+        add(result, RuleId::kNoSequenceCheckingFirewall,
+            onPath ? Severity::kCritical : Severity::kWarning, fw->name(),
+            "TCP flow sequence checking rewrites SYN options (strips RFC 1323 "
+            "window scaling), capping any flow it touches at 64 KiB windows");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace scidmz::core

@@ -1,0 +1,80 @@
+// Design-rule validator: mechanically checks a Site against the four
+// Science DMZ sub-patterns and reports violations. This is the paper's
+// "design pattern" made executable — each rule encodes one sentence of
+// Section 3 or 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/patterns.hpp"
+#include "core/site.hpp"
+
+namespace scidmz::core {
+
+enum class RuleId {
+  // Location pattern (§3.1)
+  kSciencePathAvoidsFirewall,   ///< science flows must not cross a firewall
+  kDmzNearPerimeter,            ///< few devices between border and DTN
+  kScienceTrafficSeparated,     ///< DTN not on the general-purpose LAN
+
+  // Dedicated systems pattern (§3.2)
+  kDtnIsDedicated,              ///< only transfer applications on the DTN
+  kDtnTuned,                    ///< socket buffers sized for the path BDP
+  kDtnMatchedToWan,             ///< DTN NIC must not overwhelm the WAN
+  kJumboFramesOnPath,           ///< 9000-byte MTU end to end on science path
+
+  // Monitoring pattern (§3.3)
+  kMeasurementHostPresent,      ///< perfSONAR host deployed
+  kMeasurementHostOnDmz,        ///< ...and on the science path's segment
+
+  // Appropriate security pattern (§3.4 / §5)
+  kDmzAclPolicyPresent,         ///< ACLs on the DMZ switch, default deny
+  kAdequatePathBuffers,         ///< switch buffers absorb fan-in bursts
+  kNoSequenceCheckingFirewall,  ///< no RFC1323-violating middlebox features
+};
+
+[[nodiscard]] std::string_view toString(RuleId id);
+[[nodiscard]] Pattern patternOf(RuleId id);
+
+enum class Severity { kCritical, kWarning };
+
+struct Violation {
+  RuleId rule;
+  Severity severity = Severity::kCritical;
+  std::string subject;  ///< device/host the finding is about
+  std::string detail;
+};
+
+struct ValidationResult {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] bool hasViolation(RuleId id) const {
+    for (const auto& v : violations) {
+      if (v.rule == id) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t criticalCount() const {
+    std::size_t n = 0;
+    for (const auto& v : violations) {
+      if (v.severity == Severity::kCritical) ++n;
+    }
+    return n;
+  }
+};
+
+struct ValidatorOptions {
+  /// Minimum per-port egress buffer on science-path switches, as a
+  /// fraction of the WAN bandwidth-delay product.
+  double bufferBdpFraction = 0.25;
+  /// Floor for the buffer requirement regardless of BDP.
+  sim::DataSize bufferFloor = sim::DataSize::mebibytes(1);
+};
+
+/// Validate the site's science path (remote DTN -> primary local DTN) and
+/// role configuration against all rules.
+[[nodiscard]] ValidationResult validate(const Site& site, ValidatorOptions options = {});
+
+}  // namespace scidmz::core

@@ -1,0 +1,66 @@
+#include "dtn/dtn_cluster.hpp"
+
+#include <algorithm>
+
+namespace scidmz::dtn {
+
+void TransferCampaign::start() {
+  if (started_ || src_.size() == 0 || dst_.size() == 0) return;
+  started_ = true;
+  ctx_ = &src_.node(0).host().ctx();
+  started_at_ = ctx_->now();
+
+  const std::size_t laneCount = std::max(src_.size(), dst_.size());
+  for (std::size_t i = 0; i < laneCount; ++i) {
+    Lane lane;
+    lane.srcNode = &src_.node(i % src_.size());
+    lane.dstNode = &dst_.node(i % dst_.size());
+    lane.port = static_cast<std::uint16_t>(base_port_ + i);
+    lanes_.push_back(std::move(lane));
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) pump(i);
+  maybeAnnounce();
+}
+
+void TransferCampaign::pump(std::size_t laneIndex) {
+  auto& lane = lanes_[laneIndex];
+  if (queue_.empty()) {
+    lane.current.reset();
+    return;
+  }
+  FileEntry file = std::move(queue_.front());
+  queue_.pop_front();
+  ++active_;
+
+  lane.current = std::make_unique<DtnTransfer>(*lane.srcNode, *lane.dstNode, file.name,
+                                               file.size, lane.port);
+  lane.current->onComplete = [this, laneIndex](const DtnTransfer::Result& r) {
+    ++report_.filesDone;
+    report_.bytesMoved += r.bytes;
+    report_.retransmits += r.retransmits;
+    --active_;
+    // Defer the next launch: we are inside the finished transfer's own
+    // callback chain and must not destroy it mid-flight.
+    auto& ctx = lanes_[laneIndex].srcNode->host().ctx();
+    ctx.sim().schedule(sim::Duration::zero(), [this, laneIndex] {
+      pump(laneIndex);
+      maybeAnnounce();
+    });
+  };
+  lane.current->start();
+}
+
+void TransferCampaign::maybeAnnounce() {
+  if (!started_ || announced_ || active_ != 0 || !queue_.empty()) return;
+  announced_ = true;
+  report_.elapsed = src_.node(0).host().ctx().now() - started_at_;
+  if (onComplete) onComplete(report_);
+}
+
+TransferCampaign::Report TransferCampaign::report() const {
+  Report r = report_;
+  if (started_ && !announced_ && ctx_ != nullptr) r.elapsed = ctx_->now() - started_at_;
+  return r;
+}
+
+}  // namespace scidmz::dtn

@@ -1,0 +1,96 @@
+// DTN clusters: groups of transfer nodes serving multi-petabyte stores
+// (the LHC Tier-1 pattern of Section 4.3). A campaign moves a file list
+// between two clusters, spreading files across node pairs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtn/dtn_node.hpp"
+
+namespace scidmz::dtn {
+
+class DtnCluster {
+ public:
+  explicit DtnCluster(std::string name) : name_(std::move(name)) {}
+
+  void addNode(DataTransferNode& node) { nodes_.push_back(&node); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] DataTransferNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<DataTransferNode*> nodes_;
+};
+
+/// A bulk campaign between two clusters: files are assigned to node pairs
+/// round-robin; each pair works through its share one file at a time.
+class TransferCampaign {
+ public:
+  struct FileEntry {
+    std::string name;
+    sim::DataSize size = sim::DataSize::zero();
+  };
+
+  struct Report {
+    std::size_t filesTotal = 0;
+    std::size_t filesDone = 0;
+    sim::DataSize bytesMoved = sim::DataSize::zero();
+    sim::Duration elapsed = sim::Duration::zero();
+    std::uint64_t retransmits = 0;
+
+    [[nodiscard]] sim::DataRate aggregateRate() const {
+      if (elapsed <= sim::Duration::zero()) return sim::DataRate::zero();
+      return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+          static_cast<double>(bytesMoved.bitCount()) / elapsed.toSeconds()));
+    }
+  };
+
+  TransferCampaign(DtnCluster& src, DtnCluster& dst, std::uint16_t basePort = 50000)
+      : src_(src), dst_(dst), base_port_(basePort) {}
+
+  TransferCampaign(const TransferCampaign&) = delete;
+  TransferCampaign& operator=(const TransferCampaign&) = delete;
+
+  void enqueue(FileEntry file) {
+    ++report_.filesTotal;
+    queue_.push_back(std::move(file));
+  }
+
+  void start();
+
+  std::function<void(const Report&)> onComplete;
+
+  [[nodiscard]] Report report() const;
+  [[nodiscard]] bool finished() const { return announced_; }
+
+ private:
+  struct Lane {
+    DataTransferNode* srcNode = nullptr;
+    DataTransferNode* dstNode = nullptr;
+    std::uint16_t port = 0;
+    std::unique_ptr<DtnTransfer> current;
+  };
+
+  void pump(std::size_t laneIndex);
+  void maybeAnnounce();
+
+  DtnCluster& src_;
+  DtnCluster& dst_;
+  net::Context* ctx_ = nullptr;
+  std::uint16_t base_port_;
+  std::deque<FileEntry> queue_;
+  std::vector<Lane> lanes_;
+  std::size_t active_ = 0;
+  sim::SimTime started_at_;
+  bool started_ = false;
+  bool announced_ = false;
+  Report report_;
+};
+
+}  // namespace scidmz::dtn

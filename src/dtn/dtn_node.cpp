@@ -1,0 +1,74 @@
+#include "dtn/dtn_node.hpp"
+
+namespace scidmz::dtn {
+
+DtnTransfer::DtnTransfer(DataTransferNode& src, DataTransferNode& dst, std::string fileName,
+                         sim::DataSize fileSize, std::uint16_t port)
+    : src_(src), dst_(dst), file_name_(std::move(fileName)), file_size_(fileSize), port_(port) {}
+
+DtnTransfer::~DtnTransfer() {
+  src_.storage().close(read_stream_);
+  dst_.storage().close(write_stream_);
+}
+
+void DtnTransfer::start() {
+  started_at_ = src_.host().ctx().now();
+
+  // Destination side: accept streams; every delivered byte is offered to
+  // the write stream, whose completion defines transfer completion.
+  write_stream_ = dst_.storage().openWrite(file_size_, [this] {
+    write_done_ = true;
+    maybeFinish();
+  });
+  listener_ = std::make_unique<tcp::TcpListener>(dst_.host(), port_, dst_.profile().tcp);
+  listener_->onAccept = [this](tcp::TcpConnection& conn) {
+    conn.onDelivered = [this](sim::DataSize bytes) {
+      dst_.storage().offerWrite(write_stream_, bytes);
+    };
+  };
+
+  // Source side: parallel streams, fed round-robin from the disk pump.
+  const int streamCount = std::max(1, src_.profile().parallelStreams);
+  for (int i = 0; i < streamCount; ++i) {
+    auto conn = std::make_unique<tcp::TcpConnection>(src_.host(), dst_.host().address(), port_,
+                                                     src_.profile().tcp);
+    conn->onEstablished = [this] {
+      ++established_;
+      if (!reading_started_ && established_ == streams_.size()) {
+        reading_started_ = true;
+        read_stream_ = src_.storage().openRead(
+            file_size_, [this](sim::DataSize chunk) { feed(chunk); }, [] {});
+      }
+    };
+    streams_.push_back(std::move(conn));
+  }
+  for (auto& s : streams_) s->start();
+}
+
+void DtnTransfer::feed(sim::DataSize chunk) {
+  // Round-robin the freshly-read chunk across the parallel streams.
+  auto& conn = streams_[next_stream_];
+  next_stream_ = (next_stream_ + 1) % streams_.size();
+  conn->sendData(chunk);
+}
+
+void DtnTransfer::maybeFinish() {
+  if (finished_ || !write_done_) return;
+  finished_ = true;
+  const auto now = src_.host().ctx().now();
+  result_.completed = true;
+  result_.file = file_name_;
+  result_.bytes = file_size_;
+  result_.elapsed = now - started_at_;
+  if (result_.elapsed > sim::Duration::zero()) {
+    result_.averageRate = sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(file_size_.bitCount()) / result_.elapsed.toSeconds()));
+  }
+  for (const auto& s : streams_) result_.retransmits += s->stats().retransmits;
+  if (dst_.filesystem() != nullptr) {
+    dst_.filesystem()->commitFile(file_name_, file_size_, now);
+  }
+  if (onComplete) onComplete(result_);
+}
+
+}  // namespace scidmz::dtn

@@ -1,0 +1,133 @@
+#include "dtn/storage.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace scidmz::dtn {
+
+StorageSubsystem::StorageSubsystem(net::Context& ctx, StorageProfile profile)
+    : ctx_(ctx), profile_(profile) {}
+
+StorageSubsystem::~StorageSubsystem() {
+  if (pump_timer_.valid()) ctx_.sim().cancel(pump_timer_);
+}
+
+StreamId StorageSubsystem::openRead(sim::DataSize total, ChunkCallback onChunk,
+                                    DoneCallback onDone) {
+  const StreamId id{++next_id_};
+  reads_.emplace(id.value, ReadStream{total, std::move(onChunk), std::move(onDone)});
+  ++stats_.readStreamsOpened;
+  ensurePump();
+  return id;
+}
+
+StreamId StorageSubsystem::openWrite(sim::DataSize total, DoneCallback onDone) {
+  const StreamId id{++next_id_};
+  writes_.emplace(id.value, WriteStream{total, sim::DataSize::zero(), sim::DataSize::zero(),
+                                        std::move(onDone)});
+  ++stats_.writeStreamsOpened;
+  return id;
+}
+
+sim::DataSize StorageSubsystem::offerWrite(StreamId id, sim::DataSize bytes) {
+  const auto it = writes_.find(id.value);
+  if (it == writes_.end()) return sim::DataSize::zero();
+  it->second.backlog += bytes;
+  ensurePump();
+  return it->second.backlog;
+}
+
+void StorageSubsystem::close(StreamId id) {
+  reads_.erase(id.value);
+  writes_.erase(id.value);
+}
+
+int StorageSubsystem::activeReadStreams() const { return static_cast<int>(reads_.size()); }
+
+int StorageSubsystem::activeWriteStreams() const {
+  int n = 0;
+  for (const auto& [id, w] : writes_) {
+    if (w.backlog > sim::DataSize::zero()) ++n;
+  }
+  return n;
+}
+
+void StorageSubsystem::ensurePump() {
+  if (pump_armed_) return;
+  pump_armed_ = true;
+  pump_timer_ = ctx_.sim().schedule(profile_.tick, [this] {
+    pump_timer_ = sim::EventId{};
+    pump_armed_ = false;
+    pump();
+  });
+}
+
+void StorageSubsystem::pump() {
+  const auto tick = profile_.tick;
+
+  // --- reads: fair share of readRate across active read streams ---------
+  if (!reads_.empty()) {
+    const auto fairRate = std::min(
+        profile_.perStreamCap, profile_.readRate / static_cast<std::uint64_t>(reads_.size()));
+    const auto perStream = fairRate.bytesIn(tick);
+    // Iterate over a snapshot of ids: callbacks may open/close streams.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(reads_.size());
+    for (const auto& [id, r] : reads_) ids.push_back(id);
+    for (const auto id : ids) {
+      const auto it = reads_.find(id);
+      if (it == reads_.end()) continue;
+      auto& stream = it->second;
+      const auto chunk = std::min(perStream, stream.remaining);
+      if (chunk == sim::DataSize::zero()) continue;
+      stream.remaining -= chunk;
+      stats_.bytesRead += chunk;
+      const bool done = stream.remaining == sim::DataSize::zero();
+      // Move the callbacks out before erasing so `done` can close us.
+      auto onChunk = stream.onChunk;
+      auto onDone = done ? stream.onDone : DoneCallback{};
+      if (done) reads_.erase(it);
+      if (onChunk) onChunk(chunk);
+      if (onDone) onDone();
+    }
+  }
+
+  // --- writes: drain backlogs at fair share of writeRate ----------------
+  int activeWrites = activeWriteStreams();
+  if (activeWrites > 0) {
+    const auto fairRate = std::min(profile_.perStreamCap,
+                                   profile_.writeRate / static_cast<std::uint64_t>(activeWrites));
+    const auto perStream = fairRate.bytesIn(tick);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(writes_.size());
+    for (const auto& [id, w] : writes_) ids.push_back(id);
+    for (const auto id : ids) {
+      const auto it = writes_.find(id);
+      if (it == writes_.end()) continue;
+      auto& stream = it->second;
+      const auto chunk = std::min(perStream, stream.backlog);
+      if (chunk == sim::DataSize::zero()) continue;
+      stream.backlog -= chunk;
+      stream.written += chunk;
+      stats_.bytesWritten += chunk;
+      if (stream.written >= stream.expected) {
+        auto onDone = stream.onDone;
+        writes_.erase(it);
+        if (onDone) onDone();
+      }
+    }
+  }
+
+  // Keep pumping while any stream has work.
+  const bool readWork = !reads_.empty();
+  bool writeWork = false;
+  for (const auto& [id, w] : writes_) {
+    if (w.backlog > sim::DataSize::zero()) {
+      writeWork = true;
+      break;
+    }
+  }
+  if (readWork || writeWork) ensurePump();
+}
+
+}  // namespace scidmz::dtn

@@ -1,0 +1,169 @@
+// Storage models behind data transfer nodes: local disk subsystems, SANs,
+// and striped parallel filesystems (Lustre/GPFS-style).
+//
+// The model is rate-based with fair sharing: a subsystem has aggregate
+// read/write bandwidth; concurrently active streams split it evenly (up to
+// a per-stream cap). Transfers pump data through storage streams, so a
+// slow disk — not just the network — can be the measured bottleneck, as on
+// real DTNs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/context.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::dtn {
+
+struct StorageProfile {
+  sim::DataRate readRate = sim::DataRate::megabitsPerSecond(8000);   // 1 GB/s
+  sim::DataRate writeRate = sim::DataRate::megabitsPerSecond(8000);
+  /// Cap on any single stream (head positioning, per-OST limits, ...).
+  sim::DataRate perStreamCap = sim::DataRate::megabitsPerSecond(8000);
+  /// Granularity of the pump loop.
+  sim::Duration tick = sim::Duration::milliseconds(10);
+
+  /// A single spinning disk: the anti-pattern on a would-be fast DTN.
+  static StorageProfile singleDisk() {
+    StorageProfile p;
+    p.readRate = sim::DataRate::megabitsPerSecond(1200);  // 150 MB/s
+    p.writeRate = sim::DataRate::megabitsPerSecond(960);
+    p.perStreamCap = p.readRate;
+    return p;
+  }
+
+  /// RAID array / SAN volume suitable for a 10G DTN.
+  static StorageProfile raidArray() {
+    StorageProfile p;
+    p.readRate = sim::DataRate::megabitsPerSecond(16000);  // 2 GB/s
+    p.writeRate = sim::DataRate::megabitsPerSecond(12000);
+    p.perStreamCap = sim::DataRate::megabitsPerSecond(8000);
+    return p;
+  }
+
+  /// Striped parallel filesystem backend (many OSTs): supercomputer-center
+  /// class aggregate bandwidth.
+  static StorageProfile parallelFsBackend() {
+    StorageProfile p;
+    p.readRate = sim::DataRate::gigabitsPerSecond(80);  // 10 GB/s
+    p.writeRate = sim::DataRate::gigabitsPerSecond(64);
+    p.perStreamCap = sim::DataRate::gigabitsPerSecond(16);
+    return p;
+  }
+};
+
+/// Handle for an open storage stream.
+struct StreamId {
+  std::uint64_t value = 0;
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+  constexpr bool operator==(const StreamId&) const = default;
+};
+
+/// A shared storage device pumping byte chunks to its open streams.
+class StorageSubsystem {
+ public:
+  StorageSubsystem(net::Context& ctx, StorageProfile profile);
+  ~StorageSubsystem();
+
+  StorageSubsystem(const StorageSubsystem&) = delete;
+  StorageSubsystem& operator=(const StorageSubsystem&) = delete;
+
+  using ChunkCallback = std::function<void(sim::DataSize)>;
+  using DoneCallback = std::function<void()>;
+
+  /// Open a read stream for `total` bytes: `onChunk` fires as data becomes
+  /// available off the platters, `onDone` once when the last byte is read.
+  StreamId openRead(sim::DataSize total, ChunkCallback onChunk, DoneCallback onDone);
+
+  /// Open a write stream: push bytes in with `offerWrite`; they complete
+  /// (durably land) at the device's paced rate. `onDone` fires when all of
+  /// `total` has been written.
+  StreamId openWrite(sim::DataSize total, DoneCallback onDone);
+
+  /// Queue received bytes on a write stream (from the network receive
+  /// path). Returns the current backlog after the offer.
+  sim::DataSize offerWrite(StreamId id, sim::DataSize bytes);
+
+  /// Abandon a stream (transfer aborted).
+  void close(StreamId id);
+
+  [[nodiscard]] int activeReadStreams() const;
+  [[nodiscard]] int activeWriteStreams() const;
+  [[nodiscard]] const StorageProfile& profile() const { return profile_; }
+
+  struct Stats {
+    sim::DataSize bytesRead = sim::DataSize::zero();
+    sim::DataSize bytesWritten = sim::DataSize::zero();
+    std::uint64_t readStreamsOpened = 0;
+    std::uint64_t writeStreamsOpened = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct ReadStream {
+    sim::DataSize remaining = sim::DataSize::zero();
+    ChunkCallback onChunk;
+    DoneCallback onDone;
+  };
+  struct WriteStream {
+    sim::DataSize expected = sim::DataSize::zero();
+    sim::DataSize written = sim::DataSize::zero();
+    sim::DataSize backlog = sim::DataSize::zero();
+    DoneCallback onDone;
+  };
+
+  void ensurePump();
+  void pump();
+
+  net::Context& ctx_;
+  StorageProfile profile_;
+  std::unordered_map<std::uint64_t, ReadStream> reads_;
+  std::unordered_map<std::uint64_t, WriteStream> writes_;
+  std::uint64_t next_id_ = 0;
+  bool pump_armed_ = false;
+  sim::EventId pump_timer_{};
+  Stats stats_;
+};
+
+/// A parallel filesystem: a StorageSubsystem plus a file catalog shared by
+/// every mount (DTNs and compute nodes alike). Files written through a DTN
+/// are immediately visible to the compute side — the paper's "no double
+/// copy" property of the supercomputer-center design.
+class ParallelFilesystem {
+ public:
+  explicit ParallelFilesystem(net::Context& ctx,
+                              StorageProfile profile = StorageProfile::parallelFsBackend())
+      : storage_(ctx, profile) {}
+
+  [[nodiscard]] StorageSubsystem& storage() { return storage_; }
+
+  /// Record a completed file (called by the ingesting DTN's write path).
+  void commitFile(const std::string& name, sim::DataSize size, sim::SimTime at) {
+    catalog_[name] = Entry{size, at};
+  }
+
+  struct Entry {
+    sim::DataSize size = sim::DataSize::zero();
+    sim::SimTime availableAt;
+  };
+  [[nodiscard]] const Entry* lookup(const std::string& name) const {
+    const auto it = catalog_.find(name);
+    return it == catalog_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] bool available(const std::string& name, sim::SimTime now) const {
+    const auto* e = lookup(name);
+    return e != nullptr && e->availableAt <= now;
+  }
+  [[nodiscard]] std::size_t fileCount() const { return catalog_.size(); }
+
+ private:
+  StorageSubsystem storage_;
+  std::unordered_map<std::string, Entry> catalog_;
+};
+
+}  // namespace scidmz::dtn

@@ -1,0 +1,71 @@
+#include "net/address.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace scidmz::net {
+namespace {
+
+std::uint32_t parseOctet(std::string_view text, std::size_t& pos) {
+  std::uint32_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) {
+    throw std::invalid_argument("bad address octet in '" + std::string{text} + "'");
+  }
+  pos = static_cast<std::size_t>(ptr - text.data());
+  return value;
+}
+
+}  // namespace
+
+Address Address::parse(std::string_view text) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) | parseOctet(text, pos);
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("bad address '" + std::string{text} + "'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) throw std::invalid_argument("trailing junk in '" + std::string{text} + "'");
+  return Address{value};
+}
+
+std::string Address::toString() const {
+  std::array<char, 20> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return std::string{buf.data()};
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("prefix missing '/': '" + std::string{text} + "'");
+  }
+  const Address base = Address::parse(text.substr(0, slash));
+  int length = 0;
+  const auto lenText = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(lenText.data(), lenText.data() + lenText.size(), length);
+  if (ec != std::errc{} || ptr != lenText.data() + lenText.size() || length < 0 || length > 32) {
+    throw std::invalid_argument("bad prefix length in '" + std::string{text} + "'");
+  }
+  return Prefix{base, length};
+}
+
+std::string Prefix::toString() const {
+  return base_.toString() + "/" + std::to_string(length_);
+}
+
+std::string FlowKey::toString() const {
+  return std::string{net::toString(proto)} + " " + src.toString() + ":" +
+         std::to_string(srcPort) + " -> " + dst.toString() + ":" + std::to_string(dstPort);
+}
+
+}  // namespace scidmz::net

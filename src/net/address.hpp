@@ -1,0 +1,100 @@
+// IPv4-style addressing for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace scidmz::net {
+
+/// 32-bit network address with IPv4 dotted-quad formatting.
+class Address {
+ public:
+  constexpr Address() = default;
+  constexpr explicit Address(std::uint32_t value) : value_(value) {}
+  constexpr Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse "a.b.c.d"; throws std::invalid_argument on malformed input.
+  static Address parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix (address + mask length).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Address base, int length)
+      : base_(Address{length == 0 ? 0u : (base.value() & mask(length))}), length_(length) {}
+
+  /// Parse "a.b.c.d/len".
+  static Prefix parse(std::string_view text);
+
+  [[nodiscard]] constexpr bool contains(Address a) const {
+    if (length_ == 0) return true;
+    return (a.value() & mask(length_)) == base_.value();
+  }
+  [[nodiscard]] constexpr Address base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] std::string toString() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) {
+    return length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  }
+  Address base_;
+  int length_ = 0;
+};
+
+enum class Protocol : std::uint8_t { kTcp, kUdp };
+
+[[nodiscard]] constexpr std::string_view toString(Protocol p) {
+  return p == Protocol::kTcp ? "tcp" : "udp";
+}
+
+/// Connection 5-tuple; the unit of flow identity everywhere (firewall
+/// sessions, IDS verdicts, OpenFlow matches, TCP demux).
+struct FlowKey {
+  Address src;
+  Address dst;
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  Protocol proto = Protocol::kTcp;
+
+  constexpr auto operator<=>(const FlowKey&) const = default;
+
+  /// The same flow seen from the other direction.
+  [[nodiscard]] constexpr FlowKey reversed() const {
+    return FlowKey{dst, src, dstPort, srcPort, proto};
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(k.src.value());
+    mix(k.dst.value());
+    mix((std::uint64_t{k.srcPort} << 32) | k.dstPort);
+    mix(static_cast<std::uint64_t>(k.proto));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace scidmz::net

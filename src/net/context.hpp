@@ -1,0 +1,34 @@
+// Shared per-scenario services handed to every component by reference.
+// Holding them in one struct keeps constructors short and makes it obvious
+// that a scenario is a unit of determinism: one Simulator, one master Rng,
+// one Logger.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace scidmz::net {
+
+class Context {
+ public:
+  Context(sim::Simulator& simulator, sim::Rng& rng, sim::Logger& logger)
+      : sim_(simulator), rng_(rng), log_(logger) {}
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] const sim::Logger& log() const { return log_; }
+
+  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
+  [[nodiscard]] std::uint64_t nextPacketId() { return ++packet_id_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  sim::Logger& log_;
+  std::uint64_t packet_id_ = 0;
+};
+
+}  // namespace scidmz::net

@@ -1,0 +1,89 @@
+#include "net/device.hpp"
+
+#include <algorithm>
+
+#include "net/link.hpp"
+
+namespace scidmz::net {
+
+Interface::Interface(Context& ctx, Device& owner, int index, sim::DataSize egressBuffer)
+    : ctx_(ctx), owner_(owner), index_(index), queue_(egressBuffer) {}
+
+void Interface::attachLink(Link& link, int end) {
+  link_ = &link;
+  end_ = end;
+}
+
+sim::DataRate Interface::rate() const {
+  return link_ ? link_->rate() : sim::DataRate::zero();
+}
+
+void Interface::send(Packet packet) {
+  if (link_ == nullptr) {
+    ++owner_.stats().dropsOther;
+    return;
+  }
+  if (!queue_.tryEnqueue(ctx_.now(), std::move(packet))) return;  // drop counted by queue
+  if (!transmitting_) startNextTransmission();
+}
+
+void Interface::startNextTransmission() {
+  auto next = queue_.dequeue(ctx_.now());
+  if (!next) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const auto txTime = link_->rate().transmissionTime(next->wireSize());
+  ++stats_.txPackets;
+  stats_.txBytes += next->wireSize();
+  // Move the packet into the completion event; when serialization is done,
+  // hand it to the link and immediately start on the next queued packet.
+  ctx_.sim().schedule(txTime, [this, pkt = std::move(*next)]() mutable {
+    link_->transmitComplete(end_, std::move(pkt));
+    startNextTransmission();
+  });
+}
+
+Device::Device(Context& ctx, std::string name) : ctx_(ctx), name_(std::move(name)) {}
+
+Interface& Device::addInterface(sim::DataSize egressBuffer) {
+  interfaces_.push_back(std::make_unique<Interface>(
+      ctx_, *this, static_cast<int>(interfaces_.size()), egressBuffer));
+  return *interfaces_.back();
+}
+
+void Device::addRoute(Prefix prefix, int ifIndex) {
+  routes_.push_back(RouteEntry{prefix, ifIndex});
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const RouteEntry& a, const RouteEntry& b) {
+                     return a.prefix.length() > b.prefix.length();
+                   });
+}
+
+void Device::clearRoutes() { routes_.clear(); }
+
+std::optional<int> Device::lookupRoute(Address dst) const {
+  for (const auto& entry : routes_) {
+    if (entry.prefix.contains(dst)) return entry.ifIndex;
+  }
+  return std::nullopt;
+}
+
+void Device::forward(Packet packet) {
+  if (packet.ttl == 0) {
+    ++stats_.dropsTtl;
+    return;
+  }
+  packet.ttl--;
+  const auto egress = lookupRoute(packet.flow.dst);
+  if (!egress) {
+    ++stats_.dropsNoRoute;
+    ctx_.log().log(ctx_.now(), sim::LogLevel::kDebug, name(),
+                   "no route to " + packet.flow.dst.toString());
+    return;
+  }
+  interface(static_cast<std::size_t>(*egress)).send(std::move(packet));
+}
+
+}  // namespace scidmz::net

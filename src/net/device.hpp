@@ -1,0 +1,131 @@
+// Device base class: anything with interfaces and a forwarding table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/context.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::net {
+
+class Device;
+class Link;
+
+/// A device port: owns the egress drop-tail queue and the transmit state
+/// machine for its attached link direction.
+class Interface {
+ public:
+  Interface(Context& ctx, Device& owner, int index, sim::DataSize egressBuffer);
+
+  Interface(const Interface&) = delete;
+  Interface& operator=(const Interface&) = delete;
+
+  void attachLink(Link& link, int end);
+  [[nodiscard]] bool attached() const { return link_ != nullptr; }
+  [[nodiscard]] Link* link() const { return link_; }
+  [[nodiscard]] int linkEnd() const { return end_; }
+
+  /// Enqueue for transmission; drops (with stats) if the egress buffer is
+  /// full or no link is attached.
+  void send(Packet packet);
+
+  [[nodiscard]] sim::DataRate rate() const;
+  [[nodiscard]] Device& owner() const { return owner_; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] DropTailQueue& queue() { return queue_; }
+  [[nodiscard]] const DropTailQueue& queue() const { return queue_; }
+
+  struct Stats {
+    std::uint64_t txPackets = 0;
+    sim::DataSize txBytes = sim::DataSize::zero();
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void startNextTransmission();
+
+  Context& ctx_;
+  Device& owner_;
+  int index_;
+  DropTailQueue queue_;
+  Link* link_ = nullptr;
+  int end_ = 0;
+  bool transmitting_ = false;
+  Stats stats_;
+};
+
+struct DeviceStats {
+  std::uint64_t rxPackets = 0;
+  sim::DataSize rxBytes = sim::DataSize::zero();
+  std::uint64_t dropsNoRoute = 0;
+  std::uint64_t dropsTtl = 0;
+  std::uint64_t dropsAcl = 0;
+  std::uint64_t dropsOther = 0;
+};
+
+/// Base class for hosts, switches, routers and firewalls.
+class Device {
+ public:
+  Device(Context& ctx, std::string name);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Add a port with the given egress buffer. Returns the new interface.
+  Interface& addInterface(sim::DataSize egressBuffer);
+
+  /// Packet arrives from the wire on `in`. Called by Link.
+  virtual void receive(Packet packet, Interface& in) = 0;
+
+  /// Longest-prefix-match route installation / lookup.
+  void addRoute(Prefix prefix, int ifIndex);
+  void clearRoutes();
+  [[nodiscard]] std::optional<int> lookupRoute(Address dst) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Context& ctx() { return ctx_; }
+  [[nodiscard]] std::size_t interfaceCount() const { return interfaces_.size(); }
+  [[nodiscard]] Interface& interface(std::size_t i) { return *interfaces_.at(i); }
+  [[nodiscard]] const Interface& interface(std::size_t i) const { return *interfaces_.at(i); }
+
+  [[nodiscard]] DeviceStats& stats() { return stats_; }
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+
+  /// Passive monitoring tap (IDS, debugging): sees every packet the device
+  /// receives, before any forwarding decision. Zero data-path cost.
+  using Tap = std::function<void(const Packet&, const Interface&)>;
+  void setTap(Tap tap) { tap_ = std::move(tap); }
+
+ protected:
+  void notifyTap(const Packet& packet, const Interface& in) {
+    if (tap_) tap_(packet, in);
+  }
+
+  /// Route `packet` by destination and enqueue on the egress interface.
+  /// Decrements TTL; drops on TTL expiry or missing route.
+  void forward(Packet packet);
+
+  Context& ctx_;
+  DeviceStats stats_;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
+  struct RouteEntry {
+    Prefix prefix;
+    int ifIndex;
+  };
+  std::vector<RouteEntry> routes_;  // kept sorted by descending prefix length
+  Tap tap_;
+};
+
+}  // namespace scidmz::net

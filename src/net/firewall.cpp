@@ -1,0 +1,74 @@
+#include "net/firewall.hpp"
+
+#include <algorithm>
+
+namespace scidmz::net {
+
+void FirewallDevice::receive(Packet packet, Interface& in) {
+  notifyTap(packet, in);
+  ++stats_.rxPackets;
+  stats_.rxBytes += packet.wireSize();
+
+  // Vetted flows skip the inspection engines entirely (SDN bypass).
+  if (bypass_.contains(packet.flow)) {
+    forward(std::move(packet));
+    return;
+  }
+
+  // Policy check. Denied packets are dropped before buffering.
+  if (!policy_.permits(packet)) {
+    ++fw_stats_.dropsPolicy;
+    ++stats_.dropsAcl;
+    return;
+  }
+
+  // Session tracking: TCP flows occupy a session slot from the first packet
+  // seen (SYN or mid-flow); a full table drops new flows.
+  if (packet.flow.proto == Protocol::kTcp) {
+    const auto forwardKey = packet.flow;
+    if (sessions_.find(forwardKey) == sessions_.end() &&
+        sessions_.find(forwardKey.reversed()) == sessions_.end()) {
+      if (sessions_.size() >= profile_.sessionTableSize) {
+        ++fw_stats_.dropsSessionTable;
+        return;
+      }
+      sessions_.emplace(forwardKey, ctx_.now());
+      fw_stats_.peakSessions = std::max(fw_stats_.peakSessions, sessions_.size());
+    }
+  }
+
+  // TCP flow sequence checking rewrites the TCP header; the side effect the
+  // paper documents is stripping the RFC 1323 window-scale option from SYNs.
+  if (profile_.tcpSequenceChecking && packet.isTcp()) {
+    auto& tcp = packet.tcp();
+    if (tcp.flags.syn && tcp.windowScalePresent) {
+      tcp.windowScalePresent = false;
+      tcp.windowScale = 0;
+      ++fw_stats_.synsRewritten;
+    }
+  }
+
+  // Shared input buffer in front of the engines.
+  const auto size = packet.wireSize();
+  if (buffered_ + size > profile_.inputBuffer) {
+    ++fw_stats_.dropsInputBuffer;
+    return;
+  }
+  buffered_ += size;
+
+  // Dispatch to the flow's engine; completion = engine serialization after
+  // any queued work, plus fixed inspection latency.
+  const auto engineIndex = FlowKeyHash{}(packet.flow) % engines_.size();
+  auto& engine = engines_[engineIndex];
+  const auto start = std::max(ctx_.now(), engine.busyUntil);
+  const auto done = start + profile_.engineRate.transmissionTime(size);
+  engine.busyUntil = done;
+  const auto releaseAt = done + profile_.inspectionDelay;
+  ctx_.sim().scheduleAt(releaseAt, [this, pkt = std::move(packet)]() mutable {
+    buffered_ -= pkt.wireSize();
+    ++fw_stats_.inspected;
+    forward(std::move(pkt));
+  });
+}
+
+}  // namespace scidmz::net

@@ -1,0 +1,124 @@
+// Stateful firewall appliance model.
+//
+// Section 5 of the paper explains why firewalls break science flows even
+// when their nominal aggregate throughput matches the interface speed:
+// internally they fan packets out to a set of lower-speed inspection
+// engines behind a small shared input buffer. Line-rate TCP bursts from a
+// fast host overflow that buffer and the resulting loss collapses TCP.
+//
+// The model: each flow hashes to one of `engineCount` engines running at
+// `engineRate`; packets queue in a shared byte-bounded input buffer; when
+// the buffer is full, arrivals drop. An optional "TCP flow sequence
+// checking" feature rewrites TCP SYN options, stripping window scaling —
+// the documented Penn State / VTTI failure (a violation of RFC 1323).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/acl.hpp"
+#include "net/device.hpp"
+#include "net/link.hpp"
+
+namespace scidmz::net {
+
+struct FirewallProfile {
+  /// Number of parallel inspection engines.
+  int engineCount = 8;
+  /// Per-engine processing rate. Aggregate = engineCount * engineRate.
+  sim::DataRate engineRate = sim::DataRate::megabitsPerSecond(1250);
+  /// Shared input buffer in front of the engines. Small by design: sized
+  /// for the many-low-speed-flows business traffic profile.
+  sim::DataSize inputBuffer = sim::DataSize::kibibytes(256);
+  /// Fixed per-packet inspection latency on top of engine serialization.
+  sim::Duration inspectionDelay = sim::Duration::microseconds(20);
+  /// Maximum concurrent tracked sessions; SYNs beyond this are dropped.
+  std::size_t sessionTableSize = 1'000'000;
+  /// "TCP flow sequence checking": rewrites TCP headers, stripping the
+  /// window-scale option from SYN segments (the Penn State setting).
+  bool tcpSequenceChecking = false;
+  /// Egress buffer for ports added via Topology helpers.
+  sim::DataSize egressBuffer = sim::DataSize::mebibytes(4);
+
+  /// A typical enterprise perimeter firewall with 10G interfaces: eight
+  /// 1.25 Gbps engines, shallow input buffering, sequence checking on.
+  static FirewallProfile enterprise10G() {
+    FirewallProfile p;
+    p.tcpSequenceChecking = true;
+    return p;
+  }
+
+  /// A 1G branch firewall (NOAA-style FTP path).
+  static FirewallProfile branch1G() {
+    FirewallProfile p;
+    p.engineCount = 4;
+    p.engineRate = sim::DataRate::megabitsPerSecond(250);
+    p.inputBuffer = sim::DataSize::kibibytes(128);
+    p.tcpSequenceChecking = true;
+    return p;
+  }
+};
+
+struct FirewallStats {
+  std::uint64_t inspected = 0;
+  std::uint64_t dropsInputBuffer = 0;
+  std::uint64_t dropsPolicy = 0;
+  std::uint64_t dropsSessionTable = 0;
+  std::uint64_t synsRewritten = 0;
+  std::size_t peakSessions = 0;
+};
+
+class FirewallDevice : public Device {
+ public:
+  FirewallDevice(Context& ctx, std::string name,
+                 FirewallProfile profile = FirewallProfile::enterprise10G())
+      : Device(ctx, std::move(name)), profile_(profile) {
+    engines_.resize(static_cast<std::size_t>(profile_.engineCount));
+  }
+
+  [[nodiscard]] const FirewallProfile& profile() const { return profile_; }
+  [[nodiscard]] const FirewallStats& firewallStats() const { return fw_stats_; }
+
+  /// Security policy evaluated per packet (permits establish sessions).
+  void setPolicy(AclTable policy) { policy_ = std::move(policy); }
+  [[nodiscard]] const AclTable& policy() const { return policy_; }
+
+  /// The Penn State fix: disable TCP flow sequence checking at runtime.
+  void setTcpSequenceChecking(bool on) { profile_.tcpSequenceChecking = on; }
+
+  /// Flows granted a bypass skip the engines entirely (installed by the
+  /// SDN controller after IDS vetting; see src/vc/openflow).
+  void addBypass(const FlowKey& flow) {
+    bypass_.insert(flow);
+    bypass_.insert(flow.reversed());
+  }
+  void clearBypasses() { bypass_.clear(); }
+
+  void receive(Packet packet, Interface& in) override;
+
+ private:
+  struct Engine {
+    sim::SimTime busyUntil = sim::SimTime::zero();
+  };
+
+  void inspectAndForward(Packet packet);
+
+  FirewallProfile profile_;
+  AclTable policy_{AclAction::kPermit};
+  FirewallStats fw_stats_;
+  std::vector<Engine> engines_;
+  sim::DataSize buffered_ = sim::DataSize::zero();
+  std::unordered_map<FlowKey, sim::SimTime, FlowKeyHash> sessions_;
+
+  /// Set of flows granted engine bypass.
+  struct Bypass {
+    std::unordered_map<FlowKey, char, FlowKeyHash> map;
+    void insert(const FlowKey& k) { map.emplace(k, 0); }
+    [[nodiscard]] bool contains(const FlowKey& k) const { return map.count(k) != 0; }
+    void clear() { map.clear(); }
+  } bypass_;
+};
+
+}  // namespace scidmz::net

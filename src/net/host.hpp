@@ -1,0 +1,80 @@
+// End host: a single-homed device with an address and a protocol demux.
+// The TCP stack (src/tcp) and measurement tools (src/perfsonar) register
+// themselves as PacketSinks on local ports.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/device.hpp"
+#include "net/link.hpp"
+
+namespace scidmz::net {
+
+/// Receiver interface for packets addressed to a bound local port.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void onPacket(const Packet& packet) = 0;
+};
+
+class Host : public Device {
+ public:
+  Host(Context& ctx, std::string name, Address address) : Device(ctx, std::move(name)), address_(address) {}
+
+  [[nodiscard]] Address address() const { return address_; }
+
+  /// MSS usable by transports: path MTU of the attached link minus TCP/IP
+  /// overhead. 1460 for standard 1500 MTU, 8960 for 9000 "jumbo frames".
+  [[nodiscard]] sim::DataSize mss() const {
+    const Interface& nic = interface(0);
+    const auto mtu = nic.link() ? nic.link()->mtu() : sim::DataSize::bytes(1500);
+    return mtu - kTcpIpHeaderBytes;
+  }
+
+  [[nodiscard]] sim::DataRate nicRate() const { return interface(0).rate(); }
+
+  /// Bind a sink to (proto, local port). Overwrites silently — re-binding is
+  /// how listening services restart in scenarios.
+  void bind(Protocol proto, std::uint16_t port, PacketSink& sink) {
+    handlers_[key(proto, port)] = &sink;
+  }
+  void unbind(Protocol proto, std::uint16_t port) { handlers_.erase(key(proto, port)); }
+
+  /// Ephemeral port allocation for client-side connections.
+  [[nodiscard]] std::uint16_t allocatePort() { return next_port_++; }
+
+  /// Transmit an application packet; stamps src address and a fresh id.
+  void send(Packet packet) {
+    packet.flow.src = address_;
+    packet.id = ctx_.nextPacketId();
+    interface(0).send(std::move(packet));
+  }
+
+  void receive(Packet packet, Interface& in) override {
+    notifyTap(packet, in);
+    ++stats_.rxPackets;
+    stats_.rxBytes += packet.wireSize();
+    if (packet.flow.dst != address_) {
+      ++stats_.dropsOther;  // not ours; hosts do not forward
+      return;
+    }
+    const auto it = handlers_.find(key(packet.flow.proto, packet.flow.dstPort));
+    if (it == handlers_.end()) {
+      ++stats_.dropsOther;
+      return;
+    }
+    it->second->onPacket(packet);
+  }
+
+ private:
+  static constexpr std::uint32_t key(Protocol proto, std::uint16_t port) {
+    return (static_cast<std::uint32_t>(proto) << 16) | port;
+  }
+
+  Address address_;
+  std::unordered_map<std::uint32_t, PacketSink*> handlers_;
+  std::uint16_t next_port_ = 10000;
+};
+
+}  // namespace scidmz::net

@@ -1,0 +1,92 @@
+// Passive intrusion detection system.
+//
+// The appropriate-security pattern pairs router ACLs with an IDS that
+// observes traffic out-of-band (a tap or span port), so detection adds no
+// data-path latency or loss. The model watches flows through a device tap,
+// classifies them against a watchlist, and can "vet" connections — the
+// building block for the Section 7.3 OpenFlow IDS-then-bypass design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.hpp"
+
+namespace scidmz::net {
+
+struct FlowObservation {
+  std::uint64_t packets = 0;
+  sim::DataSize bytes = sim::DataSize::zero();
+  sim::SimTime firstSeen;
+  sim::SimTime lastSeen;
+  bool flagged = false;
+  bool vetted = false;
+};
+
+class IntrusionDetectionSystem {
+ public:
+  /// Packets from flows matching the watchlist get flagged, never vetted.
+  void addWatchlistPrefix(Prefix p) { watchlist_.push_back(p); }
+
+  /// Number of connection-setup packets the IDS inspects before declaring a
+  /// flow vetted (used by the SDN bypass controller).
+  void setVettingPacketCount(std::uint64_t n) { vetting_packets_ = n; }
+
+  /// Callback fired exactly once when a flow becomes vetted.
+  using VettedCallback = std::function<void(const FlowKey&)>;
+  void onVetted(VettedCallback cb) { vetted_cb_ = std::move(cb); }
+
+  /// Callback fired exactly once when a flow is flagged as suspicious.
+  using FlaggedCallback = std::function<void(const FlowKey&)>;
+  void onFlagged(FlaggedCallback cb) { flagged_cb_ = std::move(cb); }
+
+  /// Attach to a device's monitoring tap. One IDS can observe one device;
+  /// observing several devices requires several IDS instances (as deployed
+  /// in practice).
+  void attachTo(Device& device) {
+    device.setTap([this](const Packet& packet, const Interface&) { observe(packet); });
+  }
+
+  void observe(const Packet& packet) {
+    auto& obs = flows_[packet.flow];
+    ++obs.packets;
+    obs.bytes += packet.wireSize();
+    if (!obs.flagged) {
+      for (const auto& p : watchlist_) {
+        if (p.contains(packet.flow.src) || p.contains(packet.flow.dst)) {
+          obs.flagged = true;
+          if (flagged_cb_) flagged_cb_(packet.flow);
+          break;
+        }
+      }
+    }
+    if (!obs.flagged && !obs.vetted && obs.packets >= vetting_packets_) {
+      obs.vetted = true;
+      if (vetted_cb_) vetted_cb_(packet.flow);
+    }
+  }
+
+  [[nodiscard]] const FlowObservation* flow(const FlowKey& key) const {
+    const auto it = flows_.find(key);
+    return it == flows_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t observedFlowCount() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flaggedFlowCount() const {
+    std::size_t n = 0;
+    for (const auto& [key, obs] : flows_) {
+      if (obs.flagged) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<FlowKey, FlowObservation, FlowKeyHash> flows_;
+  std::vector<Prefix> watchlist_;
+  std::uint64_t vetting_packets_ = 3;
+  VettedCallback vetted_cb_;
+  FlaggedCallback flagged_cb_;
+};
+
+}  // namespace scidmz::net

@@ -1,0 +1,37 @@
+#include "net/link.hpp"
+
+#include "net/device.hpp"
+
+namespace scidmz::net {
+
+Link::Link(Context& ctx, LinkParams params, Interface& endA, Interface& endB)
+    : ctx_(ctx), params_(params), endA_(endA), endB_(endB) {
+  endA_.attachLink(*this, 0);
+  endB_.attachLink(*this, 1);
+}
+
+void Link::setLossModel(int fromEnd, std::unique_ptr<LossModel> model) {
+  loss_[fromEnd & 1] = std::move(model);
+}
+
+void Link::repair() {
+  loss_[0].reset();
+  loss_[1].reset();
+}
+
+void Link::transmitComplete(int fromEnd, Packet packet) {
+  auto& dir = stats_[fromEnd & 1];
+  auto& loss = loss_[fromEnd & 1];
+  if (loss && loss->shouldDrop(packet)) {
+    ++dir.lost;
+    return;
+  }
+  ++dir.delivered;
+  dir.bytesDelivered += packet.wireSize();
+  Interface& dst = peer(fromEnd);
+  ctx_.sim().schedule(params_.delay, [&dst, pkt = std::move(packet)]() mutable {
+    dst.owner().receive(std::move(pkt), dst);
+  });
+}
+
+}  // namespace scidmz::net

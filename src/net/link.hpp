@@ -1,0 +1,69 @@
+// Point-to-point link: serialization rate, propagation delay, MTU and an
+// optional impairment (loss) model per direction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/context.hpp"
+#include "net/loss.hpp"
+#include "net/packet.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::net {
+
+class Interface;
+
+struct LinkParams {
+  sim::DataRate rate = sim::DataRate::gigabitsPerSecond(10);
+  sim::Duration delay = sim::Duration::microseconds(5);
+  sim::DataSize mtu = sim::DataSize::bytes(1500);
+};
+
+class Link {
+ public:
+  Link(Context& ctx, LinkParams params, Interface& endA, Interface& endB);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] sim::DataRate rate() const { return params_.rate; }
+  [[nodiscard]] sim::Duration delay() const { return params_.delay; }
+  [[nodiscard]] sim::DataSize mtu() const { return params_.mtu; }
+
+  /// Install an impairment model for packets leaving `fromEnd` (0 or 1).
+  void setLossModel(int fromEnd, std::unique_ptr<LossModel> model);
+  /// Remove impairments in both directions (the "repair" operation in the
+  /// soft-failure troubleshooting scenarios).
+  void repair();
+
+  /// Called by the transmitting Interface when serialization finishes;
+  /// applies loss and schedules delivery to the far end after propagation.
+  void transmitComplete(int fromEnd, Packet packet);
+
+  [[nodiscard]] Interface& end(int which) const { return which == 0 ? endA_ : endB_; }
+  [[nodiscard]] Interface& peer(int fromEnd) const { return end(1 - fromEnd); }
+
+  struct DirectionStats {
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    sim::DataSize bytesDelivered = sim::DataSize::zero();
+
+    [[nodiscard]] double lossFraction() const {
+      const auto total = delivered + lost;
+      return total == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] const DirectionStats& stats(int fromEnd) const { return stats_[fromEnd & 1]; }
+
+ private:
+  Context& ctx_;
+  LinkParams params_;
+  Interface& endA_;
+  Interface& endB_;
+  std::unique_ptr<LossModel> loss_[2];
+  DirectionStats stats_[2];
+};
+
+}  // namespace scidmz::net

@@ -1,0 +1,84 @@
+// Link impairment models.
+//
+// Soft failures in the paper are dominated by loss that standard error
+// counters miss: a failing line card dropping 1 of every 22,000 packets,
+// dirty optics, etc. Each model decides per-packet whether the link eats it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+
+namespace scidmz::net {
+
+/// Per-packet drop decision. Implementations must be deterministic given
+/// their seeded Rng and call order.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  [[nodiscard]] virtual bool shouldDrop(const Packet& packet) = 0;
+};
+
+/// Never drops. The default for healthy links.
+class NoLoss final : public LossModel {
+ public:
+  bool shouldDrop(const Packet&) override { return false; }
+};
+
+/// Independent random loss with fixed probability (dirty optics, marginal
+/// transceivers).
+class RandomLoss final : public LossModel {
+ public:
+  RandomLoss(double probability, sim::Rng rng) : p_(probability), rng_(rng) {}
+  bool shouldDrop(const Packet&) override { return rng_.chance(p_); }
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+/// Drops exactly one packet out of every `interval` — the Section 2 failing
+/// line card (1 / 22,000). Deterministic, independent of seed.
+class PeriodicLoss final : public LossModel {
+ public:
+  explicit PeriodicLoss(std::uint64_t interval) : interval_(interval == 0 ? 1 : interval) {}
+  bool shouldDrop(const Packet&) override {
+    if (++count_ >= interval_) {
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::uint64_t interval_;
+  std::uint64_t count_ = 0;
+};
+
+/// Two-state Gilbert-Elliott burst loss: good state is loss-free, bad state
+/// drops with `lossInBad`. Transition probabilities are evaluated per packet.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double pGoodToBad, double pBadToGood, double lossInBad, sim::Rng rng)
+      : p_gb_(pGoodToBad), p_bg_(pBadToGood), loss_bad_(lossInBad), rng_(rng) {}
+
+  bool shouldDrop(const Packet&) override {
+    if (bad_) {
+      if (rng_.chance(p_bg_)) bad_ = false;
+    } else {
+      if (rng_.chance(p_gb_)) bad_ = true;
+    }
+    return bad_ && rng_.chance(loss_bad_);
+  }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_bad_;
+  sim::Rng rng_;
+  bool bad_ = false;
+};
+
+}  // namespace scidmz::net

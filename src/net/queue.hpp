@@ -1,0 +1,79 @@
+// Byte-bounded drop-tail FIFO — the egress queue model for every interface.
+//
+// Buffer sizing is the crux of the paper's Section 5: deep-buffered science
+// switches absorb TCP bursts and fan-in; cheap LAN switches and firewall
+// input stages with shallow buffers drop them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::net {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  sim::DataSize bytesEnqueued = sim::DataSize::zero();
+  sim::DataSize bytesDropped = sim::DataSize::zero();
+  sim::DataSize peakDepth = sim::DataSize::zero();
+  sim::TimeWeightedMean depthOverTime;
+
+  [[nodiscard]] double dropFraction() const {
+    const auto offered = enqueued + dropped;
+    return offered == 0 ? 0.0 : static_cast<double>(dropped) / static_cast<double>(offered);
+  }
+};
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(sim::DataSize capacityBytes) : capacity_(capacityBytes) {}
+
+  /// Attempt to enqueue; returns false (and counts a drop) when the packet
+  /// would push the queue past its byte capacity.
+  bool tryEnqueue(sim::SimTime now, Packet packet) {
+    const auto size = packet.wireSize();
+    if (depth_ + size > capacity_) {
+      ++stats_.dropped;
+      stats_.bytesDropped += size;
+      return false;
+    }
+    depth_ += size;
+    ++stats_.enqueued;
+    stats_.bytesEnqueued += size;
+    if (depth_ > stats_.peakDepth) stats_.peakDepth = depth_;
+    stats_.depthOverTime.update(now, static_cast<double>(depth_.byteCount()));
+    items_.push_back(std::move(packet));
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Packet> dequeue(sim::SimTime now) {
+    if (items_.empty()) return std::nullopt;
+    Packet p = std::move(items_.front());
+    items_.pop_front();
+    depth_ -= p.wireSize();
+    stats_.depthOverTime.update(now, static_cast<double>(depth_.byteCount()));
+    return p;
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t packetCount() const { return items_.size(); }
+  [[nodiscard]] sim::DataSize depth() const { return depth_; }
+  [[nodiscard]] sim::DataSize capacity() const { return capacity_; }
+  void setCapacity(sim::DataSize capacity) { capacity_ = capacity; }
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+  void resetStats() { stats_ = QueueStats{}; }
+
+ private:
+  sim::DataSize capacity_;
+  sim::DataSize depth_ = sim::DataSize::zero();
+  std::deque<Packet> items_;
+  QueueStats stats_;
+};
+
+}  // namespace scidmz::net

@@ -1,0 +1,66 @@
+#include "net/switch.hpp"
+
+namespace scidmz::net {
+
+void SwitchDevice::receive(Packet packet, Interface& in) {
+  notifyTap(packet, in);
+  ++stats_.rxPackets;
+  stats_.rxBytes += packet.wireSize();
+
+  if (acl_ && !acl_->permits(packet)) {
+    ++stats_.dropsAcl;
+    return;
+  }
+
+  trackLoad(packet);
+
+  // While latched into the defective store-and-forward state, usable egress
+  // buffering collapses. Model: clamp every egress queue's capacity; restore
+  // when the fix is applied (applyVendorFix re-expands on next packet).
+  const auto targetCapacity =
+      inDefectiveState() ? defect_.defectiveBuffer : profile_.egressBuffer;
+  for (std::size_t i = 0; i < interfaceCount(); ++i) {
+    if (interface(i).queue().capacity() != targetCapacity) {
+      interface(i).queue().setCapacity(targetCapacity);
+    }
+  }
+
+  const auto latency = forwardingLatency(packet, in);
+  ctx_.sim().schedule(latency, [this, pkt = std::move(packet)]() mutable {
+    forward(std::move(pkt));
+  });
+}
+
+void SwitchDevice::trackLoad(const Packet& packet) {
+  if (!defect_.enabled) return;
+  const auto now = ctx_.now();
+  if (now - window_start_ > defect_.loadWindow) {
+    window_start_ = now;
+    window_bytes_ = sim::DataSize::zero();
+  }
+  window_bytes_ += packet.wireSize();
+  const double seconds = defect_.loadWindow.toSeconds();
+  const double bps = static_cast<double>(window_bytes_.bitCount()) / seconds;
+  if (!defect_latched_ && bps > static_cast<double>(defect_.loadThreshold.bps())) {
+    defect_latched_ = true;  // sticky, as observed at Colorado
+    ctx_.log().log(now, sim::LogLevel::kWarn, name(),
+                   "high load: falling back to store-and-forward mode");
+  }
+}
+
+sim::Duration SwitchDevice::forwardingLatency(const Packet& packet, const Interface& in) const {
+  const auto ingressRate = in.rate();
+  const bool storeForward =
+      mode() == ForwardingMode::kStoreAndForward || defect_latched_;
+  if (!storeForward) {
+    // Cut-through: begin forwarding once the header has arrived. The link
+    // already delivered the full frame, so credit back the difference.
+    return profile_.processingDelay;
+  }
+  // Store-and-forward re-buffers the whole frame before the lookup; charge
+  // one extra serialization at the ingress rate.
+  if (ingressRate == sim::DataRate::zero()) return profile_.processingDelay;
+  return profile_.processingDelay + ingressRate.transmissionTime(packet.wireSize());
+}
+
+}  // namespace scidmz::net

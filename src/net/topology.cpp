@@ -1,0 +1,181 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace scidmz::net {
+
+sim::DataRate PathTrace::bottleneckRate() const {
+  sim::DataRate best = sim::DataRate::bitsPerSecond(std::numeric_limits<std::uint64_t>::max());
+  for (const auto& hop : hops) {
+    if (hop.link->rate() < best) best = hop.link->rate();
+  }
+  return hops.empty() ? sim::DataRate::zero() : best;
+}
+
+sim::Duration PathTrace::propagationDelay() const {
+  sim::Duration total = sim::Duration::zero();
+  for (const auto& hop : hops) total += hop.link->delay();
+  return total;
+}
+
+std::vector<Device*> PathTrace::devices() const {
+  std::vector<Device*> out;
+  out.reserve(hops.size());
+  for (const auto& hop : hops) out.push_back(hop.device);
+  return out;
+}
+
+std::string PathTrace::toString() const {
+  std::string s = src ? src->name() : "?";
+  for (const auto& hop : hops) {
+    s += " -> ";
+    s += hop.device->name();
+  }
+  return s;
+}
+
+Host& Topology::addHost(std::string name, Address address) {
+  auto host = std::make_unique<Host>(ctx_, std::move(name), address);
+  auto& ref = *host;
+  devices_.push_back(std::move(host));
+  return ref;
+}
+
+SwitchDevice& Topology::addSwitch(std::string name, SwitchProfile profile) {
+  auto dev = std::make_unique<SwitchDevice>(ctx_, std::move(name), profile);
+  auto& ref = *dev;
+  devices_.push_back(std::move(dev));
+  return ref;
+}
+
+RouterDevice& Topology::addRouter(std::string name, SwitchProfile profile) {
+  auto dev = std::make_unique<RouterDevice>(ctx_, std::move(name), profile);
+  auto& ref = *dev;
+  devices_.push_back(std::move(dev));
+  return ref;
+}
+
+FirewallDevice& Topology::addFirewall(std::string name, FirewallProfile profile) {
+  auto dev = std::make_unique<FirewallDevice>(ctx_, std::move(name), profile);
+  auto& ref = *dev;
+  devices_.push_back(std::move(dev));
+  return ref;
+}
+
+sim::DataSize Topology::defaultBuffer(const Device& d) {
+  if (const auto* fw = dynamic_cast<const FirewallDevice*>(&d)) return fw->profile().egressBuffer;
+  if (const auto* sw = dynamic_cast<const SwitchDevice*>(&d)) return sw->profile().egressBuffer;
+  // Hosts: NIC ring + qdisc modeled as a deep local queue. A sender's own
+  // window dumps serialize here and self-clock via ACKs (the kernel would
+  // backpressure the socket); host-side loss belongs to the TCP layer's
+  // socket-buffer caps, not the NIC.
+  return sim::DataSize::gigabytes(1);
+}
+
+Link& Topology::connect(Device& a, Device& b, LinkParams params) {
+  return connect(a, b, params, defaultBuffer(a), defaultBuffer(b));
+}
+
+Link& Topology::connect(Device& a, Device& b, LinkParams params, sim::DataSize bufferA,
+                        sim::DataSize bufferB) {
+  auto& ifA = a.addInterface(bufferA);
+  auto& ifB = b.addInterface(bufferB);
+  links_.push_back(std::make_unique<Link>(ctx_, params, ifA, ifB));
+  return *links_.back();
+}
+
+void Topology::computeRoutes() {
+  // Adjacency: device -> (neighbor, local egress interface index).
+  std::unordered_map<Device*, std::vector<std::pair<Device*, int>>> adj;
+  for (const auto& link : links_) {
+    Interface& a = link->end(0);
+    Interface& b = link->end(1);
+    adj[&a.owner()].emplace_back(&b.owner(), a.index());
+    adj[&b.owner()].emplace_back(&a.owner(), b.index());
+  }
+
+  for (const auto& devPtr : devices_) devPtr->clearRoutes();
+
+  // BFS from each host; every device on a shortest path toward the host
+  // gets a /32 route via the interface that BFS arrived through.
+  for (const auto& destPtr : devices_) {
+    auto* dest = dynamic_cast<Host*>(destPtr.get());
+    if (dest == nullptr) continue;
+    const Prefix hostPrefix{dest->address(), 32};
+
+    std::unordered_map<Device*, int> dist;
+    std::deque<Device*> frontier;
+    dist[dest] = 0;
+    frontier.push_back(dest);
+    while (!frontier.empty()) {
+      Device* cur = frontier.front();
+      frontier.pop_front();
+      for (const auto& [nbr, nbrIf] : adj[cur]) {
+        (void)nbrIf;
+        if (dist.count(nbr)) continue;
+        dist[nbr] = dist[cur] + 1;
+        frontier.push_back(nbr);
+      }
+    }
+    for (const auto& devPtr : devices_) {
+      Device* dev = devPtr.get();
+      if (dev == dest || !dist.count(dev)) continue;
+      // Pick the neighbor one step closer to the destination; ties break by
+      // adjacency order, which is insertion (= link creation) order, so
+      // routing is deterministic.
+      for (const auto& [nbr, localIf] : adj[dev]) {
+        const auto it = dist.find(nbr);
+        if (it != dist.end() && it->second == dist[dev] - 1) {
+          dev->addRoute(hostPrefix, localIf);
+          break;
+        }
+      }
+    }
+  }
+}
+
+Host* Topology::findHost(Address address) const {
+  for (const auto& devPtr : devices_) {
+    if (auto* host = dynamic_cast<Host*>(devPtr.get()); host && host->address() == address) {
+      return host;
+    }
+  }
+  return nullptr;
+}
+
+Device* Topology::findDevice(std::string_view name) const {
+  for (const auto& devPtr : devices_) {
+    if (devPtr->name() == name) return devPtr.get();
+  }
+  return nullptr;
+}
+
+std::optional<PathTrace> Topology::trace(Address src, Address dst) const {
+  Host* from = findHost(src);
+  Host* to = findHost(dst);
+  if (from == nullptr || to == nullptr) return std::nullopt;
+
+  PathTrace path;
+  path.src = from;
+  Device* cur = from;
+  for (std::size_t guard = 0; guard < devices_.size() + 1; ++guard) {
+    if (cur == to) {
+      path.dst = to;
+      return path;
+    }
+    const auto egress = cur->lookupRoute(dst);
+    if (!egress) return std::nullopt;
+    Interface& out = cur->interface(static_cast<std::size_t>(*egress));
+    if (!out.attached()) return std::nullopt;
+    Link* link = out.link();
+    Device* next = &link->peer(out.linkEnd()).owner();
+    path.hops.push_back(PathHop{link, next});
+    cur = next;
+  }
+  return std::nullopt;  // routing loop
+}
+
+}  // namespace scidmz::net

@@ -1,0 +1,66 @@
+#include "perfsonar/alerts.hpp"
+
+namespace scidmz::perfsonar {
+namespace {
+
+std::string latchKey(const std::string& src, const std::string& dst, const std::string& metric) {
+  return src + "|" + dst + "|" + metric;
+}
+
+}  // namespace
+
+void SoftFailureDetector::evaluate(sim::SimTime now) {
+  for (const auto& key : archive_.keys()) {
+    const auto latest = archive_.latest(key.src, key.dst, key.metric);
+    if (!latest) continue;
+
+    if (key.metric == kMetricLossFraction) {
+      if (latest->value > options_.lossThreshold) {
+        raise(now, key.src, key.dst, key.metric, latest->value,
+              "packet loss " + std::to_string(latest->value * 100) + "% exceeds threshold");
+      }
+      continue;
+    }
+    if (key.metric == kMetricThroughputMbps) {
+      const auto baseline =
+          archive_.baselineMean(key.src, key.dst, key.metric, options_.baselineSamples);
+      const auto* series = archive_.series(key.src, key.dst, key.metric);
+      if (!baseline || series == nullptr || series->size() <= options_.baselineSamples) continue;
+      if (latest->value < options_.throughputDropFraction * *baseline) {
+        raise(now, key.src, key.dst, key.metric, latest->value,
+              "throughput " + std::to_string(latest->value) + " Mbps regressed below " +
+                  std::to_string(options_.throughputDropFraction * *baseline) +
+                  " Mbps (baseline " + std::to_string(*baseline) + ")");
+      }
+    }
+  }
+}
+
+void SoftFailureDetector::clearPair(const std::string& src, const std::string& dst) {
+  for (auto it = latched_.begin(); it != latched_.end();) {
+    if (it->rfind(src + "|" + dst + "|", 0) == 0) {
+      it = latched_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SoftFailureDetector::hasActiveAlert(const std::string& src, const std::string& dst) const {
+  for (const auto& key : latched_) {
+    if (key.rfind(src + "|" + dst + "|", 0) == 0) return true;
+  }
+  return false;
+}
+
+void SoftFailureDetector::raise(sim::SimTime now, const std::string& src, const std::string& dst,
+                                const std::string& metric, double value, std::string message) {
+  const auto key = latchKey(src, dst, metric);
+  if (latched_.count(key)) return;
+  latched_.insert(key);
+  const Alert alert{now, src, dst, metric, value, std::move(message)};
+  alerts_.push_back(alert);
+  if (onAlert) onAlert(alert);
+}
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,66 @@
+// Soft-failure detection: the paper's Section 3.3 payoff. Regular active
+// measurements turn "a scientist eventually complains" into an alert —
+// loss rates above threshold, or throughput regressing against the path's
+// own baseline.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "perfsonar/archive.hpp"
+
+namespace scidmz::perfsonar {
+
+struct Alert {
+  sim::SimTime at;
+  std::string src;
+  std::string dst;
+  std::string metric;
+  double value = 0.0;
+  std::string message;
+};
+
+struct SoftFailureOptions {
+  /// Loss above this fraction raises an alert (perfSONAR default
+  /// practice: any sustained loss on a science path is a failure).
+  double lossThreshold = 1e-3;
+  /// Throughput below this fraction of the baseline raises an alert.
+  double throughputDropFraction = 0.5;
+  /// Samples used to establish the per-path baseline.
+  std::size_t baselineSamples = 3;
+};
+
+class SoftFailureDetector {
+ public:
+  using Options = SoftFailureOptions;
+
+  explicit SoftFailureDetector(const MeasurementArchive& archive,
+                               Options options = SoftFailureOptions())
+      : archive_(archive), options_(options) {}
+
+  /// Scan the archive's latest samples and raise alerts. An alert for a
+  /// given (src, dst, metric) fires once until cleared.
+  void evaluate(sim::SimTime now);
+
+  /// Clear latched alerts for a pair (after a fix is deployed and
+  /// verified), so regression can be detected again.
+  void clearPair(const std::string& src, const std::string& dst);
+
+  std::function<void(const Alert&)> onAlert;
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  [[nodiscard]] bool hasActiveAlert(const std::string& src, const std::string& dst) const;
+
+ private:
+  void raise(sim::SimTime now, const std::string& src, const std::string& dst,
+             const std::string& metric, double value, std::string message);
+
+  const MeasurementArchive& archive_;
+  Options options_;
+  std::vector<Alert> alerts_;
+  std::set<std::string> latched_;  // "src|dst|metric"
+};
+
+}  // namespace scidmz::perfsonar

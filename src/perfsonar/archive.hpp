@@ -1,0 +1,93 @@
+// Measurement archive: the esmond-style store behind a perfSONAR
+// deployment. Time series keyed by (source site, destination site, metric),
+// queryable for dashboards and alerting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::perfsonar {
+
+/// Canonical metric names used across this library.
+inline constexpr const char* kMetricThroughputMbps = "throughput_mbps";
+inline constexpr const char* kMetricLossFraction = "loss_fraction";
+inline constexpr const char* kMetricOneWayDelayMs = "owd_ms";
+
+struct Sample {
+  sim::SimTime at;
+  double value = 0.0;
+};
+
+class MeasurementArchive {
+ public:
+  void record(const std::string& src, const std::string& dst, const std::string& metric,
+              sim::SimTime at, double value) {
+    series_[Key{src, dst, metric}].push_back(Sample{at, value});
+  }
+
+  [[nodiscard]] const std::vector<Sample>* series(const std::string& src, const std::string& dst,
+                                                  const std::string& metric) const {
+    const auto it = series_.find(Key{src, dst, metric});
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::optional<Sample> latest(const std::string& src, const std::string& dst,
+                                             const std::string& metric) const {
+    const auto* s = series(src, dst, metric);
+    if (s == nullptr || s->empty()) return std::nullopt;
+    return s->back();
+  }
+
+  /// Mean of samples with at >= since.
+  [[nodiscard]] std::optional<double> meanSince(const std::string& src, const std::string& dst,
+                                                const std::string& metric,
+                                                sim::SimTime since) const {
+    const auto* s = series(src, dst, metric);
+    if (s == nullptr) return std::nullopt;
+    sim::RunningStats stats;
+    for (const auto& sample : *s) {
+      if (sample.at >= since) stats.add(sample.value);
+    }
+    if (stats.count() == 0) return std::nullopt;
+    return stats.mean();
+  }
+
+  /// Mean of the first `n` samples — the "baseline" for regression alerts.
+  [[nodiscard]] std::optional<double> baselineMean(const std::string& src, const std::string& dst,
+                                                   const std::string& metric,
+                                                   std::size_t n) const {
+    const auto* s = series(src, dst, metric);
+    if (s == nullptr || s->empty()) return std::nullopt;
+    sim::RunningStats stats;
+    for (std::size_t i = 0; i < s->size() && i < n; ++i) stats.add((*s)[i].value);
+    return stats.mean();
+  }
+
+  [[nodiscard]] std::size_t seriesCount() const { return series_.size(); }
+
+  struct SeriesKey {
+    std::string src;
+    std::string dst;
+    std::string metric;
+  };
+  [[nodiscard]] std::vector<SeriesKey> keys() const {
+    std::vector<SeriesKey> out;
+    out.reserve(series_.size());
+    for (const auto& [key, samples] : series_) {
+      out.push_back(SeriesKey{std::get<0>(key), std::get<1>(key), std::get<2>(key)});
+    }
+    return out;
+  }
+
+ private:
+  using Key = std::tuple<std::string, std::string, std::string>;
+  std::map<Key, std::vector<Sample>> series_;
+};
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,69 @@
+#include "perfsonar/bwctl.hpp"
+
+namespace scidmz::perfsonar {
+
+BwctlTest::BwctlTest(net::Host& src, net::Host& dst, Options options)
+    : src_(src), dst_(dst), options_(options) {}
+
+BwctlTest::~BwctlTest() {
+  if (end_timer_.valid()) src_.ctx().sim().cancel(end_timer_);
+  if (watchdog_.valid()) src_.ctx().sim().cancel(watchdog_);
+}
+
+void BwctlTest::start() {
+  listener_ = std::make_unique<tcp::TcpListener>(dst_, options_.port, options_.tcp);
+  client_ = std::make_unique<tcp::TcpConnection>(src_, dst_.address(), options_.port,
+                                                 options_.tcp);
+  listener_->onAccept = [this](tcp::TcpConnection& c) { server_side_ = &c; };
+  client_->onEstablished = [this] {
+    // Enough data that the source never runs dry within the test window.
+    client_->sendData(sim::DataSize::terabytes(10));
+    measure_start_ = src_.ctx().now();
+    measure_base_ = server_side_ != nullptr ? server_side_->deliveredBytes()
+                                            : sim::DataSize::zero();
+    end_timer_ = src_.ctx().sim().schedule(options_.duration, [this] {
+      end_timer_ = sim::EventId{};
+      finish();
+    });
+  };
+  client_->start();
+
+  // If the handshake itself never completes (black-holed path), report a
+  // zero-throughput result rather than hanging forever.
+  watchdog_ = src_.ctx().sim().schedule(options_.duration * 4, [this] {
+    watchdog_ = sim::EventId{};
+    if (!finished_) finish();
+  });
+}
+
+void BwctlTest::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (end_timer_.valid()) {
+    src_.ctx().sim().cancel(end_timer_);
+    end_timer_ = sim::EventId{};
+  }
+  if (watchdog_.valid()) {
+    src_.ctx().sim().cancel(watchdog_);
+    watchdog_ = sim::EventId{};
+  }
+  result_.ran = true;
+  if (server_side_ != nullptr) {
+    const auto moved = server_side_->deliveredBytes() - measure_base_;
+    const auto span = src_.ctx().now() - measure_start_;
+    result_.bytesMoved = moved;
+    result_.duration = span;
+    if (span > sim::Duration::zero()) {
+      result_.throughput = sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+          static_cast<double>(moved.bitCount()) / span.toSeconds()));
+    }
+  }
+  result_.retransmits = client_ ? client_->stats().retransmits : 0;
+  // Tear the flow down so back-to-back scheduled tests do not overlap.
+  client_.reset();
+  listener_.reset();
+  server_side_ = nullptr;
+  if (onComplete) onComplete(result_);
+}
+
+}  // namespace scidmz::perfsonar

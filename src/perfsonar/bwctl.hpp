@@ -1,0 +1,66 @@
+// BWCTL-style scheduled throughput tests: a fixed-duration memory-to-memory
+// TCP test (iperf under the hood, historically) that measures the available
+// bandwidth a real science flow would see on the path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/host.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::perfsonar {
+
+struct BwctlResult {
+  bool ran = false;
+  sim::DataRate throughput = sim::DataRate::zero();
+  sim::DataSize bytesMoved = sim::DataSize::zero();
+  sim::Duration duration = sim::Duration::zero();
+  std::uint64_t retransmits = 0;
+};
+
+/// One throughput test: drive TCP at full tilt for `duration`, then report
+/// the receiver-side delivery rate. Disposable: construct, start, read the
+/// result from the completion callback.
+struct BwctlOptions {
+  sim::Duration duration = sim::Duration::seconds(10);
+  std::uint16_t port = 4823;  // BWCTL's IANA port
+  tcp::TcpConfig tcp = tcp::TcpConfig::tunedDtn();
+};
+
+class BwctlTest {
+ public:
+  using Options = BwctlOptions;
+
+  BwctlTest(net::Host& src, net::Host& dst, Options options = BwctlOptions());
+  ~BwctlTest();
+
+  BwctlTest(const BwctlTest&) = delete;
+  BwctlTest& operator=(const BwctlTest&) = delete;
+
+  void start();
+
+  std::function<void(const BwctlResult&)> onComplete;
+
+  [[nodiscard]] const BwctlResult& result() const { return result_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+
+ private:
+  void finish();
+
+  net::Host& src_;
+  net::Host& dst_;
+  Options options_;
+  std::unique_ptr<tcp::TcpListener> listener_;
+  std::unique_ptr<tcp::TcpConnection> client_;
+  tcp::TcpConnection* server_side_ = nullptr;
+  sim::SimTime measure_start_;
+  sim::DataSize measure_base_ = sim::DataSize::zero();
+  sim::EventId end_timer_{};
+  sim::EventId watchdog_{};
+  bool finished_ = false;
+  BwctlResult result_;
+};
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,69 @@
+#include "perfsonar/dashboard.hpp"
+
+#include <algorithm>
+
+namespace scidmz::perfsonar {
+
+CellRating Dashboard::throughputRating(const std::string& src, const std::string& dst) const {
+  const auto sample = archive_.latest(src, dst, kMetricThroughputMbps);
+  if (!sample) return CellRating::kNoData;
+  const double fraction = expected_mbps_ > 0 ? sample->value / expected_mbps_ : 0.0;
+  if (fraction >= thresholds_.goodFraction) return CellRating::kGood;
+  if (fraction >= thresholds_.degradedFraction) return CellRating::kDegraded;
+  return CellRating::kBad;
+}
+
+CellRating Dashboard::lossRating(const std::string& src, const std::string& dst) const {
+  const auto sample = archive_.latest(src, dst, kMetricLossFraction);
+  if (!sample) return CellRating::kNoData;
+  if (sample->value < 1e-4) return CellRating::kGood;
+  if (sample->value < 1e-2) return CellRating::kDegraded;
+  return CellRating::kBad;
+}
+
+int Dashboard::countAtRating(CellRating rating) const {
+  int n = 0;
+  for (const auto& src : sites_) {
+    for (const auto& dst : sites_) {
+      if (src != dst && throughputRating(src, dst) == rating) ++n;
+    }
+  }
+  return n;
+}
+
+std::string Dashboard::render() const {
+  // Column width fits the longest site name (min 4 for readability).
+  std::size_t width = 4;
+  for (const auto& s : sites_) width = std::max(width, s.size());
+  width += 1;
+
+  auto pad = [width](const std::string& text) {
+    std::string out = text;
+    out.resize(width, ' ');
+    return out;
+  };
+
+  std::string out = pad("");
+  for (const auto& dst : sites_) out += pad(dst);
+  out += "\n";
+  for (const auto& src : sites_) {
+    out += pad(src);
+    for (const auto& dst : sites_) {
+      if (src == dst) {
+        out += pad("-");
+        continue;
+      }
+      // Two glyphs per cell: throughput rating and loss rating, matching
+      // the halved squares in the paper's Figure 2.
+      std::string cell;
+      cell += toGlyph(throughputRating(src, dst));
+      cell += toGlyph(lossRating(src, dst));
+      out += pad(cell);
+    }
+    out += "\n";
+  }
+  out += "legend: # good   + degraded   ! bad   . no-data   (throughput|loss)\n";
+  return out;
+}
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,62 @@
+// Mesh dashboard (MaDDash-style): the Figure 2 grid. Each ordered site
+// pair gets a cell rated against the expected path throughput; the render
+// is an ASCII table with both directions of a pair visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfsonar/archive.hpp"
+
+namespace scidmz::perfsonar {
+
+enum class CellRating { kGood, kDegraded, kBad, kNoData };
+
+[[nodiscard]] constexpr char toGlyph(CellRating r) {
+  switch (r) {
+    case CellRating::kGood: return '#';      // full throughput
+    case CellRating::kDegraded: return '+';  // degraded
+    case CellRating::kBad: return '!';       // badly impaired
+    case CellRating::kNoData: return '.';
+  }
+  return '?';
+}
+
+struct DashboardThresholds {
+  /// >= goodFraction of expected throughput rates "good".
+  double goodFraction = 0.8;
+  /// >= degradedFraction rates "degraded"; below is "bad".
+  double degradedFraction = 0.3;
+};
+
+class Dashboard {
+ public:
+  Dashboard(const MeasurementArchive& archive, std::vector<std::string> sites,
+            double expectedMbps, DashboardThresholds thresholds = {})
+      : archive_(archive),
+        sites_(std::move(sites)),
+        expected_mbps_(expectedMbps),
+        thresholds_(thresholds) {}
+
+  /// Rating of the latest throughput sample for src -> dst.
+  [[nodiscard]] CellRating throughputRating(const std::string& src, const std::string& dst) const;
+
+  /// Rating of the latest loss sample (good: < 0.01%, degraded: < 1%).
+  [[nodiscard]] CellRating lossRating(const std::string& src, const std::string& dst) const;
+
+  /// Count of pairs currently rated at the given level (throughput).
+  [[nodiscard]] int countAtRating(CellRating rating) const;
+
+  /// ASCII grid: rows = source site, columns = destination site.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] const std::vector<std::string>& sites() const { return sites_; }
+
+ private:
+  const MeasurementArchive& archive_;
+  std::vector<std::string> sites_;
+  double expected_mbps_;
+  DashboardThresholds thresholds_;
+};
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,100 @@
+#include "perfsonar/mesh.hpp"
+
+namespace scidmz::perfsonar {
+
+MeshRunner::MeshRunner(net::Context& ctx, std::vector<MeshSite> sites,
+                       MeasurementArchive& archive, Options options)
+    : ctx_(ctx), sites_(std::move(sites)), archive_(archive), options_(options) {
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    for (std::size_t d = 0; d < sites_.size(); ++d) {
+      if (s == d) continue;
+      auto owampOptions = options_.owamp;
+      // Unique receiver port per source so streams toward one site coexist.
+      owampOptions.port = static_cast<std::uint16_t>(owampOptions.port + s);
+      Pair pair;
+      pair.srcIndex = s;
+      pair.dstIndex = d;
+      pair.owamp = std::make_unique<OwampStream>(*sites_[s].host, *sites_[d].host, owampOptions);
+      pairs_.push_back(std::move(pair));
+    }
+  }
+}
+
+MeshRunner::~MeshRunner() { stop(); }
+
+std::vector<std::string> MeshRunner::siteNames() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& s : sites_) names.push_back(s.name);
+  return names;
+}
+
+void MeshRunner::start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& pair : pairs_) pair.owamp->start();
+  loss_timer_ = ctx_.sim().schedule(options_.lossReportInterval, [this] {
+    loss_timer_ = sim::EventId{};
+    archiveLossReports();
+  });
+  bwctl_timer_ = ctx_.sim().schedule(options_.throughputTestGap, [this] {
+    bwctl_timer_ = sim::EventId{};
+    runNextThroughputTest();
+  });
+}
+
+void MeshRunner::stop() {
+  running_ = false;
+  for (auto& pair : pairs_) pair.owamp->stop();
+  if (loss_timer_.valid()) {
+    ctx_.sim().cancel(loss_timer_);
+    loss_timer_ = sim::EventId{};
+  }
+  if (bwctl_timer_.valid()) {
+    ctx_.sim().cancel(bwctl_timer_);
+    bwctl_timer_ = sim::EventId{};
+  }
+  current_test_.reset();
+}
+
+void MeshRunner::archiveLossReports() {
+  if (!running_) return;
+  const auto now = ctx_.now();
+  for (auto& pair : pairs_) {
+    const auto report = pair.owamp->intervalReport();
+    const auto& src = sites_[pair.srcIndex].name;
+    const auto& dst = sites_[pair.dstIndex].name;
+    archive_.record(src, dst, kMetricLossFraction, now, report.lossFraction);
+    archive_.record(src, dst, kMetricOneWayDelayMs, now, report.meanDelay.toMillis());
+  }
+  loss_timer_ = ctx_.sim().schedule(options_.lossReportInterval, [this] {
+    loss_timer_ = sim::EventId{};
+    archiveLossReports();
+  });
+}
+
+void MeshRunner::runNextThroughputTest() {
+  if (!running_ || pairs_.empty()) return;
+  auto& pair = pairs_[next_pair_];
+  next_pair_ = (next_pair_ + 1) % pairs_.size();
+
+  BwctlTest::Options testOptions;
+  testOptions.duration = options_.throughputTestDuration;
+  testOptions.tcp = options_.bwctlTcp;
+  current_test_ = std::make_unique<BwctlTest>(*sites_[pair.srcIndex].host,
+                                              *sites_[pair.dstIndex].host, testOptions);
+  const auto& src = sites_[pair.srcIndex].name;
+  const auto& dst = sites_[pair.dstIndex].name;
+  current_test_->onComplete = [this, src, dst](const BwctlResult& result) {
+    archive_.record(src, dst, kMetricThroughputMbps, ctx_.now(), result.throughput.toMbps());
+    // Schedule the next test after the configured gap; serialized tests
+    // keep the mesh's measurement load off the science paths.
+    bwctl_timer_ = ctx_.sim().schedule(options_.throughputTestGap, [this] {
+      bwctl_timer_ = sim::EventId{};
+      runNextThroughputTest();
+    });
+  };
+  current_test_->start();
+}
+
+}  // namespace scidmz::perfsonar

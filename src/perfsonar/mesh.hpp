@@ -1,0 +1,73 @@
+// Mesh measurement runner: continuous OWAMP between every ordered site
+// pair plus round-robin BWCTL throughput tests, all feeding the archive.
+// This is the machinery behind a production perfSONAR mesh and behind the
+// paper's Figure 2 dashboard.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "perfsonar/archive.hpp"
+#include "perfsonar/bwctl.hpp"
+#include "perfsonar/owamp.hpp"
+
+namespace scidmz::perfsonar {
+
+struct MeshSite {
+  std::string name;
+  net::Host* host = nullptr;
+};
+
+struct MeshOptions {
+  /// How often each pair's OWAMP interval statistics are archived.
+  sim::Duration lossReportInterval = sim::Duration::seconds(10);
+  /// Gap between consecutive BWCTL tests (tests are serialized so they
+  /// never compete with each other, as real BWCTL enforces).
+  sim::Duration throughputTestGap = sim::Duration::seconds(5);
+  sim::Duration throughputTestDuration = sim::Duration::seconds(5);
+  OwampOptions owamp;
+  tcp::TcpConfig bwctlTcp = tcp::TcpConfig::tunedDtn();
+};
+
+class MeshRunner {
+ public:
+  using Options = MeshOptions;
+
+  MeshRunner(net::Context& ctx, std::vector<MeshSite> sites, MeasurementArchive& archive,
+             Options options = MeshOptions());
+  ~MeshRunner();
+
+  MeshRunner(const MeshRunner&) = delete;
+  MeshRunner& operator=(const MeshRunner&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<MeshSite>& sites() const { return sites_; }
+  [[nodiscard]] std::vector<std::string> siteNames() const;
+
+ private:
+  struct Pair {
+    std::size_t srcIndex = 0;
+    std::size_t dstIndex = 0;
+    std::unique_ptr<OwampStream> owamp;
+  };
+
+  void archiveLossReports();
+  void runNextThroughputTest();
+
+  net::Context& ctx_;
+  std::vector<MeshSite> sites_;
+  MeasurementArchive& archive_;
+  Options options_;
+  std::vector<Pair> pairs_;
+  std::unique_ptr<BwctlTest> current_test_;
+  std::size_t next_pair_ = 0;
+  bool running_ = false;
+  sim::EventId loss_timer_{};
+  sim::EventId bwctl_timer_{};
+};
+
+}  // namespace scidmz::perfsonar

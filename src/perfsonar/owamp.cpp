@@ -1,0 +1,106 @@
+#include "perfsonar/owamp.hpp"
+
+#include <algorithm>
+
+namespace scidmz::perfsonar {
+namespace {
+
+std::uint32_t nextStreamId() {
+  static std::uint32_t counter = 0;
+  return ++counter;
+}
+
+OwampReport makeReport(std::uint64_t due, std::uint64_t arrived,
+                       const sim::RunningStats& delays) {
+  OwampReport r;
+  r.sent = due;
+  r.received = std::min(arrived, due);
+  r.lossFraction =
+      due == 0 ? 0.0 : static_cast<double>(due - r.received) / static_cast<double>(due);
+  r.minDelay = sim::Duration::fromSeconds(delays.count() ? delays.min() : 0.0);
+  r.meanDelay = sim::Duration::fromSeconds(delays.mean());
+  r.maxDelay = sim::Duration::fromSeconds(delays.count() ? delays.max() : 0.0);
+  return r;
+}
+
+}  // namespace
+
+OwampStream::OwampStream(net::Host& src, net::Host& dst, Options options)
+    : src_(src), dst_(dst), options_(options), receiver_(dst), stream_id_(nextStreamId()) {
+  receiver_.stream_id_ = stream_id_;
+  dst_.bind(net::Protocol::kUdp, options_.port, receiver_);
+}
+
+OwampStream::~OwampStream() {
+  stop();
+  dst_.unbind(net::Protocol::kUdp, options_.port);
+}
+
+void OwampStream::start() {
+  if (running_) return;
+  running_ = true;
+  sendProbe();
+}
+
+void OwampStream::stop() {
+  running_ = false;
+  if (timer_.valid()) {
+    src_.ctx().sim().cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+}
+
+void OwampStream::sendProbe() {
+  if (!running_) return;
+  net::ProbeHeader header;
+  header.streamId = stream_id_;
+  header.seqNo = sent_times_.size();
+  header.sentAt = src_.ctx().now();
+  net::FlowKey flow{src_.address(), dst_.address(), static_cast<std::uint16_t>(8760),
+                    options_.port, net::Protocol::kUdp};
+  src_.send(net::makeProbePacket(flow, header, options_.probeSize));
+  sent_times_.push_back(src_.ctx().now());
+  timer_ = src_.ctx().sim().schedule(options_.interval, [this] {
+    timer_ = sim::EventId{};
+    sendProbe();
+  });
+}
+
+void OwampStream::Receiver::onPacket(const net::Packet& packet) {
+  if (!packet.isProbe()) return;
+  const auto& probe = packet.probe();
+  if (probe.streamId != stream_id_) return;
+  if (probe.seqNo >= got_.size()) got_.resize(probe.seqNo + 1, false);
+  if (!got_[probe.seqNo]) {
+    got_[probe.seqNo] = true;
+    ++received_count_;
+  }
+  const auto delay = host_.ctx().now() - probe.sentAt;
+  delaySeconds_.add(delay.toSeconds());
+}
+
+OwampStream::HorizonCounts OwampStream::countsAtHorizon(sim::SimTime now) const {
+  const auto cutoff = now - options_.lossTimeout;
+  HorizonCounts counts;
+  for (std::size_t i = 0; i < sent_times_.size(); ++i) {
+    if (sent_times_[i] > cutoff) break;  // sent_times_ is monotonic
+    ++counts.due;
+    if (i < receiver_.got_.size() && receiver_.got_[i]) ++counts.arrived;
+  }
+  return counts;
+}
+
+OwampReport OwampStream::report() const {
+  const auto counts = countsAtHorizon(src_.ctx().now());
+  return makeReport(counts.due, counts.arrived, receiver_.delaySeconds_);
+}
+
+OwampReport OwampStream::intervalReport() {
+  const auto counts = countsAtHorizon(src_.ctx().now());
+  const auto dueDelta = counts.due - last_snapshot_.due;
+  const auto arrivedDelta = counts.arrived - last_snapshot_.arrived;
+  last_snapshot_ = counts;
+  return makeReport(dueDelta, arrivedDelta, receiver_.delaySeconds_);
+}
+
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,107 @@
+// Discrete-event scheduler core.
+//
+// Events are (time, sequence, callback) tuples ordered by time with the
+// insertion sequence as a tie-break, so simultaneous events fire in the
+// order they were scheduled — a requirement for deterministic replay.
+// Cancellation is lazy: cancelled ids are remembered and skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr bool operator==(const EventId&) const = default;
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+};
+
+/// Time-ordered event queue. Not thread-safe by design: the simulator is a
+/// single logical thread of control (parallelism lives at the sweep level,
+/// where independent Simulator instances run per scenario).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. Returns a cancellation handle.
+  EventId schedule(SimTime at, Callback cb) {
+    const EventId id{++next_seq_};
+    heap_.push(Entry{at, id.value, std::move(cb)});
+    ++live_;
+    return id;
+  }
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(EventId id) {
+    if (!id.valid()) return;
+    if (cancelled_.insert(id.value).second && live_ > 0) --live_;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the next live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime nextTime() {
+    skipCancelled();
+    return heap_.empty() ? SimTime::max() : heap_.top().at;
+  }
+
+  /// Pop the next live event. Precondition: !empty().
+  struct Popped {
+    SimTime at;
+    Callback cb;
+  };
+  Popped pop() {
+    skipCancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return Popped{top.at, std::move(top.cb)};
+  }
+
+  /// Drop everything (used when tearing a simulation down early).
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    live_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t scheduledTotal() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skipCancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().seq);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace scidmz::sim

@@ -1,0 +1,71 @@
+// Minimal structured trace log.
+//
+// Components emit (time, component, message) records through a Logger
+// owned by the scenario. By default records are dropped; tests and the
+// troubleshooting example install sinks. Keeping logging explicit (no
+// global singleton) preserves determinism and keeps scenarios independent.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] constexpr std::string_view toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+struct LogRecord {
+  SimTime at;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+};
+
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  /// Records below `level` are dropped before reaching sinks.
+  void setLevel(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void addSink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  void log(SimTime at, LogLevel level, std::string_view component, std::string message) const {
+    if (level < level_ || sinks_.empty()) return;
+    const LogRecord rec{at, level, std::string{component}, std::move(message)};
+    for (const auto& sink : sinks_) sink(rec);
+  }
+
+ private:
+  LogLevel level_ = LogLevel::kInfo;
+  std::vector<Sink> sinks_;
+};
+
+/// Convenience sink collecting records into a vector (tests).
+class CapturingSink {
+ public:
+  [[nodiscard]] Logger::Sink sink() {
+    return [this](const LogRecord& r) { records_.push_back(r); };
+  }
+  [[nodiscard]] const std::vector<LogRecord>& records() const { return records_; }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace scidmz::sim

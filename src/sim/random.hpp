@@ -1,0 +1,112 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The simulator never touches std::random_device or global RNG state; every
+// stochastic component draws from an explicitly-seeded Rng so whole runs are
+// reproducible from a single seed. The generator is xoshiro256**, which is
+// fast, tiny, and has well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace scidmz::sim {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    // SplitMix64 expansion of the single word seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    // Avoid log(0); uniform() is in [0,1) so 1-u is in (0,1].
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Exponentially distributed duration with the given mean.
+  Duration exponential(Duration mean) {
+    return Duration::fromSeconds(exponential(mean.toSeconds()));
+  }
+
+  /// Standard normal via Box-Muller (single value; no cached spare so the
+  /// draw count stays deterministic and easy to reason about).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = 1.0 - uniform();  // (0, 1]
+    double u2 = uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Pareto-distributed value with shape alpha and minimum xm (heavy-tailed
+  /// flow sizes for enterprise traffic mixes).
+  double pareto(double alpha, double xm) {
+    double u = 1.0 - uniform();  // (0, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Derive an independent child stream (stable: depends only on this
+  /// stream's seed lineage and `salt`, not on draw history).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng{seed_ ^ (salt * 0xD1B54A32D192ED03ull + 0x8CB92BA72F3D8DD7ull)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t seed_ = 0;
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace scidmz::sim

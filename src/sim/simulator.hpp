@@ -1,0 +1,76 @@
+// The Simulator owns the clock and the event queue and drives a run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/units.hpp"
+
+namespace scidmz::sim {
+
+/// Single-threaded discrete-event simulator.
+///
+/// Components hold a Simulator& and schedule callbacks; the owner calls
+/// run() / runFor() / runUntil(). The clock only moves at event boundaries.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` after `delay` (>= 0) from now.
+  EventId schedule(Duration delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + (delay < Duration::zero() ? Duration::zero() : delay),
+                           std::move(cb));
+  }
+
+  /// Schedule `cb` at an absolute time (clamped to now if in the past).
+  EventId scheduleAt(SimTime at, EventQueue::Callback cb) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(cb));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until the event queue drains or stop() is called.
+  void run() { runUntil(SimTime::max()); }
+
+  /// Run events with time <= deadline; the clock ends at
+  /// min(deadline, time of last event) — or exactly deadline if any event
+  /// remained beyond it.
+  void runUntil(SimTime deadline) {
+    stopped_ = false;
+    while (!stopped_ && !queue_.empty()) {
+      if (queue_.nextTime() > deadline) {
+        now_ = deadline;
+        return;
+      }
+      auto ev = queue_.pop();
+      now_ = ev.at;
+      ++executed_;
+      ev.cb();
+    }
+    if (!stopped_ && deadline != SimTime::max() && now_ < deadline) now_ = deadline;
+  }
+
+  /// Run for `d` of simulated time from now.
+  void runFor(Duration d) { runUntil(now_ + d); }
+
+  /// Stop the current run() after the in-flight callback returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
+  [[nodiscard]] bool pendingEvents() const { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pendingEventCount() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace scidmz::sim

@@ -1,0 +1,165 @@
+// Lightweight statistics primitives used by links, queues, TCP and the
+// perfSONAR measurement archive.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth).
+class TimeWeightedMean {
+ public:
+  void update(SimTime now, double newValue) {
+    if (has_) {
+      const double dt = (now - last_t_).toSeconds();
+      if (dt > 0) {
+        area_ += value_ * dt;
+        span_ += dt;
+      }
+    }
+    value_ = newValue;
+    last_t_ = now;
+    has_ = true;
+  }
+
+  /// Mean over [first update, now]; call with the current time to close the
+  /// final segment.
+  [[nodiscard]] double mean(SimTime now) const {
+    double area = area_;
+    double span = span_;
+    if (has_) {
+      const double dt = (now - last_t_).toSeconds();
+      if (dt > 0) {
+        area += value_ * dt;
+        span += dt;
+      }
+    }
+    return span > 0 ? area / span : value_;
+  }
+
+  [[nodiscard]] double current() const { return value_; }
+
+ private:
+  bool has_ = false;
+  double value_ = 0.0;
+  double area_ = 0.0;
+  double span_ = 0.0;
+  SimTime last_t_ = SimTime::zero();
+};
+
+/// Fixed-boundary histogram with under/overflow buckets.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; bucket i holds values in
+  /// [bounds[i-1], bounds[i]) with bucket 0 = (-inf, bounds[0]).
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    counts_.assign(bounds_.size() + 1, 0);
+  }
+
+  void add(double x) {
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Approximate quantile (0..1) using bucket upper bounds.
+  [[nodiscard]] double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen > target) {
+        if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+        return bounds_[i];
+      }
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Counter of bytes observed over time; reports average throughput and can
+/// be sampled into fixed intervals for utilization plots (Figure 8 style).
+class ThroughputMeter {
+ public:
+  void add(SimTime now, DataSize bytes) {
+    if (!started_) {
+      start_ = now;
+      started_ = true;
+    }
+    last_ = now;
+    total_ += bytes;
+  }
+
+  [[nodiscard]] DataSize totalBytes() const { return total_; }
+
+  /// Average rate between `from` and `to`.
+  [[nodiscard]] DataRate averageRate(SimTime from, SimTime to) const {
+    const double secs = (to - from).toSeconds();
+    if (secs <= 0) return DataRate::zero();
+    return DataRate::bitsPerSecond(
+        static_cast<std::uint64_t>(static_cast<double>(total_.bitCount()) / secs));
+  }
+
+  /// Average rate over the observed span.
+  [[nodiscard]] DataRate averageRate() const {
+    if (!started_) return DataRate::zero();
+    return averageRate(start_, last_);
+  }
+
+  void reset() { *this = ThroughputMeter{}; }
+
+ private:
+  bool started_ = false;
+  SimTime start_ = SimTime::zero();
+  SimTime last_ = SimTime::zero();
+  DataSize total_ = DataSize::zero();
+};
+
+}  // namespace scidmz::sim

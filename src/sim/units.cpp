@@ -1,0 +1,46 @@
+#include "sim/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace scidmz::sim {
+namespace {
+
+std::string formatScaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3g %s", value, unit);
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string toString(Duration d) {
+  const double ns = static_cast<double>(d.ns());
+  const double abs = std::fabs(ns);
+  if (abs >= 1e9) return formatScaled(ns * 1e-9, "s");
+  if (abs >= 1e6) return formatScaled(ns * 1e-6, "ms");
+  if (abs >= 1e3) return formatScaled(ns * 1e-3, "us");
+  return formatScaled(ns, "ns");
+}
+
+std::string toString(SimTime t) { return toString(t - SimTime::zero()); }
+
+std::string toString(DataSize s) {
+  const double b = static_cast<double>(s.byteCount());
+  if (b >= 1e12) return formatScaled(b * 1e-12, "TB");
+  if (b >= 1e9) return formatScaled(b * 1e-9, "GB");
+  if (b >= 1e6) return formatScaled(b * 1e-6, "MB");
+  if (b >= 1e3) return formatScaled(b * 1e-3, "KB");
+  return formatScaled(b, "B");
+}
+
+std::string toString(DataRate r) {
+  const double bps = static_cast<double>(r.bps());
+  if (bps >= 1e9) return formatScaled(bps * 1e-9, "Gbps");
+  if (bps >= 1e6) return formatScaled(bps * 1e-6, "Mbps");
+  if (bps >= 1e3) return formatScaled(bps * 1e-3, "Kbps");
+  return formatScaled(bps, "bps");
+}
+
+}  // namespace scidmz::sim

@@ -1,0 +1,18 @@
+#include "tcp/congestion.hpp"
+
+#include "tcp/cubic.hpp"
+#include "tcp/htcp.hpp"
+#include "tcp/reno.hpp"
+
+namespace scidmz::tcp {
+
+std::unique_ptr<CongestionControl> makeCongestionControl(CcAlgorithm algorithm) {
+  switch (algorithm) {
+    case CcAlgorithm::kReno: return std::make_unique<RenoCc>();
+    case CcAlgorithm::kCubic: return std::make_unique<CubicCc>();
+    case CcAlgorithm::kHtcp: return std::make_unique<HtcpCc>();
+  }
+  return std::make_unique<RenoCc>();
+}
+
+}  // namespace scidmz::tcp

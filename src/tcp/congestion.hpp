@@ -1,0 +1,66 @@
+// Pluggable congestion control.
+//
+// Figure 1 of the paper compares measured TCP-Reno and TCP-Hamilton against
+// the Mathis bound; we provide both plus CUBIC (the Linux default on DTNs).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string_view>
+
+#include "sim/units.hpp"
+
+namespace scidmz::tcp {
+
+enum class CcAlgorithm { kReno, kCubic, kHtcp };
+
+[[nodiscard]] constexpr std::string_view toString(CcAlgorithm a) {
+  switch (a) {
+    case CcAlgorithm::kReno: return "reno";
+    case CcAlgorithm::kCubic: return "cubic";
+    case CcAlgorithm::kHtcp: return "htcp";
+  }
+  return "?";
+}
+
+/// Congestion window state shared between the connection and its CC module.
+/// Windows are in bytes (doubles, so sub-MSS growth per ACK accumulates).
+struct CcState {
+  double cwnd = 0;
+  double ssthresh = 0;
+  sim::DataSize mss = sim::DataSize::bytes(1460);
+
+  [[nodiscard]] bool inSlowStart() const { return cwnd < ssthresh; }
+};
+
+/// Congestion control policy. The connection calls these hooks; the module
+/// adjusts cwnd/ssthresh. Fast-recovery inflation/deflation mechanics stay
+/// in the connection (they are CC-independent NewReno plumbing).
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Called per cumulative ACK that advances snd_una.
+  virtual void onAckedBytes(CcState& state, std::uint64_t ackedBytes, sim::Duration srtt,
+                            sim::SimTime now) = 0;
+
+  /// Loss detected by triple duplicate ACK: set ssthresh (and cwnd to the
+  /// post-backoff value); the connection then applies recovery inflation.
+  virtual void onPacketLoss(CcState& state, sim::SimTime now) = 0;
+
+  /// Retransmission timeout: collapse to one segment.
+  virtual void onRto(CcState& state, sim::SimTime now) {
+    (void)now;
+    state.ssthresh = std::max(state.cwnd / 2.0, 2.0 * static_cast<double>(state.mss.byteCount()));
+    state.cwnd = static_cast<double>(state.mss.byteCount());
+  }
+
+  /// Fresh RTT sample (for delay-adaptive algorithms like H-TCP's beta).
+  virtual void onRttSample(sim::Duration rtt) { (void)rtt; }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<CongestionControl> makeCongestionControl(CcAlgorithm algorithm);
+
+}  // namespace scidmz::tcp

@@ -1,0 +1,250 @@
+// TCP connection: handshake with RFC 1323 window-scale negotiation, bulk
+// data transfer with NewReno loss recovery, RFC 6298 retransmission timer,
+// and pluggable congestion control.
+//
+// The model is deliberately faithful in the places the paper's phenomena
+// live: window scaling can be stripped by middleboxes (capping throughput
+// at 64 KiB / RTT), loss detection is duplicate-ACK based (so a single
+// drop halves the window), and the sender emits whole windows back-to-back
+// at NIC line rate (the bursts that overflow shallow buffers downstream).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/host.hpp"
+#include "tcp/congestion.hpp"
+
+namespace scidmz::tcp {
+
+struct TcpConfig {
+  CcAlgorithm algorithm = CcAlgorithm::kReno;
+  /// Cap on unacknowledged in-flight data (sender-side socket buffer).
+  sim::DataSize sndBuf = sim::DataSize::mebibytes(16);
+  /// Advertised receive window (receiver-side socket buffer; the app in
+  /// this model consumes instantly, so the full buffer is always offered).
+  sim::DataSize rcvBuf = sim::DataSize::mebibytes(16);
+  /// Host supports RFC 1323 window scaling (both ends must, and the option
+  /// must survive middleboxes, for windows beyond 64 KiB).
+  bool windowScaling = true;
+  /// Sender-side pacing (fq-style, per the DTN tuning guides): spread the
+  /// window over the RTT at pacingGain * cwnd/srtt instead of emitting
+  /// line-rate bursts. Protects shallow-buffered devices downstream.
+  bool pacing = false;
+  double pacingGain = 1.25;
+  std::uint32_t initialWindowSegments = 10;
+  sim::Duration minRto = sim::Duration::milliseconds(200);
+  sim::Duration initialRto = sim::Duration::seconds(1);
+  sim::Duration maxRto = sim::Duration::seconds(60);
+
+  /// A tuned data transfer node: large buffers, H-TCP.
+  static TcpConfig tunedDtn() {
+    TcpConfig c;
+    c.algorithm = CcAlgorithm::kHtcp;
+    c.sndBuf = sim::DataSize::mebibytes(512);
+    c.rcvBuf = sim::DataSize::mebibytes(512);
+    return c;
+  }
+
+  /// An untuned general-purpose host: 64 KiB buffers, no effective scaling
+  /// headroom (the pre-autotuning default the paper's Section 6.2 cites).
+  static TcpConfig untunedDefault() {
+    TcpConfig c;
+    c.sndBuf = sim::DataSize::kibibytes(64);
+    c.rcvBuf = sim::DataSize::kibibytes(64);
+    return c;
+  }
+};
+
+struct TcpStats {
+  std::uint64_t dataSegmentsSent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fastRetransmits = 0;
+  std::uint64_t rtos = 0;
+  sim::DataSize bytesAcked = sim::DataSize::zero();
+};
+
+/// One end of a TCP connection. Create client side via the active-open
+/// constructor + start(); server sides are created by TcpListener.
+class TcpConnection : public net::PacketSink {
+ public:
+  /// Active open (client).
+  TcpConnection(net::Host& host, net::Address remote, std::uint16_t remotePort, TcpConfig config);
+  /// Passive open (server side), constructed by TcpListener from a SYN.
+  TcpConnection(net::Host& host, const net::Packet& syn, TcpConfig config);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Client: begin the handshake.
+  void start();
+
+  /// Queue `bytes` of bulk data for transmission (callable repeatedly).
+  void sendData(sim::DataSize bytes);
+
+  /// Half-close after all queued data: sends FIN, peer fires onClosed.
+  void close();
+
+  // --- completion callbacks -------------------------------------------
+  std::function<void()> onEstablished;
+  std::function<void(sim::DataSize)> onDelivered;  ///< Receiver: in-order bytes handed to app.
+  std::function<void()> onSendComplete;            ///< Sender: all queued data ACKed.
+  std::function<void()> onClosed;                  ///< Receiver: FIN consumed.
+
+  // --- introspection ----------------------------------------------------
+  [[nodiscard]] bool established() const { return state_ == State::kEstablished; }
+  [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
+  [[nodiscard]] const net::FlowKey& flow() const { return flow_; }
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+  [[nodiscard]] double cwndBytes() const { return cc_state_.cwnd; }
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] bool windowScalingActive() const { return scaling_ok_; }
+  [[nodiscard]] std::uint64_t peerWindowBytes() const { return peer_wnd_; }
+  [[nodiscard]] std::string_view ccName() const { return cc_->name(); }
+
+  /// Snapshot of internal transfer state, for diagnosis tooling and tests.
+  struct DebugState {
+    std::uint64_t sndUna = 0;
+    std::uint64_t sndNxt = 0;
+    std::uint64_t sendTarget = 0;
+    std::uint64_t rcvNxt = 0;
+    bool inRecovery = false;
+    int dupAcks = 0;
+    bool rtoArmed = false;
+    sim::Duration rto = sim::Duration::zero();
+  };
+  [[nodiscard]] DebugState debugState() const {
+    return DebugState{snd_una_, snd_nxt_, send_target_, rcv_nxt_,
+                      in_recovery_, dup_acks_, rto_timer_.valid(), rto_};
+  }
+
+  /// Receiver-side delivered byte count and average goodput.
+  [[nodiscard]] sim::DataSize deliveredBytes() const { return delivered_; }
+  [[nodiscard]] sim::DataRate deliveryRate() const;
+  /// Sender-side goodput (acked bytes over active sending time).
+  [[nodiscard]] sim::DataRate goodput() const;
+
+  /// Entry point for segments (host demux for clients, listener dispatch
+  /// for server sides).
+  void onPacket(const net::Packet& packet) override;
+
+ private:
+  enum class State { kIdle, kSynSent, kSynReceived, kEstablished, kClosed };
+
+  void sendSyn();
+  void sendSynAck();
+  void sendAckOnly();
+  void sendSegment(std::uint64_t seq, sim::DataSize len, bool fin, bool isRetransmit);
+  void trySend();
+  /// Paced mode: emit at most one segment, then arm the pacing timer.
+  void pacedSend();
+  [[nodiscard]] bool sendOneSegment();
+  void handleAck(const net::TcpHeader& header);
+  void handleData(const net::Packet& packet);
+  void enterRecovery();
+  void retransmitFrom(std::uint64_t seq);
+  /// Merge the ACK's SACK blocks into the scoreboard.
+  void absorbSack(const net::TcpHeader& header);
+  /// RFC 6675-style recovery step: retransmit un-SACKed holes (and then
+  /// new data) while the pipe has room under cwnd.
+  void sackRetransmit();
+  [[nodiscard]] std::uint64_t sackedBytesInFlight() const;
+  /// First un-SACKed byte at or after `point`.
+  [[nodiscard]] std::uint64_t nextHole(std::uint64_t point) const;
+  void becomeEstablished();
+  void checkSendComplete();
+  void sampleRtt(sim::Duration sample);
+  void armRto();
+  void cancelRto();
+  void onRtoFire();
+  [[nodiscard]] std::uint64_t effectiveWindow() const;
+  [[nodiscard]] std::uint16_t advertisedField() const;
+  [[nodiscard]] std::uint64_t sendLimit() const {
+    return send_target_ + (fin_pending_ ? 1 : 0);
+  }
+
+  net::Host& host_;
+  TcpConfig config_;
+  net::FlowKey flow_;  ///< Local perspective: src = this host.
+  State state_ = State::kIdle;
+  bool client_side_ = false;
+  bool bound_port_ = false;
+
+  // Congestion control.
+  CcState cc_state_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  // Sender state (byte sequence space; data starts at 0, FIN at target).
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t send_target_ = 0;
+  bool fin_pending_ = false;
+  bool send_complete_notified_ = false;
+  std::uint64_t peer_wnd_ = 65535;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  /// SACK scoreboard: received ranges above snd_una_, disjoint, sorted.
+  std::map<std::uint64_t, std::uint64_t> sacked_;
+  /// Highest sequence retransmitted during this recovery episode.
+  std::uint64_t high_rxt_ = 0;
+  sim::SimTime first_send_at_;
+  sim::SimTime last_ack_at_;
+  bool sent_any_ = false;
+
+  // Window scaling negotiation.
+  bool scaling_ok_ = false;
+  std::uint8_t snd_wscale_ = 0;  ///< Peer's receive-window shift.
+  std::uint8_t rcv_wscale_ = 0;  ///< Our receive-window shift.
+
+  // RTO machinery (RFC 6298).
+  sim::Duration srtt_ = sim::Duration::zero();
+  sim::Duration rttvar_ = sim::Duration::zero();
+  bool have_rtt_ = false;
+  sim::Duration rto_;
+  sim::EventId rto_timer_{};
+  sim::EventId pace_timer_{};
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_ = 0;
+  std::uint64_t ts_recent_ = 0;  ///< tsVal of the segment triggering our next ACK.
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< start -> end, disjoint.
+  std::optional<std::uint64_t> fin_seq_;
+  sim::DataSize delivered_ = sim::DataSize::zero();
+  sim::SimTime first_delivery_at_;
+  sim::SimTime last_delivery_at_;
+  bool delivered_any_ = false;
+
+  TcpStats stats_;
+};
+
+/// Listening socket: accepts SYNs on a port, owns the spawned server-side
+/// connections, and dispatches subsequent segments to them by flow.
+class TcpListener : public net::PacketSink {
+ public:
+  TcpListener(net::Host& host, std::uint16_t port, TcpConfig config);
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Fired when a new connection completes its handshake.
+  std::function<void(TcpConnection&)> onAccept;
+
+  void onPacket(const net::Packet& packet) override;
+
+  [[nodiscard]] std::size_t connectionCount() const { return connections_.size(); }
+
+ private:
+  net::Host& host_;
+  std::uint16_t port_;
+  TcpConfig config_;
+  std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>, net::FlowKeyHash> connections_;
+};
+
+}  // namespace scidmz::tcp

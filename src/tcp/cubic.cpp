@@ -1,0 +1,57 @@
+#include "tcp/cubic.hpp"
+
+#include <cmath>
+
+namespace scidmz::tcp {
+
+void CubicCc::onAckedBytes(CcState& state, std::uint64_t ackedBytes, sim::Duration srtt,
+                           sim::SimTime now) {
+  const double mss = static_cast<double>(state.mss.byteCount());
+  if (state.inSlowStart()) {
+    state.cwnd += std::min(static_cast<double>(ackedBytes), mss);
+    return;
+  }
+  if (!in_epoch_) {
+    in_epoch_ = true;
+    epoch_start_ = now;
+    if (w_max_ <= 0.0) w_max_ = state.cwnd / mss;
+  }
+  const double wmax = w_max_;
+  const double k = std::cbrt(wmax * (1.0 - kBeta) / kC);
+  const double t = (now - epoch_start_).toSeconds() + srtt.toSeconds();
+  const double target = kC * (t - k) * (t - k) * (t - k) + wmax;  // segments
+
+  // TCP-friendly region: the window Reno would have reached in this epoch.
+  const double elapsed = (now - epoch_start_).toSeconds();
+  const double rtt = std::max(srtt.toSeconds(), 1e-6);
+  const double w_reno = wmax * kBeta + 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * (elapsed / rtt);
+
+  const double cwndSeg = state.cwnd / mss;
+  const double goal = std::max(target, w_reno);
+  if (goal > cwndSeg) {
+    // Spread the climb to `goal` over roughly one RTT of ACKs.
+    state.cwnd += (goal - cwndSeg) / cwndSeg * mss;
+  } else {
+    // Stay almost flat in the concave plateau.
+    state.cwnd += mss / (100.0 * cwndSeg);
+  }
+}
+
+void CubicCc::onPacketLoss(CcState& state, sim::SimTime now) {
+  (void)now;
+  const double mss = static_cast<double>(state.mss.byteCount());
+  const double cwndSeg = state.cwnd / mss;
+  // Fast convergence: release bandwidth faster when the window shrank.
+  w_max_ = cwndSeg < w_max_ ? cwndSeg * (1.0 + kBeta) / 2.0 : cwndSeg;
+  state.ssthresh = std::max(state.cwnd * kBeta, 2.0 * mss);
+  state.cwnd = state.ssthresh;
+  in_epoch_ = false;
+}
+
+void CubicCc::onRto(CcState& state, sim::SimTime now) {
+  CongestionControl::onRto(state, now);
+  in_epoch_ = false;
+  w_max_ = 0.0;
+}
+
+}  // namespace scidmz::tcp

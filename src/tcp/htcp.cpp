@@ -1,0 +1,57 @@
+#include "tcp/htcp.hpp"
+
+#include <algorithm>
+
+namespace scidmz::tcp {
+
+double HtcpCc::alpha(sim::SimTime now) const {
+  if (!had_loss_) return 1.0;
+  const double delta = (now - last_loss_).toSeconds();
+  if (delta <= kDeltaL) return 1.0;
+  const double d = delta - kDeltaL;
+  // Quadratic ramp from the H-TCP paper: 1 + 10d + (d/2)^2, in MSS per RTT.
+  return 1.0 + 10.0 * d + 0.25 * d * d;
+}
+
+void HtcpCc::onAckedBytes(CcState& state, std::uint64_t ackedBytes, sim::Duration srtt,
+                          sim::SimTime now) {
+  (void)srtt;
+  const double mss = static_cast<double>(state.mss.byteCount());
+  if (state.inSlowStart()) {
+    state.cwnd += std::min(static_cast<double>(ackedBytes), mss);
+    return;
+  }
+  // alpha MSS per RTT, apportioned per ACK.
+  state.cwnd += alpha(now) * mss * mss / state.cwnd;
+}
+
+void HtcpCc::onPacketLoss(CcState& state, sim::SimTime now) {
+  const double mss = static_cast<double>(state.mss.byteCount());
+  // Adaptive backoff: shrink only as far as the queueing contribution to
+  // RTT suggests, bounded to [0.5, 0.8].
+  double beta = kBetaMin;
+  if (rtt_max_s_ > 0.0 && rtt_min_s_ < 1e9) {
+    beta = std::clamp(rtt_min_s_ / rtt_max_s_, kBetaMin, kBetaMax);
+  }
+  state.ssthresh = std::max(state.cwnd * beta, 2.0 * mss);
+  state.cwnd = state.ssthresh;
+  had_loss_ = true;
+  last_loss_ = now;
+  // Restart the RTT envelope for the next congestion epoch.
+  rtt_min_s_ = 1e9;
+  rtt_max_s_ = 0.0;
+}
+
+void HtcpCc::onRto(CcState& state, sim::SimTime now) {
+  CongestionControl::onRto(state, now);
+  had_loss_ = true;
+  last_loss_ = now;
+}
+
+void HtcpCc::onRttSample(sim::Duration rtt) {
+  const double s = rtt.toSeconds();
+  rtt_min_s_ = std::min(rtt_min_s_, s);
+  rtt_max_s_ = std::max(rtt_max_s_, s);
+}
+
+}  // namespace scidmz::tcp

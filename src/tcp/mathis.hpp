@@ -1,0 +1,56 @@
+// Analytic TCP throughput models from the paper.
+//
+// Equation 1 (Mathis et al. 1997): maximum TCP throughput is at most
+//     (MSS / RTT) * (C / sqrt(p))
+// with C ~ sqrt(3/2) for a Reno-style sender acknowledging every segment.
+// Equation 2: the bandwidth-delay product window required to fill a path.
+#pragma once
+
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace scidmz::tcp {
+
+/// Mathis constant for per-segment ACKs.
+inline constexpr double kMathisC = 1.2247448713915890;  // sqrt(3/2)
+
+/// Equation 1: loss-bounded throughput. For p == 0 the model is unbounded;
+/// callers should clamp with `lossFreeThroughput`.
+[[nodiscard]] inline sim::DataRate mathisThroughput(sim::DataSize mss, sim::Duration rtt,
+                                                    double lossRate) {
+  if (lossRate <= 0.0 || rtt <= sim::Duration::zero()) {
+    return sim::DataRate::bitsPerSecond(0);
+  }
+  const double bitsPerSecond =
+      static_cast<double>(mss.bitCount()) / rtt.toSeconds() * (kMathisC / std::sqrt(lossRate));
+  return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(bitsPerSecond));
+}
+
+/// Loss-free ceiling: the lower of the bottleneck rate and the window-limited
+/// rate (receive window / RTT).
+[[nodiscard]] inline sim::DataRate lossFreeThroughput(sim::DataRate bottleneck,
+                                                      sim::DataSize window, sim::Duration rtt) {
+  if (rtt <= sim::Duration::zero()) return bottleneck;
+  const double windowBps = static_cast<double>(window.bitCount()) / rtt.toSeconds();
+  const auto windowRate = sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(windowBps));
+  return windowRate < bottleneck ? windowRate : bottleneck;
+}
+
+/// Combined prediction: min(loss bound, bottleneck, window bound).
+[[nodiscard]] inline sim::DataRate predictThroughput(sim::DataRate bottleneck, sim::DataSize mss,
+                                                     sim::DataSize window, sim::Duration rtt,
+                                                     double lossRate) {
+  const auto ceiling = lossFreeThroughput(bottleneck, window, rtt);
+  if (lossRate <= 0.0) return ceiling;
+  const auto bound = mathisThroughput(mss, rtt, lossRate);
+  return bound < ceiling ? bound : ceiling;
+}
+
+/// Equation 2: window needed to sustain `rate` over `rtt` (the paper's
+/// example: 1 Gbps x 10 ms -> 1.25 MB).
+[[nodiscard]] inline sim::DataSize bandwidthDelayWindow(sim::DataRate rate, sim::Duration rtt) {
+  return rate.bytesIn(rtt);
+}
+
+}  // namespace scidmz::tcp

@@ -1,0 +1,26 @@
+#include "tcp/reno.hpp"
+
+namespace scidmz::tcp {
+
+void RenoCc::onAckedBytes(CcState& state, std::uint64_t ackedBytes, sim::Duration srtt,
+                          sim::SimTime now) {
+  (void)srtt;
+  (void)now;
+  const double mss = static_cast<double>(state.mss.byteCount());
+  if (state.inSlowStart()) {
+    // Exponential growth: one MSS per ACKed MSS, capped per RFC 3465.
+    state.cwnd += std::min(static_cast<double>(ackedBytes), mss);
+  } else {
+    // Additive increase: ~1 MSS per RTT, apportioned per ACK.
+    state.cwnd += mss * mss / state.cwnd;
+  }
+}
+
+void RenoCc::onPacketLoss(CcState& state, sim::SimTime now) {
+  (void)now;
+  const double mss = static_cast<double>(state.mss.byteCount());
+  state.ssthresh = std::max(state.cwnd / 2.0, 2.0 * mss);
+  state.cwnd = state.ssthresh;
+}
+
+}  // namespace scidmz::tcp

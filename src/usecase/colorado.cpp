@@ -1,0 +1,124 @@
+#include "usecase/colorado.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::usecase {
+
+using namespace scidmz::sim::literals;
+
+double ColoradoResult::worstHostMbps() const {
+  return perHostMbps.empty() ? 0.0 : *std::min_element(perHostMbps.begin(), perHostMbps.end());
+}
+
+double ColoradoResult::bestHostMbps() const {
+  return perHostMbps.empty() ? 0.0 : *std::max_element(perHostMbps.begin(), perHostMbps.end());
+}
+
+ColoradoResult runColorado(const ColoradoConfig& config) {
+  sim::Simulator simulator;
+  sim::Rng rng{config.seed};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+
+  // Tier site --10G WAN-- border --10G-- RCNet aggregation switch --1G-- hosts.
+  auto& tier = topo.addHost("cms-tier", net::Address(192, 12, 15, 1));
+  auto& border = topo.addRouter("campus-border");
+  auto& rcnet = topo.addSwitch("rcnet-agg", net::SwitchProfile::scienceDmz());
+
+  net::FanInDefect defect;
+  defect.enabled = true;
+  defect.loadThreshold = config.defectThreshold;
+  defect.defectiveBuffer = 64_KiB;
+  // Average over a window long enough that the trigger reflects sustained
+  // demand, not the line-rate micro-bursts every TCP flow emits.
+  defect.loadWindow = 100_ms;
+  rcnet.setFanInDefect(defect);
+  if (config.vendorFixApplied) rcnet.applyVendorFix();
+
+  net::LinkParams wan;
+  wan.rate = config.uplink;
+  wan.delay = sim::Duration::nanoseconds(config.wanRtt.ns() / 2);
+  wan.mtu = 1500_B;
+  topo.connect(tier, border, wan);
+
+  net::LinkParams uplink;
+  uplink.rate = config.uplink;
+  uplink.delay = 50_us;
+  uplink.mtu = 1500_B;
+  topo.connect(border, rcnet, uplink);
+
+  std::vector<net::Host*> hosts;
+  net::LinkParams edge;
+  edge.rate = config.hostLink;
+  edge.delay = 20_us;
+  edge.mtu = 1500_B;
+  for (int i = 0; i < config.physicsHosts; ++i) {
+    auto& host = topo.addHost("physics-" + std::to_string(i),
+                              net::Address(10, 40, 1, static_cast<std::uint8_t>(i + 1)));
+    topo.connect(host, rcnet, edge);
+    hosts.push_back(&host);
+  }
+  topo.computeRoutes();
+
+  // One tuned bulk download per host (CMS data pulls). Sender is the tier.
+  // Buffers sized ~1.5x the path BDP: enough to fill the 1G edge, small
+  // enough that the healthy switch's buffers absorb the standing queue.
+  tcp::TcpConfig tcpCfg;
+  tcpCfg.algorithm = tcp::CcAlgorithm::kCubic;
+  tcpCfg.sndBuf = 8_MB;
+  tcpCfg.rcvBuf = 8_MB;
+
+  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
+  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
+  std::vector<tcp::TcpConnection*> serverSides(hosts.size(), nullptr);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    // The host "requests" data: it is the TCP client; the tier listens and
+    // pushes. Flow direction: tier -> host.
+    auto listener = std::make_unique<tcp::TcpListener>(tier, static_cast<std::uint16_t>(7000 + i),
+                                                       tcpCfg);
+    listener->onAccept = [&serverSides, i](tcp::TcpConnection& c) {
+      serverSides[i] = &c;
+      c.sendData(sim::DataSize::terabytes(1));
+    };
+    auto client = std::make_unique<tcp::TcpConnection>(*hosts[i], tier.address(),
+                                                       static_cast<std::uint16_t>(7000 + i),
+                                                       tcpCfg);
+    client->start();
+    listeners.push_back(std::move(listener));
+    clients.push_back(std::move(client));
+  }
+
+  // Ramp-up, then measure deltas over the window.
+  simulator.runFor(3_s);
+  std::vector<sim::DataSize> base(hosts.size(), sim::DataSize::zero());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (clients[i]) base[i] = clients[i]->deliveredBytes();
+  }
+  simulator.runFor(config.measureWindow);
+
+  ColoradoResult result;
+  const double windowSecs = config.measureWindow.toSeconds();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const auto delta = clients[i]->deliveredBytes() - base[i];
+    const double mbps = static_cast<double>(delta.bitCount()) / windowSecs / 1e6;
+    result.perHostMbps.push_back(mbps);
+    result.aggregateMbps += mbps;
+  }
+  result.storeForwardLatched = rcnet.fallbackLatched();
+  for (std::size_t i = 0; i < rcnet.interfaceCount(); ++i) {
+    result.switchDrops += rcnet.interface(i).queue().stats().dropped;
+  }
+  return result;
+}
+
+}  // namespace scidmz::usecase

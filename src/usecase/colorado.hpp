@@ -1,0 +1,44 @@
+// Section 6.1 — University of Colorado, Boulder (Figures 6-7).
+//
+// The CMS physics group's hosts sit on 1G ports of an RCNet aggregation
+// switch with a 10G uplink. Under heavy load the switch fell back from
+// cut-through to store-and-forward and, due to a vendor defect, could no
+// longer provide loss-free service; downloads from the LHC tiers
+// collapsed. After the vendor fix (plus architecture changes) performance
+// returned to near line rate per host.
+#pragma once
+
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::usecase {
+
+struct ColoradoConfig {
+  int physicsHosts = 5;
+  sim::DataRate hostLink = sim::DataRate::gigabitsPerSecond(1);
+  sim::DataRate uplink = sim::DataRate::gigabitsPerSecond(10);
+  /// WAN RTT to the LHC tier serving the data.
+  sim::Duration wanRtt = sim::Duration::milliseconds(40);
+  /// Aggregate ingress load that trips the cut-through fallback.
+  sim::DataRate defectThreshold = sim::DataRate::gigabitsPerSecond(2);
+  bool vendorFixApplied = false;
+  sim::Duration measureWindow = sim::Duration::seconds(5);
+  std::uint64_t seed = 42;
+};
+
+struct ColoradoResult {
+  std::vector<double> perHostMbps;
+  double aggregateMbps = 0.0;
+  bool storeForwardLatched = false;
+  std::uint64_t switchDrops = 0;
+
+  [[nodiscard]] double worstHostMbps() const;
+  [[nodiscard]] double bestHostMbps() const;
+};
+
+/// Run the scenario: simultaneous bulk downloads from the tier site to
+/// every physics host, measured over `measureWindow` after ramp-up.
+[[nodiscard]] ColoradoResult runColorado(const ColoradoConfig& config);
+
+}  // namespace scidmz::usecase

@@ -1,0 +1,99 @@
+#include "usecase/nersc_olcf.hpp"
+
+#include "apps/bulk_transfer.hpp"
+#include "core/site_builder.hpp"
+#include "dtn/dtn_node.hpp"
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace scidmz::usecase {
+
+using namespace scidmz::sim::literals;
+
+namespace {
+
+/// HPSS-archive-backed DTN storage of the era: ~200 MB/s per mover. The
+/// sending side's read rate is what pins the end-to-end result.
+dtn::StorageProfile hpssMoverStorage() {
+  dtn::StorageProfile p;
+  p.readRate = sim::DataRate::megabitsPerSecond(1700);   // ~212 MB/s
+  p.writeRate = sim::DataRate::megabitsPerSecond(1700);
+  p.perStreamCap = sim::DataRate::megabitsPerSecond(1700);
+  return p;
+}
+
+double measureMBps(double sampleMB, sim::Duration elapsed) {
+  return elapsed > sim::Duration::zero() ? sampleMB / elapsed.toSeconds() : 0.0;
+}
+
+}  // namespace
+
+NerscOlcfResult runNerscOlcf(const NerscOlcfConfig& config) {
+  NerscOlcfResult result;
+
+  // --- before: untuned login-node-style path through the border firewall --
+  {
+    sim::Simulator simulator;
+    sim::Rng rng{config.seed};
+    sim::Logger logger;
+    net::Context ctx{simulator, rng, logger};
+    net::Topology topo{ctx};
+
+    core::SiteConfig site;
+    site.wan.rate = config.wanRate;
+    site.wan.delay = sim::Duration::nanoseconds(config.rtt.ns() / 2);
+    site.wan.mtu = 1500_B;
+    site.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+    site.remoteProfile = dtn::DtnProfile::untunedGeneralPurpose();
+    auto campus = core::buildGeneralPurposeCampus(topo, site);
+
+    const auto sample = 30_MB;
+    apps::BulkTransfer transfer{campus->remoteDtn->host(), campus->primaryDtn()->host(), 2811,
+                                sample, campus->primaryDtn()->profile().tcp};
+    transfer.start();
+    simulator.runUntil(sim::SimTime::zero() + 3600_s);
+    if (transfer.result().completed) {
+      result.beforeMBps = measureMBps(sample.toMB(), transfer.result().elapsed);
+    }
+  }
+
+  // --- after: DTN to DTN between the two centers --------------------------
+  {
+    sim::Simulator simulator;
+    sim::Rng rng{config.seed + 1};
+    sim::Logger logger;
+    net::Context ctx{simulator, rng, logger};
+    net::Topology topo{ctx};
+
+    core::SiteConfig site;
+    site.wan.rate = config.wanRate;
+    site.wan.delay = sim::Duration::nanoseconds(config.rtt.ns() / 2);
+    site.wan.mtu = 9000_B;
+    site.dtnStorage = hpssMoverStorage();
+    site.remoteStorage = hpssMoverStorage();
+    auto center = core::buildSupercomputerCenter(topo, site);
+
+    dtn::DtnTransfer transfer{*center->remoteDtn, *center->primaryDtn(), "c14-input.h5",
+                              config.sampleBytes, 50000};
+    transfer.start();
+    simulator.runUntil(sim::SimTime::zero() + 3600_s);
+    if (transfer.finished() && transfer.result().completed) {
+      result.afterMBps = measureMBps(config.sampleBytes.toMB(), transfer.result().elapsed);
+    }
+  }
+
+  if (result.beforeMBps > 0) {
+    result.fileTimeBefore = sim::Duration::fromSeconds(
+        config.fileSize.toMB() / result.beforeMBps);
+  }
+  if (result.afterMBps > 0) {
+    result.fileTimeAfter = sim::Duration::fromSeconds(config.fileSize.toMB() / result.afterMBps);
+    result.campaignTimeAfter = sim::Duration::fromSeconds(
+        static_cast<double>(config.campaignSize.byteCount()) / 1e6 / result.afterMBps);
+  }
+  return result;
+}
+
+}  // namespace scidmz::usecase

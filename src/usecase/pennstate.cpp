@@ -1,0 +1,93 @@
+#include "usecase/pennstate.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/bulk_transfer.hpp"
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/mathis.hpp"
+
+namespace scidmz::usecase {
+
+using namespace scidmz::sim::literals;
+
+sim::DataSize requiredWindow(const PennStateConfig& config) {
+  return tcp::bandwidthDelayWindow(config.accessRate, config.rtt);
+}
+
+namespace {
+
+PennStateDirection runDirection(const PennStateConfig& config, bool sequenceChecking,
+                                bool inbound) {
+  sim::Simulator simulator;
+  sim::Rng rng{config.seed};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+
+  // vtti --(campus access, RTT split)-- fw -- coe-switch -- coe-server
+  auto& vtti = topo.addHost("vtti", net::Address(198, 82, 0, 1));
+  auto profile = net::FirewallProfile::enterprise10G();
+  profile.tcpSequenceChecking = sequenceChecking;
+  auto& fw = topo.addFirewall("coe-fw", profile);
+  auto& coeSwitch = topo.addSwitch("coe-switch");
+  auto& server = topo.addHost("coe-server", net::Address(10, 30, 1, 1));
+
+  net::LinkParams outside;
+  outside.rate = config.accessRate;
+  outside.delay = sim::Duration::nanoseconds(config.rtt.ns() / 2);
+  outside.mtu = 1500_B;
+  topo.connect(vtti, fw, outside);
+  net::LinkParams inside;
+  inside.rate = config.accessRate;
+  inside.delay = 10_us;
+  inside.mtu = 1500_B;
+  topo.connect(fw, coeSwitch, inside);
+  topo.connect(coeSwitch, server, inside);
+  topo.computeRoutes();
+
+  // Hosts are configured with auto-tuning: big buffers, scaling offered.
+  tcp::TcpConfig tcpCfg;
+  tcpCfg.algorithm = tcp::CcAlgorithm::kCubic;
+  tcpCfg.sndBuf = 64_MB;
+  tcpCfg.rcvBuf = 64_MB;
+
+  net::Host& src = inbound ? vtti : server;
+  net::Host& dst = inbound ? server : vtti;
+  apps::BulkTransfer transfer{src, dst, 5001, config.transferSize, tcpCfg};
+  transfer.start();
+
+  // Sample the receiver's advertised window as seen by the sender.
+  std::uint64_t peakWindow = 0;
+  std::function<void()> sample = [&] {
+    if (auto* conn = transfer.clientConnection()) {
+      peakWindow = std::max(peakWindow, conn->peerWindowBytes());
+    }
+    if (!transfer.finished()) simulator.schedule(50_ms, sample);
+  };
+  simulator.schedule(50_ms, sample);
+  simulator.runUntil(sim::SimTime::zero() + 600_s);
+
+  PennStateDirection out;
+  out.mbps = transfer.result().completed ? transfer.result().goodput.toMbps() : 0.0;
+  out.windowScalingActive =
+      transfer.clientConnection() != nullptr && transfer.clientConnection()->windowScalingActive();
+  out.peakWindowBytes = peakWindow;
+  return out;
+}
+
+}  // namespace
+
+PennStateResult runPennState(const PennStateConfig& config) {
+  PennStateResult result;
+  result.inboundBefore = runDirection(config, /*sequenceChecking=*/true, /*inbound=*/true);
+  result.outboundBefore = runDirection(config, true, false);
+  result.inboundAfter = runDirection(config, false, true);
+  result.outboundAfter = runDirection(config, false, false);
+  return result;
+}
+
+}  // namespace scidmz::usecase

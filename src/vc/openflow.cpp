@@ -1,0 +1,82 @@
+#include "vc/openflow.hpp"
+
+#include <algorithm>
+
+namespace scidmz::vc {
+
+std::size_t FlowTable::add(FlowRule rule) {
+  // Reuse a vacated slot if any, else append.
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (!rules_[i]) {
+      rules_[i] = std::move(rule);
+      return i;
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return rules_.size() - 1;
+}
+
+void FlowTable::remove(std::size_t handle) {
+  if (handle < rules_.size()) rules_[handle].reset();
+}
+
+FlowAction FlowTable::lookup(const net::FlowKey& key) {
+  FlowRule* best = nullptr;
+  for (auto& slot : rules_) {
+    if (!slot || !slot->match.matches(key)) continue;
+    if (best == nullptr || slot->priority > best->priority) best = &*slot;
+  }
+  if (best == nullptr) return table_miss_;
+  ++best->hits;
+  return best->action;
+}
+
+std::size_t FlowTable::ruleCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(rules_.begin(), rules_.end(), [](const auto& r) { return r.has_value(); }));
+}
+
+const FlowRule* FlowTable::rule(std::size_t handle) const {
+  if (handle >= rules_.size() || !rules_[handle]) return nullptr;
+  return &*rules_[handle];
+}
+
+BypassController::BypassController(net::FirewallDevice& firewall,
+                                   net::IntrusionDetectionSystem& ids)
+    : firewall_(firewall) {
+  ids.attachTo(firewall_);
+  ids.onVetted([this](const net::FlowKey& flow) {
+    firewall_.addBypass(flow);
+    ++bypasses_;
+    FlowRule rule;
+    rule.priority = 10;
+    rule.match.src = net::Prefix{flow.src, 32};
+    rule.match.dst = net::Prefix{flow.dst, 32};
+    rule.match.srcPort = flow.srcPort;
+    rule.match.dstPort = flow.dstPort;
+    rule.action = FlowAction::kBypassFirewall;
+    table_.add(rule);
+    if (onBypassInstalled) onBypassInstalled(flow);
+  });
+  ids.onFlagged([this](const net::FlowKey& flow) {
+    ++drops_;
+    FlowRule rule;
+    rule.priority = 100;  // blocks outrank bypasses
+    rule.match.src = net::Prefix{flow.src, 32};
+    rule.action = FlowAction::kDrop;
+    table_.add(rule);
+    // Enforce in the firewall's policy too: deny the source outright.
+    auto policy = firewall_.policy();
+    net::AclRule deny;
+    deny.action = net::AclAction::kDeny;
+    deny.src = net::Prefix{flow.src, 32};
+    deny.comment = "sdn-controller blocklist";
+    // Prepend by rebuilding: deny first, then the existing rules.
+    net::AclTable rebuilt{policy.defaultAction()};
+    rebuilt.append(deny);
+    for (const auto& r : policy.rules()) rebuilt.append(r);
+    firewall_.setPolicy(rebuilt);
+  });
+}
+
+}  // namespace scidmz::vc

@@ -1,0 +1,95 @@
+// OpenFlow-style flow table and the Section 7.3 controller application:
+// dynamically modify security policy for large flows between trusted sites
+// — send connection-setup traffic to the IDS, and once the connection is
+// vetted, install a firewall bypass for the flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/firewall.hpp"
+#include "net/ids.hpp"
+
+namespace scidmz::vc {
+
+/// Wildcard-capable match over the 5-tuple.
+struct FlowMatch {
+  std::optional<net::Prefix> src;
+  std::optional<net::Prefix> dst;
+  std::optional<std::uint16_t> srcPort;
+  std::optional<std::uint16_t> dstPort;
+  std::optional<net::Protocol> proto;
+
+  [[nodiscard]] bool matches(const net::FlowKey& key) const {
+    if (src && !src->contains(key.src)) return false;
+    if (dst && !dst->contains(key.dst)) return false;
+    if (srcPort && *srcPort != key.srcPort) return false;
+    if (dstPort && *dstPort != key.dstPort) return false;
+    if (proto && *proto != key.proto) return false;
+    return true;
+  }
+};
+
+enum class FlowAction : std::uint8_t {
+  kForward,         ///< Normal forwarding (through the firewall).
+  kBypassFirewall,  ///< Skip the firewall's inspection engines.
+  kDrop,            ///< Blocklisted.
+  kToController,    ///< Punt: no decision yet.
+};
+
+struct FlowRule {
+  int priority = 0;  ///< Higher wins.
+  FlowMatch match;
+  FlowAction action = FlowAction::kForward;
+  std::uint64_t hits = 0;
+};
+
+/// Priority-ordered flow table with a default (table-miss) action.
+class FlowTable {
+ public:
+  explicit FlowTable(FlowAction tableMiss = FlowAction::kToController)
+      : table_miss_(tableMiss) {}
+
+  /// Insert a rule; returns a handle index usable with remove().
+  std::size_t add(FlowRule rule);
+  void remove(std::size_t handle);
+  void clear() { rules_.clear(); }
+
+  /// Highest-priority matching rule's action (counting the hit), or the
+  /// table-miss action.
+  FlowAction lookup(const net::FlowKey& key);
+
+  [[nodiscard]] std::size_t ruleCount() const;
+  [[nodiscard]] const FlowRule* rule(std::size_t handle) const;
+
+ private:
+  std::vector<std::optional<FlowRule>> rules_;
+  FlowAction table_miss_;
+};
+
+/// The IDS-then-bypass controller: watches flows through a firewall via an
+/// IDS tap; vetted flows get a firewall bypass installed, flagged flows get
+/// a drop rule and a firewall policy deny.
+class BypassController {
+ public:
+  /// Wires the IDS tap onto the firewall and registers the vet/flag
+  /// policies. Configure the vetting depth on the IDS itself.
+  BypassController(net::FirewallDevice& firewall, net::IntrusionDetectionSystem& ids);
+
+  [[nodiscard]] FlowTable& table() { return table_; }
+  [[nodiscard]] std::uint64_t bypassesInstalled() const { return bypasses_; }
+  [[nodiscard]] std::uint64_t dropsInstalled() const { return drops_; }
+
+  /// Fired when a bypass is installed (for logging / scenario assertions).
+  std::function<void(const net::FlowKey&)> onBypassInstalled;
+
+ private:
+  net::FirewallDevice& firewall_;
+  FlowTable table_;
+  std::uint64_t bypasses_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace scidmz::vc

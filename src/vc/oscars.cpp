@@ -1,0 +1,72 @@
+#include "vc/oscars.hpp"
+
+#include <algorithm>
+
+namespace scidmz::vc {
+
+sim::DataRate OscarsService::reservableCapacity(const net::Link& link) const {
+  return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+      static_cast<double>(link.rate().bps()) * reservable_fraction_));
+}
+
+sim::DataRate OscarsService::reservedOn(const net::Link& link, sim::SimTime at) const {
+  sim::DataRate total = sim::DataRate::zero();
+  for (const auto& [id, res] : reservations_) {
+    if (at < res.start || at >= res.end) continue;
+    if (std::find(res.path.begin(), res.path.end(), &link) != res.path.end()) {
+      total = total + res.bandwidth;
+    }
+  }
+  return total;
+}
+
+sim::DataRate OscarsService::availableOn(const net::Link& link, sim::SimTime at) const {
+  const auto capacity = reservableCapacity(link);
+  const auto used = reservedOn(link, at);
+  return used >= capacity ? sim::DataRate::zero() : capacity - used;
+}
+
+std::optional<ReservationId> OscarsService::reserve(net::Address src, net::Address dst,
+                                                    sim::DataRate bandwidth, sim::SimTime start,
+                                                    sim::SimTime end) {
+  if (end <= start || bandwidth == sim::DataRate::zero()) return std::nullopt;
+  const auto trace = topology_.trace(src, dst);
+  if (!trace || !trace->complete()) return std::nullopt;
+
+  std::vector<net::Link*> path;
+  path.reserve(trace->hops.size());
+  for (const auto& hop : trace->hops) path.push_back(hop.link);
+
+  // Admission control: capacity must hold at every overlap boundary. Since
+  // reservations are piecewise constant, checking at `start` and at every
+  // overlapping reservation's start time inside the window suffices.
+  std::vector<sim::SimTime> checkpoints{start};
+  for (const auto& [id, res] : reservations_) {
+    if (res.start > start && res.start < end) checkpoints.push_back(res.start);
+  }
+  for (net::Link* link : path) {
+    const auto capacity = reservableCapacity(*link);
+    for (const auto t : checkpoints) {
+      if (reservedOn(*link, t) + bandwidth > capacity) return std::nullopt;
+    }
+  }
+
+  const ReservationId id{++next_id_};
+  reservations_.emplace(id.value,
+                        Reservation{id, src, dst, bandwidth, start, end, std::move(path)});
+  return id;
+}
+
+void OscarsService::release(ReservationId id) { reservations_.erase(id.value); }
+
+const Reservation* OscarsService::find(ReservationId id) const {
+  const auto it = reservations_.find(id.value);
+  return it == reservations_.end() ? nullptr : &it->second;
+}
+
+bool OscarsService::activeAt(ReservationId id, sim::SimTime at) const {
+  const auto* res = find(id);
+  return res != nullptr && at >= res->start && at < res->end;
+}
+
+}  // namespace scidmz::vc

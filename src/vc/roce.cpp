@@ -1,0 +1,171 @@
+#include "vc/roce.hpp"
+
+#include <algorithm>
+
+namespace scidmz::vc {
+
+RoceTransfer::RoceTransfer(net::Host& src, net::Host& dst, sim::DataSize bytes, Options options)
+    : src_(src),
+      dst_(dst),
+      total_(bytes),
+      options_(options),
+      receiver_(*this, dst),
+      sender_sink_(*this) {
+  src_port_ = src_.allocatePort();
+  dst_.bind(net::Protocol::kUdp, options_.port, receiver_);
+  src_.bind(net::Protocol::kUdp, src_port_, sender_sink_);
+}
+
+RoceTransfer::~RoceTransfer() {
+  if (pace_timer_.valid()) src_.ctx().sim().cancel(pace_timer_);
+  if (watchdog_.valid()) src_.ctx().sim().cancel(watchdog_);
+  dst_.unbind(net::Protocol::kUdp, options_.port);
+  src_.unbind(net::Protocol::kUdp, src_port_);
+}
+
+void RoceTransfer::start() {
+  started_at_ = src_.ctx().now();
+  last_progress_at_ = started_at_;
+  armWatchdog();
+  paceNext();
+}
+
+void RoceTransfer::paceNext() {
+  if (finished_) return;
+  if (next_seq_ >= total_.byteCount()) {
+    // Pipeline drained from our side; completion normally comes from the
+    // final ACK. If the tail (or its ACK) was lost there is no later
+    // packet to expose the gap, so arm a tail-recovery rewind.
+    pace_timer_ = src_.ctx().sim().schedule(sim::Duration::milliseconds(100), [this] {
+      pace_timer_ = sim::EventId{};
+      if (finished_ || acked_ >= total_.byteCount()) return;
+      wasted_ += sim::DataSize::bytes(next_seq_ - acked_);
+      next_seq_ = acked_;
+      paceNext();
+    });
+    return;
+  }
+  const auto len = std::min<std::uint64_t>(options_.messageSize.byteCount(),
+                                           total_.byteCount() - next_seq_);
+  net::RoceHeader header;
+  header.seq = next_seq_;
+  net::FlowKey flow{src_.address(), dst_.address(), src_port_, options_.port,
+                    net::Protocol::kUdp};
+  net::Packet packet;
+  packet.flow = flow;
+  packet.body = header;
+  packet.payload = sim::DataSize::bytes(len);
+  src_.send(std::move(packet));
+  next_seq_ += len;
+
+  // Hardware pacing at exactly the circuit rate (no congestion control).
+  const auto gap = options_.rate.transmissionTime(sim::DataSize::bytes(len));
+  pace_timer_ = src_.ctx().sim().schedule(gap, [this] {
+    pace_timer_ = sim::EventId{};
+    paceNext();
+  });
+}
+
+void RoceTransfer::Receiver::onPacket(const net::Packet& packet) {
+  if (!packet.isRoce()) return;
+  const auto& header = packet.roce();
+  const auto len = packet.payload.byteCount();
+  const auto now = host_.ctx().now();
+
+  if (header.seq == expected_) {
+    expected_ += len;
+    sentNack_ = false;
+    // Cumulative ACK: piggyback progress every message (cheap in-model;
+    // real RoCE acks per message too).
+    net::RoceHeader ack;
+    ack.isAck = true;
+    ack.ackSeq = expected_;
+    net::Packet reply;
+    reply.flow = packet.flow.reversed();
+    reply.flow.src = host_.address();
+    reply.body = ack;
+    host_.send(std::move(reply));
+    return;
+  }
+  if (header.seq > expected_) {
+    // Gap: NACK the first missing byte, at most one outstanding NACK per
+    // round trip so a burst of out-of-order arrivals yields one rewind.
+    if (!sentNack_ || now - lastNackAt_ > sim::Duration::milliseconds(1)) {
+      sentNack_ = true;
+      lastNackAt_ = now;
+      net::RoceHeader nack;
+      nack.isNack = true;
+      nack.nackSeq = expected_;
+      net::Packet reply;
+      reply.flow = packet.flow.reversed();
+      reply.flow.src = host_.address();
+      reply.body = nack;
+      host_.send(std::move(reply));
+    }
+  }
+  // Below-expected duplicates are dropped silently.
+}
+
+void RoceTransfer::SenderSink::onPacket(const net::Packet& packet) {
+  if (!packet.isRoce()) return;
+  const auto& header = packet.roce();
+  if (header.isAck) owner_.handleAck(header.ackSeq);
+  if (header.isNack) owner_.handleNack(header.nackSeq);
+}
+
+void RoceTransfer::handleAck(std::uint64_t ackSeq) {
+  if (finished_) return;
+  if (ackSeq > acked_) {
+    acked_ = ackSeq;
+    last_progress_at_ = src_.ctx().now();
+  }
+  if (acked_ >= total_.byteCount()) finish(true);
+}
+
+void RoceTransfer::handleNack(std::uint64_t nackSeq) {
+  if (finished_) return;
+  // Go-back-N: rewind the transmit pointer; everything after the hole is
+  // resent. This is the collapse mechanism without a loss-free circuit.
+  if (nackSeq < next_seq_) {
+    wasted_ += sim::DataSize::bytes(next_seq_ - nackSeq);
+    next_seq_ = nackSeq;
+    if (!pace_timer_.valid()) paceNext();
+  }
+}
+
+void RoceTransfer::armWatchdog() {
+  watchdog_ = src_.ctx().sim().schedule(options_.progressTimeout, [this] {
+    watchdog_ = sim::EventId{};
+    if (finished_) return;
+    if (src_.ctx().now() - last_progress_at_ >= options_.progressTimeout) {
+      finish(false);
+      return;
+    }
+    armWatchdog();
+  });
+}
+
+void RoceTransfer::finish(bool completed) {
+  if (finished_) return;
+  finished_ = true;
+  if (pace_timer_.valid()) {
+    src_.ctx().sim().cancel(pace_timer_);
+    pace_timer_ = sim::EventId{};
+  }
+  if (watchdog_.valid()) {
+    src_.ctx().sim().cancel(watchdog_);
+    watchdog_ = sim::EventId{};
+  }
+  result_.completed = completed;
+  result_.elapsed = src_.ctx().now() - started_at_;
+  result_.bytesMoved = sim::DataSize::bytes(acked_);
+  result_.bytesWasted = wasted_;
+  result_.cpuUnits = roceCpuUnits(result_.bytesMoved);
+  if (result_.elapsed > sim::Duration::zero()) {
+    result_.goodput = sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(result_.bytesMoved.bitCount()) / result_.elapsed.toSeconds()));
+  }
+  if (onComplete) onComplete(result_);
+}
+
+}  // namespace scidmz::vc

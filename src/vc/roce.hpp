@@ -1,0 +1,105 @@
+// RoCE-style transfer (Section 7.1): RDMA over Converged Ethernet, modeled
+// as a rate-paced stream with NACK-driven go-back-N and no congestion
+// control. On a guaranteed-bandwidth, loss-free circuit it matches TCP's
+// goodput at a fraction of the CPU cost (Kissel et al. measured 39.5 Gbps
+// at ~1/50th the CPU); on a lossy or contended path it collapses, because
+// every gap rewinds the whole pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/host.hpp"
+
+namespace scidmz::vc {
+
+/// Relative CPU cost constants (arbitrary units per byte moved) used by
+/// the Section 7.1 comparison bench: TCP spends ~50x the cycles per byte.
+inline constexpr double kTcpCpuUnitsPerGB = 1.0;
+inline constexpr double kRoceCpuUnitsPerGB = 1.0 / 50.0;
+
+[[nodiscard]] inline double tcpCpuUnits(sim::DataSize moved) {
+  return kTcpCpuUnitsPerGB * moved.toGB();
+}
+[[nodiscard]] inline double roceCpuUnits(sim::DataSize moved) {
+  return kRoceCpuUnitsPerGB * moved.toGB();
+}
+
+struct RoceResult {
+  bool completed = false;
+  sim::Duration elapsed = sim::Duration::zero();
+  sim::DataRate goodput = sim::DataRate::zero();
+  sim::DataSize bytesMoved = sim::DataSize::zero();
+  sim::DataSize bytesWasted = sim::DataSize::zero();  ///< go-back-N retransmission
+  double cpuUnits = 0.0;
+};
+
+class RoceTransfer {
+ public:
+  struct Options {
+    /// The circuit's guaranteed rate; the sender paces at exactly this.
+    sim::DataRate rate = sim::DataRate::gigabitsPerSecond(40);
+    std::uint16_t port = 4791;  // RoCEv2 UDP port
+    sim::DataSize messageSize = sim::DataSize::bytes(4096);
+    /// Give up if no progress for this long (reported as incomplete).
+    sim::Duration progressTimeout = sim::Duration::seconds(30);
+  };
+
+  RoceTransfer(net::Host& src, net::Host& dst, sim::DataSize bytes, Options options);
+  ~RoceTransfer();
+
+  RoceTransfer(const RoceTransfer&) = delete;
+  RoceTransfer& operator=(const RoceTransfer&) = delete;
+
+  void start();
+
+  std::function<void(const RoceResult&)> onComplete;
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const RoceResult& result() const { return result_; }
+
+ private:
+  class Receiver : public net::PacketSink {
+   public:
+    Receiver(RoceTransfer& owner, net::Host& host) : owner_(owner), host_(host) {}
+    void onPacket(const net::Packet& packet) override;
+    RoceTransfer& owner_;
+    net::Host& host_;
+    std::uint64_t expected_ = 0;
+    sim::SimTime lastNackAt_;
+    bool sentNack_ = false;
+  };
+  class SenderSink : public net::PacketSink {
+   public:
+    explicit SenderSink(RoceTransfer& owner) : owner_(owner) {}
+    void onPacket(const net::Packet& packet) override;
+    RoceTransfer& owner_;
+  };
+
+  void paceNext();
+  void handleAck(std::uint64_t ackSeq);
+  void handleNack(std::uint64_t nackSeq);
+  void finish(bool completed);
+  void armWatchdog();
+
+  net::Host& src_;
+  net::Host& dst_;
+  sim::DataSize total_;
+  Options options_;
+  Receiver receiver_;
+  SenderSink sender_sink_;
+  std::uint16_t src_port_ = 0;
+
+  std::uint64_t next_seq_ = 0;   ///< Next byte offset to transmit.
+  std::uint64_t acked_ = 0;      ///< Cumulative bytes confirmed.
+  sim::DataSize wasted_ = sim::DataSize::zero();
+  sim::SimTime started_at_;
+  sim::SimTime last_progress_at_;
+  sim::EventId pace_timer_{};
+  sim::EventId watchdog_{};
+  bool finished_ = false;
+  RoceResult result_;
+};
+
+}  // namespace scidmz::vc

@@ -1,0 +1,87 @@
+#include "apps/background_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::apps {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+/// Small campus: 3 clients and 2 servers behind one switch.
+struct Campus {
+  explicit Campus(Scenario& s) {
+    auto& sw = s.topo.addSwitch("sw");
+    for (int i = 0; i < 3; ++i) {
+      auto& h = s.topo.addHost("client" + std::to_string(i),
+                               net::Address(10, 0, 1, static_cast<std::uint8_t>(i + 1)));
+      s.topo.connect(h, sw, net::LinkParams{});
+      clients.push_back(&h);
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto& h = s.topo.addHost("server" + std::to_string(i),
+                               net::Address(10, 0, 2, static_cast<std::uint8_t>(i + 1)));
+      s.topo.connect(h, sw, net::LinkParams{});
+      servers.push_back(&h);
+    }
+    s.topo.computeRoutes();
+  }
+  std::vector<net::Host*> clients;
+  std::vector<net::Host*> servers;
+};
+
+TEST(BackgroundTraffic, GeneratesAndCompletesFlows) {
+  Scenario s;
+  Campus campus{s};
+  BackgroundProfile profile;
+  profile.flowsPerSecond = 100;
+  BackgroundTraffic bg{s.ctx, campus.clients, campus.servers, 20000, profile, s.rng.fork(3)};
+  bg.start();
+  s.simulator.runFor(5_s);
+  bg.stop();
+  s.simulator.runFor(5_s);  // drain
+
+  EXPECT_GT(bg.stats().flowsStarted, 300u);
+  EXPECT_GT(bg.stats().flowsCompleted, 200u);
+  EXPECT_GT(bg.stats().bytesCompleted, 1_MB);
+}
+
+TEST(BackgroundTraffic, ArrivalRateApproximatelyPoisson) {
+  Scenario s;
+  Campus campus{s};
+  BackgroundProfile profile;
+  profile.flowsPerSecond = 200;
+  BackgroundTraffic bg{s.ctx, campus.clients, campus.servers, 20000, profile, s.rng.fork(4)};
+  bg.start();
+  s.simulator.runFor(10_s);
+  bg.stop();
+  // Expect ~2000 arrivals within a few standard deviations (sqrt(2000)~45),
+  // minus the occasional self-flow skip.
+  EXPECT_NEAR(static_cast<double>(bg.stats().flowsStarted), 2000.0, 200.0);
+}
+
+TEST(BackgroundTraffic, StopHaltsNewArrivals) {
+  Scenario s;
+  Campus campus{s};
+  BackgroundTraffic bg{s.ctx, campus.clients, campus.servers, 20000, BackgroundProfile{},
+                       s.rng.fork(5)};
+  bg.start();
+  s.simulator.runFor(2_s);
+  bg.stop();
+  const auto started = bg.stats().flowsStarted;
+  s.simulator.runFor(5_s);
+  EXPECT_EQ(bg.stats().flowsStarted, started);
+}
+
+TEST(BackgroundTraffic, EmptyPoolsAreSafe) {
+  Scenario s;
+  BackgroundTraffic bg{s.ctx, {}, {}, 20000, BackgroundProfile{}, s.rng.fork(6)};
+  bg.start();  // must not crash or schedule anything
+  s.simulator.runFor(1_s);
+  EXPECT_EQ(bg.stats().flowsStarted, 0u);
+}
+
+}  // namespace
+}  // namespace scidmz::apps

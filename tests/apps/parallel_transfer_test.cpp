@@ -1,0 +1,95 @@
+#include "apps/parallel_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::apps {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+struct DirectPair {
+  explicit DirectPair(Scenario& s, net::LinkParams params = {})
+      : a(s.topo.addHost("a", net::Address(10, 0, 0, 1))),
+        b(s.topo.addHost("b", net::Address(10, 0, 0, 2))),
+        link(s.topo.connect(a, b, params)) {
+    s.topo.computeRoutes();
+  }
+  net::Host& a;
+  net::Host& b;
+  net::Link& link;
+};
+
+TEST(ParallelTransfer, AllStreamsCompleteAndBytesAddUp) {
+  Scenario s;
+  DirectPair net{s};
+  ParallelTransfer t{net.a, net.b, 2811, 40_MB, 4, tcp::TcpConfig{}};
+  bool done = false;
+  t.onComplete = [&done] { done = true; };
+  t.start();
+  s.simulator.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(t.streamCount(), 4);
+  EXPECT_EQ(t.totalBytes(), 40_MB);
+}
+
+TEST(ParallelTransfer, UnevenSizeStillExact) {
+  Scenario s;
+  DirectPair net{s};
+  // 10'000'003 bytes across 4 streams: slack lands somewhere, total exact.
+  ParallelTransfer t{net.a, net.b, 2811, sim::DataSize::bytes(10'000'003), 4, tcp::TcpConfig{}};
+  t.start();
+  s.simulator.run();
+  EXPECT_TRUE(t.finished());
+  sim::DataSize acked = sim::DataSize::zero();
+  // aggregateGoodput * elapsed ~ bytes; verify via goodput > 0 and exact
+  // completion instead of reaching into private state.
+  EXPECT_GT(t.aggregateGoodput().toMbps(), 0.0);
+  (void)acked;
+}
+
+TEST(ParallelTransfer, SingleStreamDegeneratesToBulk) {
+  Scenario s;
+  DirectPair net{s};
+  ParallelTransfer t{net.a, net.b, 2811, 10_MB, 1, tcp::TcpConfig{}};
+  t.start();
+  s.simulator.run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(t.streamCount(), 1);
+}
+
+TEST(ParallelTransfer, StreamsBeatSingleUnderLoss) {
+  // The GridFTP rationale: on a lossy high-BDP path, N windows in parallel
+  // recover independently and the aggregate stays higher.
+  auto run = [](int streams) {
+    Scenario s;
+    net::LinkParams params;
+    params.rate = 10_Gbps;
+    params.delay = 20_ms;
+    params.mtu = 9000_B;
+    DirectPair net{s, params};
+    // Loss heavy enough that every stream spends the transfer in loss
+    // recovery (Mathis-limited), not in the slow-start blast.
+    net.link.setLossModel(0, std::make_unique<net::RandomLoss>(3e-4, s.rng.fork(9)));
+    tcp::TcpConfig cfg;
+    cfg.sndBuf = 64_MB;
+    cfg.rcvBuf = 64_MB;
+    ParallelTransfer t{net.a, net.b, 2811, 250_MB, streams, cfg};
+    t.start();
+    s.simulator.runFor(600_s);
+    EXPECT_TRUE(t.finished());
+    return t.elapsed().toSeconds();
+  };
+  const double single = run(1);
+  const double striped = run(8);
+  EXPECT_LT(striped, single * 0.5);
+}
+
+}  // namespace
+}  // namespace scidmz::apps

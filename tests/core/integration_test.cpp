@@ -1,0 +1,110 @@
+// End-to-end integration: the headline claim of the paper, measured on the
+// reference designs. A Science DMZ moves data at WAN speed; the same
+// transfer through the general-purpose campus network is orders of
+// magnitude slower; and the supercomputer-center design exposes ingested
+// files to compute without a second copy.
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "core/site_builder.hpp"
+#include "core/validator.hpp"
+#include "dtn/dtn_node.hpp"
+#include "perfsonar/owamp.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+double transferRateMbps(Scenario& s, Site& site, sim::DataSize bytes) {
+  dtn::DtnTransfer transfer{*site.remoteDtn, *site.primaryDtn(), "dataset.tar", bytes, 50000};
+  transfer.start();
+  s.simulator.runFor(3600_s);
+  EXPECT_TRUE(transfer.finished());
+  return transfer.result().averageRate.toMbps();
+}
+
+TEST(Integration, DmzBeatsCampusBaselineByOrdersOfMagnitude) {
+  // Baseline: untuned single-stream endpoints, server behind the
+  // enterprise firewall (the FTP-era setup of the NOAA use case).
+  Scenario sBase;
+  SiteConfig baseConfig;
+  baseConfig.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  baseConfig.remoteProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto baseline = buildGeneralPurposeCampus(sBase.topo, baseConfig);
+  const double baseMbps = transferRateMbps(sBase, *baseline, 200_MB);
+
+  // After: simple Science DMZ with a tuned DTN.
+  Scenario sDmz;
+  auto dmz = buildSimpleScienceDmz(sDmz.topo, SiteConfig{});
+  const double dmzMbps = transferRateMbps(sDmz, *dmz, 2_GB);
+
+  EXPECT_GT(dmzMbps, 4000.0);          // near the 10G WAN
+  EXPECT_LT(baseMbps, 100.0);          // firewall + untuned host
+  EXPECT_GT(dmzMbps, 40.0 * baseMbps); // the paper's "orders of magnitude"
+}
+
+TEST(Integration, DmzTransferSurvivesAclPolicy) {
+  // The default-deny ACL on the DMZ switch must not break sanctioned
+  // GridFTP traffic in either direction.
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  ASSERT_TRUE(site->dmzSwitch->acl().has_value());
+  const double mbps = transferRateMbps(s, *site, 1_GB);
+  EXPECT_GT(mbps, 4000.0);
+  EXPECT_EQ(site->dmzSwitch->stats().dropsAcl, 0u);
+}
+
+TEST(Integration, SupercomputerIngestVisibleToComputeWithoutDoubleCopy) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnCount = 2;
+  auto site = buildSupercomputerCenter(s.topo, config);
+
+  dtn::DtnTransfer transfer{*site->remoteDtn, *site->primaryDtn(), "checkpoint.h5", 500_MB,
+                            50000};
+  transfer.start();
+  s.simulator.runFor(3600_s);
+  ASSERT_TRUE(transfer.finished());
+
+  // The file landed on the shared parallel filesystem: visible at once.
+  EXPECT_TRUE(site->parallelFs->available("checkpoint.h5", s.simulator.now()));
+  EXPECT_EQ(site->parallelFs->lookup("checkpoint.h5")->size, 500_MB);
+}
+
+TEST(Integration, OwampProbesFlowThroughDmzPolicy) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  perfsonar::OwampStream stream{*site->remotePerfsonarHost, *site->perfsonarHost};
+  stream.start();
+  s.simulator.runFor(30_s);
+  stream.stop();
+  s.simulator.runFor(3_s);
+  const auto report = stream.report();
+  EXPECT_GT(report.sent, 200u);
+  EXPECT_DOUBLE_EQ(report.lossFraction, 0.0);
+}
+
+TEST(Integration, ValidatorPredictsMeasuredOutcome) {
+  // The validator's verdict and the measured transfer agree: critical
+  // findings <=> slow transfers.
+  Scenario sBad;
+  SiteConfig badConfig;
+  badConfig.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto bad = buildGeneralPurposeCampus(sBad.topo, badConfig);
+  EXPECT_GT(validate(*bad).criticalCount(), 0u);
+  const double badMbps = transferRateMbps(sBad, *bad, 100_MB);
+
+  Scenario sGood;
+  SiteConfig goodConfig;
+  goodConfig.firewall.tcpSequenceChecking = false;
+  auto good = buildSimpleScienceDmz(sGood.topo, goodConfig);
+  EXPECT_TRUE(validate(*good).clean());
+  const double goodMbps = transferRateMbps(sGood, *good, 2_GB);
+
+  EXPECT_LT(badMbps, goodMbps / 10.0);
+}
+
+}  // namespace
+}  // namespace scidmz::core

@@ -1,0 +1,90 @@
+#include "core/path_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "core/site_builder.hpp"
+#include "tcp/mathis.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+TEST(PathAnalysis, CleanDmzPathPredictsLineRate) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  const auto a = assessPath(s.topo, site->remoteDtn->host().address(),
+                            site->primaryDtn()->host().address());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(a->crossesFirewall);
+  EXPECT_EQ(a->bottleneck, 10_Gbps);
+  EXPECT_EQ(a->expectedThroughput, 10_Gbps);
+  EXPECT_EQ(a->mss, 8960_B);
+  // RTT dominated by the 10ms WAN span each way.
+  EXPECT_GT(a->rtt, 20_ms);
+  EXPECT_LT(a->rtt, 21_ms);
+}
+
+TEST(PathAnalysis, FirewallDetectedOnCampusPath) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto site = buildGeneralPurposeCampus(s.topo, config);
+  const auto a = assessPath(s.topo, site->remoteDtn->host().address(),
+                            site->primaryDtn()->host().address());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->crossesFirewall);
+  EXPECT_EQ(a->bottleneck, 1_Gbps);  // campus access link
+}
+
+TEST(PathAnalysis, BrokenWindowScalingCapsPrediction) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  PathAssumptions assumptions;
+  assumptions.windowScalingBroken = true;
+  const auto a = assessPath(s.topo, site->remoteDtn->host().address(),
+                            site->primaryDtn()->host().address(), assumptions);
+  ASSERT_TRUE(a.has_value());
+  // 64 KiB window at ~20ms RTT: ~26 Mbps.
+  EXPECT_LT(a->expectedThroughput.toMbps(), 30.0);
+  EXPECT_GT(a->expectedThroughput.toMbps(), 20.0);
+}
+
+TEST(PathAnalysis, LossAssumptionEngagesMathisBound) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  PathAssumptions assumptions;
+  assumptions.lossRate = 1.0 / 22000.0;  // the failing line card
+  const auto a = assessPath(s.topo, site->remoteDtn->host().address(),
+                            site->primaryDtn()->host().address(), assumptions);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_LT(a->expectedThroughput, 1_Gbps);
+  EXPECT_EQ(a->lossLimitedRate,
+            tcp::mathisThroughput(a->mss, a->rtt, assumptions.lossRate));
+}
+
+TEST(PathAnalysis, Equation2WindowReported) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.rate = 1_Gbps;
+  config.wan.delay = 5_ms;  // ~10ms RTT: the paper's VTTI example
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto a = assessPath(s.topo, site->remoteDtn->host().address(),
+                            site->primaryDtn()->host().address());
+  ASSERT_TRUE(a.has_value());
+  // 1 Gbps x ~10ms = ~1.25 MB (Equation 2).
+  EXPECT_NEAR(a->bdp.toMB(), 1.25, 0.01);
+}
+
+TEST(PathAnalysis, UnroutableReturnsNullopt) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  EXPECT_FALSE(assessPath(s.topo, site->remoteDtn->host().address(),
+                          net::Address(1, 2, 3, 4))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace scidmz::core

@@ -1,0 +1,56 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "core/site_builder.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using testutil::Scenario;
+
+TEST(Report, CleanSiteReportMentionsRolesAndPath) {
+  Scenario s;
+  SiteConfig config;
+  config.firewall.tcpSequenceChecking = false;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto result = validate(*site);
+  const auto text = renderSiteReport(*site, result);
+
+  EXPECT_NE(text.find("simple Science DMZ"), std::string::npos);
+  EXPECT_NE(text.find("border"), std::string::npos);
+  EXPECT_NE(text.find("dmz-switch"), std::string::npos);
+  EXPECT_NE(text.find("crosses firewall: no"), std::string::npos);
+  EXPECT_NE(text.find("no findings"), std::string::npos);
+  EXPECT_NE(text.find("expected throughput"), std::string::npos);
+}
+
+TEST(Report, BaselineReportListsFindings) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto site = buildGeneralPurposeCampus(s.topo, config);
+  const auto result = validate(*site);
+  const auto text = renderSiteReport(*site, result);
+
+  EXPECT_NE(text.find("general-purpose campus"), std::string::npos);
+  EXPECT_NE(text.find("crosses firewall: YES"), std::string::npos);
+  EXPECT_NE(text.find("CRITICAL"), std::string::npos);
+  EXPECT_NE(text.find("science-path-avoids-firewall"), std::string::npos);
+  EXPECT_NE(text.find("measurement-host-present"), std::string::npos);
+}
+
+TEST(Report, FindingsOnlyRenderer) {
+  ValidationResult result;
+  result.violations.push_back(Violation{RuleId::kDtnTuned, Severity::kCritical, "dtn",
+                                        "buffers too small"});
+  const auto text = renderFindings(result);
+  EXPECT_NE(text.find("CRITICAL"), std::string::npos);
+  EXPECT_NE(text.find("dtn-tuned"), std::string::npos);
+  EXPECT_NE(text.find("dedicated-systems"), std::string::npos);
+  EXPECT_NE(text.find("buffers too small"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidmz::core

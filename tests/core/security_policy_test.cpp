@@ -1,0 +1,86 @@
+#include "core/security_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::core {
+namespace {
+
+net::Packet packet(net::Address src, net::Address dst, std::uint16_t sport, std::uint16_t dport,
+                   net::Protocol proto = net::Protocol::kTcp) {
+  net::Packet p;
+  p.flow = net::FlowKey{src, dst, sport, dport, proto};
+  if (proto == net::Protocol::kTcp) {
+    p.body = net::TcpHeader{};
+  } else {
+    p.body = net::ProbeHeader{};
+  }
+  return p;
+}
+
+DmzServicePolicy samplePolicy() {
+  DmzServicePolicy policy;
+  policy.dtnAddresses = {net::Address(10, 10, 1, 10)};
+  policy.measurementHosts = {net::Address(10, 10, 1, 250)};
+  return policy;
+}
+
+const net::Address kCollab{198, 128, 7, 7};
+const net::Address kStranger{203, 0, 113, 5};
+const net::Address kDtn{10, 10, 1, 10};
+const net::Address kPs{10, 10, 1, 250};
+
+TEST(SecurityPolicy, DefaultDeny) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_EQ(acl.defaultAction(), net::AclAction::kDeny);
+  EXPECT_FALSE(acl.permits(packet(kStranger, kDtn, 4444, 50010)));
+}
+
+TEST(SecurityPolicy, CollaboratorGridFtpPermitted) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_TRUE(acl.permits(packet(kCollab, kDtn, 40000, kGridFtpControlPort)));
+  EXPECT_TRUE(acl.permits(packet(kCollab, kDtn, 40000, 50500)));
+  // Return half of a locally-initiated transfer (remote data port source).
+  EXPECT_TRUE(acl.permits(packet(kCollab, kDtn, 50001, 33000)));
+}
+
+TEST(SecurityPolicy, NonServicePortsDenied) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_FALSE(acl.permits(packet(kCollab, kDtn, 40000, 22)));    // ssh
+  EXPECT_FALSE(acl.permits(packet(kCollab, kDtn, 40000, 443)));   // https
+  EXPECT_FALSE(acl.permits(packet(kCollab, kPs, 40000, 22)));
+}
+
+TEST(SecurityPolicy, MeasurementPortsPermitted) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_TRUE(acl.permits(packet(kCollab, kPs, 8760, kOwampPortBase, net::Protocol::kUdp)));
+  EXPECT_TRUE(acl.permits(packet(kCollab, kPs, 45000, kBwctlPort)));
+  // But OWAMP to the DTN (wrong host) is not part of the policy.
+  EXPECT_FALSE(acl.permits(packet(kCollab, kDtn, 8760, kOwampPortBase, net::Protocol::kUdp)));
+}
+
+TEST(SecurityPolicy, LocalTrafficAlwaysLeaves) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_TRUE(acl.permits(packet(kDtn, kCollab, 33000, 50001)));
+  EXPECT_TRUE(acl.permits(packet(net::Address(10, 20, 1, 3), kCollab, 50000, 80)));
+}
+
+TEST(SecurityPolicy, EnterpriseTransitHandedDownstream) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_TRUE(acl.permits(packet(kCollab, net::Address(10, 20, 1, 5), 443, 55555)));
+}
+
+TEST(SecurityPolicy, RoceDataPortPermitted) {
+  const auto acl = compileDmzAcl(samplePolicy());
+  EXPECT_TRUE(acl.permits(packet(kCollab, kDtn, 60000, kRocePort, net::Protocol::kUdp)));
+}
+
+TEST(SecurityPolicy, MultipleDtns) {
+  auto policy = samplePolicy();
+  policy.dtnAddresses.push_back(net::Address(10, 10, 1, 11));
+  const auto acl = compileDmzAcl(policy);
+  EXPECT_TRUE(acl.permits(packet(kCollab, net::Address(10, 10, 1, 11), 40000, 50500)));
+  EXPECT_FALSE(acl.permits(packet(kCollab, net::Address(10, 10, 1, 12), 40000, 50500)));
+}
+
+}  // namespace
+}  // namespace scidmz::core

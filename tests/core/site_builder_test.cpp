@@ -1,0 +1,120 @@
+#include "core/site_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+TEST(SiteBuilder, SimpleDmzHasAllRoles) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  EXPECT_EQ(site->kind(), SiteKind::kSimpleScienceDmz);
+  EXPECT_NE(site->borderRouter, nullptr);
+  EXPECT_NE(site->dmzSwitch, nullptr);
+  EXPECT_NE(site->enterpriseFirewall, nullptr);
+  EXPECT_NE(site->perfsonarHost, nullptr);
+  EXPECT_NE(site->remoteDtn, nullptr);
+  EXPECT_NE(site->wanLink, nullptr);
+  ASSERT_EQ(site->dtns.size(), 1u);
+  EXPECT_EQ(site->enterpriseHosts.size(), 3u);
+}
+
+TEST(SiteBuilder, SimpleDmzSciencePathSkipsFirewall) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  const auto path = s.topo.trace(site->remoteDtn->host().address(),
+                                 site->primaryDtn()->host().address());
+  ASSERT_TRUE(path.has_value());
+  for (auto* device : path->devices()) {
+    EXPECT_EQ(dynamic_cast<net::FirewallDevice*>(device), nullptr) << device->name();
+  }
+  // wan-core -> border -> dmz-switch -> dtn.
+  EXPECT_EQ(path->hops.size(), 4u);
+}
+
+TEST(SiteBuilder, CampusBaselinePathCrossesFirewall) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto site = buildGeneralPurposeCampus(s.topo, config);
+  const auto path = s.topo.trace(site->remoteDtn->host().address(),
+                                 site->primaryDtn()->host().address());
+  ASSERT_TRUE(path.has_value());
+  bool crossesFirewall = false;
+  for (auto* device : path->devices()) {
+    if (dynamic_cast<net::FirewallDevice*>(device) != nullptr) crossesFirewall = true;
+  }
+  EXPECT_TRUE(crossesFirewall);
+  EXPECT_EQ(site->dmzSwitch, nullptr);
+  EXPECT_EQ(site->perfsonarHost, nullptr);
+}
+
+TEST(SiteBuilder, EnterpriseHostsReachableThroughFirewall) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  const auto path = s.topo.trace(site->remoteDtn->host().address(),
+                                 site->enterpriseHosts[0]->address());
+  ASSERT_TRUE(path.has_value());
+  bool crossesFirewall = false;
+  for (auto* device : path->devices()) {
+    if (dynamic_cast<net::FirewallDevice*>(device) != nullptr) crossesFirewall = true;
+  }
+  EXPECT_TRUE(crossesFirewall);
+}
+
+TEST(SiteBuilder, SupercomputerCenterSharesFilesystem) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnCount = 3;
+  config.computeNodeCount = 2;
+  auto site = buildSupercomputerCenter(s.topo, config);
+  ASSERT_EQ(site->dtns.size(), 3u);
+  EXPECT_EQ(site->computeNodes.size(), 2u);
+  ASSERT_NE(site->parallelFs, nullptr);
+  for (auto* node : site->dtns) {
+    EXPECT_EQ(node->filesystem(), site->parallelFs);
+    EXPECT_EQ(&node->storage(), &site->parallelFs->storage());
+  }
+}
+
+TEST(SiteBuilder, BigDataSiteHasRedundantBordersAndCluster) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnCount = 6;
+  auto site = buildBigDataSite(s.topo, config);
+  EXPECT_EQ(site->dtns.size(), 6u);
+  EXPECT_NE(s.topo.findDevice("border-1"), nullptr);
+  EXPECT_NE(s.topo.findDevice("border-2"), nullptr);
+  const auto path = s.topo.trace(site->remoteDtn->host().address(),
+                                 site->primaryDtn()->host().address());
+  ASSERT_TRUE(path.has_value());
+  for (auto* device : path->devices()) {
+    EXPECT_EQ(dynamic_cast<net::FirewallDevice*>(device), nullptr) << device->name();
+  }
+}
+
+TEST(SiteBuilder, DmzAclAllowsGridFtpBlocksSsh) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  ASSERT_TRUE(site->dmzSwitch->acl().has_value());
+  const auto& acl = *site->dmzSwitch->acl();
+
+  net::Packet gridftp;
+  gridftp.flow = net::FlowKey{site->remoteDtn->host().address(),
+                              site->primaryDtn()->host().address(), 40000, 50010,
+                              net::Protocol::kTcp};
+  gridftp.body = net::TcpHeader{};
+  EXPECT_TRUE(acl.permits(gridftp));
+
+  net::Packet ssh = gridftp;
+  ssh.flow.dstPort = 22;
+  EXPECT_FALSE(acl.permits(ssh));
+}
+
+}  // namespace
+}  // namespace scidmz::core

@@ -1,0 +1,108 @@
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "core/site_builder.hpp"
+#include "dtn/dtn_node.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+TEST(Tuning, BuffersTrackBdp) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.rate = 10_Gbps;
+  config.wan.delay = 50_ms;  // 100ms RTT -> 125 MB BDP
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto rec = recommendTuning(s.topo, site->remoteDtn->host().address(),
+                                   site->primaryDtn()->host().address());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GE(rec->socketBuffers, sim::DataSize::megabytes(250));  // ~2x BDP
+  EXPECT_EQ(rec->tcp.sndBuf, rec->socketBuffers);
+  EXPECT_TRUE(rec->tcp.pacing);
+  EXPECT_EQ(rec->tcp.algorithm, tcp::CcAlgorithm::kHtcp);
+}
+
+TEST(Tuning, ShortPathGetsFloor) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.delay = sim::Duration::microseconds(100);
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto rec = recommendTuning(s.topo, site->remoteDtn->host().address(),
+                                   site->primaryDtn()->host().address());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->socketBuffers, sim::DataSize::megabytes(4));
+}
+
+TEST(Tuning, LossyPathGetsMoreStreams) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  TuningInputs clean;
+  TuningInputs lossy;
+  lossy.expectedLossRate = 1e-4;
+  const auto recClean = recommendTuning(s.topo, site->remoteDtn->host().address(),
+                                        site->primaryDtn()->host().address(), clean);
+  const auto recLossy = recommendTuning(s.topo, site->remoteDtn->host().address(),
+                                        site->primaryDtn()->host().address(), lossy);
+  ASSERT_TRUE(recClean.has_value());
+  ASSERT_TRUE(recLossy.has_value());
+  EXPECT_GT(recLossy->parallelStreams, recClean->parallelStreams);
+  EXPECT_LE(recLossy->parallelStreams, 8);
+}
+
+TEST(Tuning, JumboDetection) {
+  Scenario s1;
+  SiteConfig jumbo;
+  auto siteJumbo = buildSimpleScienceDmz(s1.topo, jumbo);
+  const auto recJumbo = recommendTuning(s1.topo, siteJumbo->remoteDtn->host().address(),
+                                        siteJumbo->primaryDtn()->host().address());
+  ASSERT_TRUE(recJumbo.has_value());
+  EXPECT_TRUE(recJumbo->jumboFrames);
+
+  Scenario s2;
+  SiteConfig standard;
+  standard.wan.mtu = 1500_B;
+  auto siteStd = buildSimpleScienceDmz(s2.topo, standard);
+  const auto recStd = recommendTuning(s2.topo, siteStd->remoteDtn->host().address(),
+                                      siteStd->primaryDtn()->host().address());
+  ASSERT_TRUE(recStd.has_value());
+  EXPECT_FALSE(recStd->jumboFrames);
+}
+
+TEST(Tuning, UnroutableReturnsNullopt) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  EXPECT_FALSE(recommendTuning(s.topo, site->remoteDtn->host().address(),
+                               net::Address(1, 2, 3, 4))
+                   .has_value());
+}
+
+TEST(Tuning, RecommendationActuallyFillsThePath) {
+  // End-to-end: a DTN built from the advisor's profile saturates the path
+  // it was tuned for.
+  Scenario s;
+  SiteConfig config;
+  config.wan.rate = 10_Gbps;
+  config.wan.delay = 25_ms;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto rec = recommendTuning(s.topo, site->remoteDtn->host().address(),
+                                   site->primaryDtn()->host().address());
+  ASSERT_TRUE(rec.has_value());
+
+  // Rebuild the remote DTN wrapper with the recommended profile.
+  auto& storage = site->addStorage(s.ctx, dtn::StorageProfile::parallelFsBackend());
+  auto& tunedRemote = site->addDtnNode(site->remoteDtn->host(), storage, rec->asDtnProfile());
+
+  dtn::DtnTransfer transfer{tunedRemote, *site->primaryDtn(), "tuned.dat", 2_GB, 50100};
+  transfer.start();
+  s.simulator.runFor(600_s);
+  ASSERT_TRUE(transfer.finished());
+  EXPECT_GT(transfer.result().averageRate.toGbps(), 4.0);
+}
+
+}  // namespace
+}  // namespace scidmz::core

@@ -1,0 +1,182 @@
+// One test per design rule: a clean reference design passes; each seeded
+// defect is detected by exactly the rule that owns it.
+#include "core/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "core/site_builder.hpp"
+
+namespace scidmz::core {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+std::string summaryOf(const ValidationResult& r) {
+  std::string out;
+  for (const auto& v : r.violations) {
+    out += std::string{toString(v.rule)} + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+TEST(Validator, CleanSimpleDmzHasNoCriticalFindings) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  const auto result = validate(*site);
+  // No criticals. (The stock enterprise firewall ships with sequence
+  // checking enabled, which legitimately earns an off-path warning.)
+  EXPECT_EQ(result.criticalCount(), 0u) << summaryOf(result);
+  EXPECT_FALSE(result.hasViolation(RuleId::kSciencePathAvoidsFirewall));
+  EXPECT_FALSE(result.hasViolation(RuleId::kDtnTuned));
+  EXPECT_FALSE(result.hasViolation(RuleId::kMeasurementHostPresent));
+}
+
+TEST(Validator, FullyCleanWhenFirewallFeatureDisabled) {
+  Scenario s;
+  SiteConfig config;
+  config.firewall.tcpSequenceChecking = false;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto result = validate(*site);
+  EXPECT_TRUE(result.clean()) << summaryOf(result);
+}
+
+TEST(Validator, CampusBaselineFailsLocationAndMonitoring) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
+  auto site = buildGeneralPurposeCampus(s.topo, config);
+  const auto result = validate(*site);
+
+  EXPECT_TRUE(result.hasViolation(RuleId::kSciencePathAvoidsFirewall));
+  EXPECT_TRUE(result.hasViolation(RuleId::kMeasurementHostPresent));
+  EXPECT_TRUE(result.hasViolation(RuleId::kDtnIsDedicated));
+  EXPECT_TRUE(result.hasViolation(RuleId::kDtnTuned));
+  EXPECT_TRUE(result.hasViolation(RuleId::kNoSequenceCheckingFirewall));
+  EXPECT_GE(result.criticalCount(), 3u);
+}
+
+TEST(Validator, DetectsUntunedDtnOnOtherwiseCleanSite) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile.tcp = tcp::TcpConfig::untunedDefault();
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  const auto result = validate(*site);
+  EXPECT_TRUE(result.hasViolation(RuleId::kDtnTuned));
+  EXPECT_FALSE(result.hasViolation(RuleId::kSciencePathAvoidsFirewall));
+}
+
+TEST(Validator, DetectsNonDedicatedDtn) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnProfile.dedicatedApplicationSet = false;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kDtnIsDedicated));
+}
+
+TEST(Validator, DetectsMissingAcls) {
+  Scenario s;
+  SiteConfig config;
+  config.applyDmzAcls = false;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kDmzAclPolicyPresent));
+}
+
+TEST(Validator, DetectsPermissiveDefaultAcl) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  net::AclTable permissive{net::AclAction::kPermit};
+  site->dmzSwitch->setAcl(permissive);
+  const auto result = validate(*site);
+  EXPECT_TRUE(result.hasViolation(RuleId::kDmzAclPolicyPresent));
+  EXPECT_EQ(result.criticalCount(), 0u);  // downgraded to warning
+}
+
+TEST(Validator, DetectsOverFastDtnNic) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.rate = 1_Gbps;  // slow WAN
+  // DTN port still at wan.rate by construction; rebuild the mismatch by
+  // hand: attach a faster DTN to the DMZ switch.
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  auto& fastHost = s.topo.addHost("fast-dtn", net::Address(10, 10, 1, 20));
+  net::LinkParams fat;
+  fat.rate = 10_Gbps;
+  fat.mtu = 9000_B;
+  s.topo.connect(fastHost, *site->dmzSwitch, fat);
+  auto& storage = site->addStorage(s.ctx, dtn::StorageProfile::raidArray());
+  site->dtns.insert(site->dtns.begin(), &site->addDtnNode(fastHost, storage, dtn::DtnProfile{}));
+  s.topo.computeRoutes();
+
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kDtnMatchedToWan));
+}
+
+TEST(Validator, DetectsStandardMtuOnSciencePath) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.mtu = 1500_B;
+  auto site = buildSimpleScienceDmz(s.topo, config);
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kJumboFramesOnPath));
+}
+
+TEST(Validator, DetectsShallowDmzSwitchBuffers) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  // Shrink the DMZ switch's egress buffers below the fan-in requirement.
+  for (std::size_t i = 0; i < site->dmzSwitch->interfaceCount(); ++i) {
+    site->dmzSwitch->interface(i).queue().setCapacity(64_KiB);
+  }
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kAdequatePathBuffers));
+}
+
+TEST(Validator, DetectsSequenceCheckingEvenOffPath) {
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  // The stock enterprise firewall has sequence checking on by default; it
+  // is off the science path, so the finding is a warning, not critical.
+  const auto result = validate(*site);
+  bool found = false;
+  for (const auto& v : result.violations) {
+    if (v.rule == RuleId::kNoSequenceCheckingFirewall) {
+      found = true;
+      EXPECT_EQ(v.severity, Severity::kWarning);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, DetectsSharedAccessSwitch) {
+  // Hand-build a site whose "DTN" hangs off the same switch as an office
+  // host: the separation rule must fire.
+  Scenario s;
+  auto site = buildSimpleScienceDmz(s.topo, SiteConfig{});
+  auto& office = s.topo.addHost("rogue-office", net::Address(10, 20, 1, 200));
+  net::LinkParams lp;
+  s.topo.connect(office, *site->dmzSwitch, lp);
+  site->enterpriseHosts.push_back(&office);
+  s.topo.computeRoutes();
+  EXPECT_TRUE(validate(*site).hasViolation(RuleId::kScienceTrafficSeparated));
+}
+
+TEST(Validator, MissingDtnIsFatalFinding) {
+  Scenario s;
+  auto site = std::make_unique<Site>(s.topo, SiteKind::kSimpleScienceDmz);
+  const auto result = validate(*site);
+  EXPECT_FALSE(result.clean());
+}
+
+TEST(Validator, RuleMetadataComplete) {
+  for (auto rule : {RuleId::kSciencePathAvoidsFirewall, RuleId::kDmzNearPerimeter,
+                    RuleId::kScienceTrafficSeparated, RuleId::kDtnIsDedicated,
+                    RuleId::kDtnTuned, RuleId::kDtnMatchedToWan, RuleId::kJumboFramesOnPath,
+                    RuleId::kMeasurementHostPresent, RuleId::kMeasurementHostOnDmz,
+                    RuleId::kDmzAclPolicyPresent, RuleId::kAdequatePathBuffers,
+                    RuleId::kNoSequenceCheckingFirewall}) {
+    EXPECT_NE(toString(rule), "?");
+    EXPECT_FALSE(describe(patternOf(rule)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace scidmz::core

@@ -1,0 +1,108 @@
+#include "dtn/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::dtn {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+TEST(Storage, ReadStreamDeliversAllBytesAtDiskRate) {
+  Scenario s;
+  StorageSubsystem disk{s.ctx, StorageProfile::singleDisk()};  // 150 MB/s read
+  sim::DataSize delivered = sim::DataSize::zero();
+  bool done = false;
+  disk.openRead(
+      150_MB, [&delivered](sim::DataSize chunk) { delivered += chunk; }, [&done] { done = true; });
+  s.simulator.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(delivered, 150_MB);
+  // 150 MB at 150 MB/s: about one second (tick rounding allowed).
+  EXPECT_NEAR(s.simulator.now().toSeconds(), 1.0, 0.05);
+}
+
+TEST(Storage, ConcurrentReadsShareBandwidthFairly) {
+  Scenario s;
+  auto profile = StorageProfile::raidArray();  // 2 GB/s aggregate read
+  profile.perStreamCap = sim::DataRate::gigabitsPerSecond(100);  // uncapped
+  StorageSubsystem disk{s.ctx, profile};
+
+  sim::SimTime done1, done2;
+  disk.openRead(250_MB, [](sim::DataSize) {}, [&] { done1 = s.simulator.now(); });
+  disk.openRead(250_MB, [](sim::DataSize) {}, [&] { done2 = s.simulator.now(); });
+  s.simulator.run();
+
+  // Two 250MB reads sharing 2 GB/s finish together at ~0.25s; a solo read
+  // would have taken 0.125s.
+  EXPECT_NEAR(done1.toSeconds(), 0.25, 0.02);
+  EXPECT_NEAR(done2.toSeconds(), 0.25, 0.02);
+}
+
+TEST(Storage, PerStreamCapLimitsSoloReader) {
+  Scenario s;
+  auto profile = StorageProfile::raidArray();
+  profile.perStreamCap = sim::DataRate::megabitsPerSecond(4000);  // 500 MB/s
+  StorageSubsystem disk{s.ctx, profile};
+  bool done = false;
+  disk.openRead(500_MB, [](sim::DataSize) {}, [&done] { done = true; });
+  s.simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(s.simulator.now().toSeconds(), 1.0, 0.05);
+}
+
+TEST(Storage, WriteStreamCompletesWhenAllDurable) {
+  Scenario s;
+  StorageSubsystem disk{s.ctx, StorageProfile::singleDisk()};  // 120 MB/s write
+  bool done = false;
+  const auto id = disk.openWrite(120_MB, [&done] { done = true; });
+  disk.offerWrite(id, 60_MB);
+  s.simulator.runFor(400_ms);
+  EXPECT_FALSE(done);  // only half offered
+  disk.offerWrite(id, 60_MB);
+  s.simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(disk.stats().bytesWritten, 120_MB);
+}
+
+TEST(Storage, WriteBacklogDrainsAtWriteRate) {
+  Scenario s;
+  StorageSubsystem disk{s.ctx, StorageProfile::singleDisk()};
+  const auto id = disk.openWrite(120_MB, [] {});
+  const auto backlog = disk.offerWrite(id, 120_MB);
+  EXPECT_EQ(backlog, 120_MB);
+  s.simulator.runFor(500_ms);
+  // ~60 MB drained in 0.5s at 120 MB/s.
+  EXPECT_NEAR(disk.stats().bytesWritten.toMB(), 60.0, 5.0);
+}
+
+TEST(Storage, CloseAbandonsStream) {
+  Scenario s;
+  StorageSubsystem disk{s.ctx, StorageProfile::singleDisk()};
+  bool done = false;
+  const auto id = disk.openRead(1_GB, [](sim::DataSize) {}, [&done] { done = true; });
+  s.simulator.runFor(100_ms);
+  disk.close(id);
+  s.simulator.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(disk.activeReadStreams(), 0);
+}
+
+TEST(ParallelFs, CatalogVisibilityFollowsCommit) {
+  Scenario s;
+  ParallelFilesystem fs{s.ctx};
+  const auto t0 = sim::SimTime::zero();
+  EXPECT_FALSE(fs.available("run42.h5", t0 + 10_s));
+  fs.commitFile("run42.h5", 33_GB, t0 + 5_s);
+  EXPECT_TRUE(fs.available("run42.h5", t0 + 10_s));
+  EXPECT_FALSE(fs.available("run42.h5", t0 + 1_s));
+  ASSERT_NE(fs.lookup("run42.h5"), nullptr);
+  EXPECT_EQ(fs.lookup("run42.h5")->size, 33_GB);
+  EXPECT_EQ(fs.fileCount(), 1u);
+}
+
+}  // namespace
+}  // namespace scidmz::dtn

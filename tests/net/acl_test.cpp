@@ -1,0 +1,108 @@
+#include "net/acl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::net {
+namespace {
+
+Packet tcpPacket(Address src, Address dst, std::uint16_t sport, std::uint16_t dport) {
+  Packet p;
+  p.flow = FlowKey{src, dst, sport, dport, Protocol::kTcp};
+  p.body = TcpHeader{};
+  return p;
+}
+
+TEST(PortRange, SingleAndAny) {
+  EXPECT_TRUE(PortRange::any().contains(0));
+  EXPECT_TRUE(PortRange::any().contains(65535));
+  EXPECT_TRUE(PortRange::single(443).contains(443));
+  EXPECT_FALSE(PortRange::single(443).contains(444));
+  const PortRange gridftp{50000, 51000};
+  EXPECT_TRUE(gridftp.contains(50500));
+  EXPECT_FALSE(gridftp.contains(49999));
+}
+
+TEST(AclTable, DefaultPermitWithNoRules) {
+  AclTable acl;
+  EXPECT_TRUE(acl.permits(tcpPacket(Address(1, 1, 1, 1), Address(2, 2, 2, 2), 1, 2)));
+}
+
+TEST(AclTable, DefaultDenyWithNoRules) {
+  AclTable acl{AclAction::kDeny};
+  EXPECT_FALSE(acl.permits(tcpPacket(Address(1, 1, 1, 1), Address(2, 2, 2, 2), 1, 2)));
+}
+
+TEST(AclTable, FirstMatchWins) {
+  AclTable acl{AclAction::kDeny};
+  AclRule denyHost;
+  denyHost.action = AclAction::kDeny;
+  denyHost.src = Prefix{Address(10, 0, 0, 5), 32};
+  acl.append(denyHost);
+  AclRule permitNet;
+  permitNet.action = AclAction::kPermit;
+  permitNet.src = Prefix{Address(10, 0, 0, 0), 24};
+  acl.append(permitNet);
+
+  EXPECT_FALSE(acl.permits(tcpPacket(Address(10, 0, 0, 5), Address(2, 2, 2, 2), 1, 2)));
+  EXPECT_TRUE(acl.permits(tcpPacket(Address(10, 0, 0, 6), Address(2, 2, 2, 2), 1, 2)));
+  EXPECT_FALSE(acl.permits(tcpPacket(Address(10, 0, 1, 6), Address(2, 2, 2, 2), 1, 2)));
+}
+
+TEST(AclTable, ProtocolFilter) {
+  AclTable acl{AclAction::kDeny};
+  AclRule tcpOnly;
+  tcpOnly.action = AclAction::kPermit;
+  tcpOnly.proto = Protocol::kTcp;
+  acl.append(tcpOnly);
+
+  auto tcp = tcpPacket(Address(1, 1, 1, 1), Address(2, 2, 2, 2), 1, 2);
+  EXPECT_TRUE(acl.permits(tcp));
+  Packet udp = tcp;
+  udp.flow.proto = Protocol::kUdp;
+  udp.body = ProbeHeader{};
+  EXPECT_FALSE(acl.permits(udp));
+}
+
+TEST(AclTable, DtnDataChannelPolicy) {
+  // Science DMZ style: permit the collaborator's network to the DTN's
+  // GridFTP control+data ports; default deny.
+  AclTable acl{AclAction::kDeny};
+  AclRule control;
+  control.action = AclAction::kPermit;
+  control.src = Prefix::parse("198.128.0.0/16");
+  control.dst = Prefix::parse("10.10.1.10/32");
+  control.dstPorts = PortRange::single(2811);
+  acl.append(control);
+  AclRule data;
+  data.action = AclAction::kPermit;
+  data.src = Prefix::parse("198.128.0.0/16");
+  data.dst = Prefix::parse("10.10.1.10/32");
+  data.dstPorts = PortRange{50000, 51000};
+  acl.append(data);
+
+  const Address collab = Address::parse("198.128.4.4");
+  const Address dtn = Address::parse("10.10.1.10");
+  const Address attacker = Address::parse("203.0.113.9");
+  EXPECT_TRUE(acl.permits(tcpPacket(collab, dtn, 40000, 2811)));
+  EXPECT_TRUE(acl.permits(tcpPacket(collab, dtn, 40000, 50017)));
+  EXPECT_FALSE(acl.permits(tcpPacket(collab, dtn, 40000, 22)));
+  EXPECT_FALSE(acl.permits(tcpPacket(attacker, dtn, 40000, 2811)));
+}
+
+TEST(AclRule, MatchesAllDimensionsTogether) {
+  AclRule rule;
+  rule.src = Prefix::parse("10.0.0.0/8");
+  rule.dst = Prefix::parse("10.1.0.0/16");
+  rule.proto = Protocol::kTcp;
+  rule.srcPorts = PortRange{1000, 2000};
+  rule.dstPorts = PortRange::single(443);
+
+  EXPECT_TRUE(rule.matches(tcpPacket(Address(10, 9, 9, 9), Address(10, 1, 2, 3), 1500, 443)));
+  EXPECT_FALSE(rule.matches(tcpPacket(Address(11, 9, 9, 9), Address(10, 1, 2, 3), 1500, 443)));
+  EXPECT_FALSE(rule.matches(tcpPacket(Address(10, 9, 9, 9), Address(10, 2, 2, 3), 1500, 443)));
+  EXPECT_FALSE(rule.matches(tcpPacket(Address(10, 9, 9, 9), Address(10, 1, 2, 3), 999, 443)));
+  EXPECT_FALSE(rule.matches(tcpPacket(Address(10, 9, 9, 9), Address(10, 1, 2, 3), 1500, 80)));
+}
+
+}  // namespace
+}  // namespace scidmz::net

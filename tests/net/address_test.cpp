@@ -1,0 +1,76 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::net {
+namespace {
+
+TEST(Address, ParseAndFormatRoundTrip) {
+  const auto a = Address::parse("10.1.2.3");
+  EXPECT_EQ(a.toString(), "10.1.2.3");
+  EXPECT_EQ(a, Address(10, 1, 2, 3));
+}
+
+TEST(Address, ParseRejectsMalformed) {
+  EXPECT_THROW(Address::parse("10.1.2"), std::invalid_argument);
+  EXPECT_THROW(Address::parse("10.1.2.3.4"), std::invalid_argument);
+  EXPECT_THROW(Address::parse("10.1.2.256"), std::invalid_argument);
+  EXPECT_THROW(Address::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Address::parse(""), std::invalid_argument);
+}
+
+TEST(Address, Ordering) {
+  EXPECT_LT(Address(10, 0, 0, 1), Address(10, 0, 0, 2));
+  EXPECT_LT(Address(9, 255, 255, 255), Address(10, 0, 0, 0));
+}
+
+TEST(Prefix, ContainsMasksCorrectly) {
+  const auto p = Prefix::parse("192.168.10.0/24");
+  EXPECT_TRUE(p.contains(Address::parse("192.168.10.1")));
+  EXPECT_TRUE(p.contains(Address::parse("192.168.10.255")));
+  EXPECT_FALSE(p.contains(Address::parse("192.168.11.0")));
+}
+
+TEST(Prefix, HostRoute) {
+  const Prefix p{Address::parse("10.0.0.7"), 32};
+  EXPECT_TRUE(p.contains(Address::parse("10.0.0.7")));
+  EXPECT_FALSE(p.contains(Address::parse("10.0.0.8")));
+}
+
+TEST(Prefix, DefaultRouteMatchesEverything) {
+  const auto p = Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(p.contains(Address::parse("1.2.3.4")));
+  EXPECT_TRUE(p.contains(Address::parse("255.255.255.255")));
+}
+
+TEST(Prefix, BaseIsMasked) {
+  const Prefix p{Address::parse("10.1.2.3"), 16};
+  EXPECT_EQ(p.base().toString(), "10.1.0.0");
+  EXPECT_EQ(p.toString(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), std::invalid_argument);
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), std::invalid_argument);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const FlowKey k{Address(1, 1, 1, 1), Address(2, 2, 2, 2), 1111, 2222, Protocol::kTcp};
+  const FlowKey r = k.reversed();
+  EXPECT_EQ(r.src, k.dst);
+  EXPECT_EQ(r.dst, k.src);
+  EXPECT_EQ(r.srcPort, k.dstPort);
+  EXPECT_EQ(r.dstPort, k.srcPort);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(FlowKey, HashDistinguishesFlows) {
+  const FlowKey a{Address(1, 1, 1, 1), Address(2, 2, 2, 2), 1111, 2222, Protocol::kTcp};
+  FlowKey b = a;
+  b.dstPort = 2223;
+  EXPECT_NE(FlowKeyHash{}(a), FlowKeyHash{}(b));
+  EXPECT_EQ(FlowKeyHash{}(a), FlowKeyHash{}(a));
+}
+
+}  // namespace
+}  // namespace scidmz::net

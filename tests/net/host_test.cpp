@@ -1,0 +1,126 @@
+#include "net/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::net {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+class Capture : public PacketSink {
+ public:
+  void onPacket(const Packet& p) override { packets.push_back(p); }
+  std::vector<Packet> packets;
+};
+
+struct Pair {
+  explicit Pair(Scenario& s, LinkParams params = {})
+      : a(s.topo.addHost("a", Address(10, 0, 0, 1))),
+        b(s.topo.addHost("b", Address(10, 0, 0, 2))) {
+    s.topo.connect(a, b, params);
+    s.topo.computeRoutes();
+  }
+  Host& a;
+  Host& b;
+};
+
+Packet probe(Address dst, std::uint16_t dport, Protocol proto = Protocol::kUdp) {
+  Packet p;
+  p.flow = FlowKey{Address{}, dst, 99, dport, proto};
+  if (proto == Protocol::kUdp) {
+    p.body = ProbeHeader{};
+  } else {
+    p.body = TcpHeader{};
+  }
+  p.payload = 64_B;
+  return p;
+}
+
+TEST(Host, DemuxByProtocolAndPort) {
+  Scenario s;
+  Pair net{s};
+  Capture udp7;
+  Capture tcp7;
+  net.b.bind(Protocol::kUdp, 7, udp7);
+  net.b.bind(Protocol::kTcp, 7, tcp7);
+
+  net.a.send(probe(net.b.address(), 7, Protocol::kUdp));
+  net.a.send(probe(net.b.address(), 7, Protocol::kTcp));
+  s.simulator.run();
+
+  EXPECT_EQ(udp7.packets.size(), 1u);
+  EXPECT_EQ(tcp7.packets.size(), 1u);
+  EXPECT_TRUE(udp7.packets[0].isProbe());
+  EXPECT_TRUE(tcp7.packets[0].isTcp());
+}
+
+TEST(Host, UnboundPortDropsSilently) {
+  Scenario s;
+  Pair net{s};
+  net.a.send(probe(net.b.address(), 4242));
+  s.simulator.run();
+  EXPECT_EQ(net.b.stats().dropsOther, 1u);
+}
+
+TEST(Host, WrongDestinationAddressDropped) {
+  Scenario s;
+  Pair net{s};
+  Capture cap;
+  net.b.bind(Protocol::kUdp, 7, cap);
+  net.a.send(probe(Address(10, 0, 0, 99), 7));  // not b's address; no route
+  s.simulator.run();
+  EXPECT_TRUE(cap.packets.empty());
+}
+
+TEST(Host, UnbindStopsDelivery) {
+  Scenario s;
+  Pair net{s};
+  Capture cap;
+  net.b.bind(Protocol::kUdp, 7, cap);
+  net.a.send(probe(net.b.address(), 7));
+  s.simulator.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  net.b.unbind(Protocol::kUdp, 7);
+  net.a.send(probe(net.b.address(), 7));
+  s.simulator.run();
+  EXPECT_EQ(cap.packets.size(), 1u);
+}
+
+TEST(Host, SendStampsSourceAndUniqueIds) {
+  Scenario s;
+  Pair net{s};
+  Capture cap;
+  net.b.bind(Protocol::kUdp, 7, cap);
+  net.a.send(probe(net.b.address(), 7));
+  net.a.send(probe(net.b.address(), 7));
+  s.simulator.run();
+  ASSERT_EQ(cap.packets.size(), 2u);
+  EXPECT_EQ(cap.packets[0].flow.src, net.a.address());
+  EXPECT_NE(cap.packets[0].id, cap.packets[1].id);
+}
+
+TEST(Host, EphemeralPortsAreDistinct) {
+  Scenario s;
+  Pair net{s};
+  const auto p1 = net.a.allocatePort();
+  const auto p2 = net.a.allocatePort();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 10000);
+}
+
+TEST(Host, MssFollowsLinkMtu) {
+  Scenario s;
+  LinkParams jumbo;
+  jumbo.mtu = 9000_B;
+  Pair net{s, jumbo};
+  EXPECT_EQ(net.a.mss(), 8960_B);
+  EXPECT_EQ(net.a.nicRate(), jumbo.rate);
+}
+
+}  // namespace
+}  // namespace scidmz::net

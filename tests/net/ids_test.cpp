@@ -1,0 +1,114 @@
+#include "net/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+
+namespace scidmz::net {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+Packet tcpPacket(Address src, Address dst, std::uint16_t sport, std::uint16_t dport) {
+  Packet p;
+  p.flow = FlowKey{src, dst, sport, dport, Protocol::kTcp};
+  p.body = TcpHeader{};
+  p.payload = 100_B;
+  return p;
+}
+
+TEST(Ids, CountsFlowsAndBytes) {
+  IntrusionDetectionSystem ids;
+  const auto a = tcpPacket(Address(1, 1, 1, 1), Address(2, 2, 2, 2), 10, 20);
+  const auto b = tcpPacket(Address(3, 3, 3, 3), Address(2, 2, 2, 2), 11, 20);
+  ids.observe(a);
+  ids.observe(a);
+  ids.observe(b);
+  EXPECT_EQ(ids.observedFlowCount(), 2u);
+  const auto* obs = ids.flow(a.flow);
+  ASSERT_NE(obs, nullptr);
+  EXPECT_EQ(obs->packets, 2u);
+  EXPECT_EQ(obs->bytes, sim::DataSize::bytes(280));  // 2 x (100 + 40)
+}
+
+TEST(Ids, VetsAfterConfiguredPacketCount) {
+  IntrusionDetectionSystem ids;
+  ids.setVettingPacketCount(3);
+  std::vector<FlowKey> vetted;
+  ids.onVetted([&vetted](const FlowKey& k) { vetted.push_back(k); });
+  const auto p = tcpPacket(Address(1, 1, 1, 1), Address(2, 2, 2, 2), 10, 20);
+  ids.observe(p);
+  ids.observe(p);
+  EXPECT_TRUE(vetted.empty());
+  ids.observe(p);
+  ASSERT_EQ(vetted.size(), 1u);
+  EXPECT_EQ(vetted[0], p.flow);
+  // Fires exactly once.
+  ids.observe(p);
+  EXPECT_EQ(vetted.size(), 1u);
+}
+
+TEST(Ids, WatchlistedFlowFlaggedNeverVetted) {
+  IntrusionDetectionSystem ids;
+  ids.setVettingPacketCount(1);
+  ids.addWatchlistPrefix(Prefix::parse("9.9.9.0/24"));
+  int flagged = 0;
+  int vetted = 0;
+  ids.onFlagged([&flagged](const FlowKey&) { ++flagged; });
+  ids.onVetted([&vetted](const FlowKey&) { ++vetted; });
+  const auto bad = tcpPacket(Address(9, 9, 9, 9), Address(2, 2, 2, 2), 10, 20);
+  for (int i = 0; i < 5; ++i) ids.observe(bad);
+  EXPECT_EQ(flagged, 1);
+  EXPECT_EQ(vetted, 0);
+  EXPECT_EQ(ids.flaggedFlowCount(), 1u);
+}
+
+TEST(Ids, WatchlistMatchesDestinationToo) {
+  IntrusionDetectionSystem ids;
+  ids.addWatchlistPrefix(Prefix::parse("9.9.9.0/24"));
+  int flagged = 0;
+  ids.onFlagged([&flagged](const FlowKey&) { ++flagged; });
+  ids.observe(tcpPacket(Address(1, 1, 1, 1), Address(9, 9, 9, 1), 10, 20));
+  EXPECT_EQ(flagged, 1);
+}
+
+TEST(Ids, AttachesToDeviceTapPassively) {
+  // The tap must not change forwarding behaviour in any way.
+  Scenario s;
+  auto& a = s.topo.addHost("a", Address(10, 0, 0, 1));
+  auto& sw = s.topo.addSwitch("sw");
+  auto& b = s.topo.addHost("b", Address(10, 0, 0, 2));
+  s.topo.connect(a, sw, LinkParams{});
+  s.topo.connect(sw, b, LinkParams{});
+  s.topo.computeRoutes();
+
+  IntrusionDetectionSystem ids;
+  ids.attachTo(sw);
+
+  class Sink : public PacketSink {
+   public:
+    int count = 0;
+    void onPacket(const Packet&) override { ++count; }
+  } sink;
+  b.bind(Protocol::kUdp, 7, sink);
+
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.flow = FlowKey{a.address(), b.address(), 99, 7, Protocol::kUdp};
+    p.body = ProbeHeader{};
+    p.payload = 200_B;
+    a.send(p);
+  }
+  s.simulator.run();
+
+  EXPECT_EQ(sink.count, 10);  // all delivered
+  EXPECT_EQ(ids.observedFlowCount(), 1u);
+  EXPECT_EQ(ids.flow(FlowKey{a.address(), b.address(), 99, 7, Protocol::kUdp})->packets, 10u);
+}
+
+}  // namespace
+}  // namespace scidmz::net

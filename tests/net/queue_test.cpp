@@ -1,0 +1,85 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::net {
+namespace {
+
+using namespace scidmz::sim::literals;
+using sim::SimTime;
+
+Packet tcpPacket(sim::DataSize payload) {
+  Packet p;
+  p.flow.proto = Protocol::kTcp;
+  p.body = TcpHeader{};
+  p.payload = payload;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q{10_KB};
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    auto p = tcpPacket(100_B);
+    p.id = i;
+    ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), p));
+  }
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto p = q.dequeue(SimTime::zero());
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->id, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, DropsWhenByteCapacityExceeded) {
+  // Capacity 3000B; each 1460B payload packet occupies 1500B on the wire.
+  DropTailQueue q{3000_B};
+  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_EQ(q.stats().enqueued, 2u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_DOUBLE_EQ(q.stats().dropFraction(), 1.0 / 3.0);
+}
+
+TEST(DropTailQueue, DepthTracksWireSize) {
+  DropTailQueue q{1_MB};
+  q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B));
+  EXPECT_EQ(q.depth(), 1500_B);
+  (void)q.dequeue(SimTime::zero());
+  EXPECT_EQ(q.depth(), 0_B);
+}
+
+TEST(DropTailQueue, PeakDepthRecorded) {
+  DropTailQueue q{1_MB};
+  for (int i = 0; i < 4; ++i) q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B));
+  (void)q.dequeue(SimTime::zero());
+  EXPECT_EQ(q.stats().peakDepth, 6000_B);
+}
+
+TEST(DropTailQueue, DequeueEmptyReturnsNullopt) {
+  DropTailQueue q{1_KB};
+  EXPECT_FALSE(q.dequeue(SimTime::zero()).has_value());
+}
+
+TEST(DropTailQueue, CapacityCanShrinkLive) {
+  // The Colorado defect clamps buffers at runtime; already-queued bytes
+  // stay, but new arrivals beyond the new capacity drop.
+  DropTailQueue q{1_MB};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  q.setCapacity(3000_B);
+  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_EQ(q.packetCount(), 10u);
+}
+
+TEST(DropTailQueue, UdpOverheadSmaller) {
+  DropTailQueue q{1_MB};
+  Packet p;
+  p.flow.proto = Protocol::kUdp;
+  p.payload = 100_B;
+  q.tryEnqueue(SimTime::zero(), p);
+  EXPECT_EQ(q.depth(), 128_B);  // 100 + 28
+}
+
+}  // namespace
+}  // namespace scidmz::net

@@ -1,0 +1,20 @@
+// Shared scaffolding for net/tcp tests: one deterministic scenario
+// (simulator + rng + logger + topology) per test.
+#pragma once
+
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace scidmz::testutil {
+
+struct Scenario {
+  sim::Simulator simulator;
+  sim::Rng rng{12345};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+};
+
+}  // namespace scidmz::testutil

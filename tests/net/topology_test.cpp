@@ -1,0 +1,168 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+
+namespace scidmz::net {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+class Capture : public PacketSink {
+ public:
+  void onPacket(const Packet& p) override { packets.push_back(p); }
+  std::vector<Packet> packets;
+};
+
+Packet probeTo(Address dst, sim::DataSize payload = sim::DataSize::bytes(100)) {
+  Packet p;
+  p.flow = FlowKey{Address{}, dst, 99, 7, Protocol::kUdp};
+  p.body = ProbeHeader{};
+  p.payload = payload;
+  return p;
+}
+
+/// Linear chain: h1 - swA - swB - swC - h2, plus h3 hanging off swB.
+struct ChainTopo {
+  explicit ChainTopo(Scenario& s)
+      : h1(s.topo.addHost("h1", Address(10, 0, 0, 1))),
+        h2(s.topo.addHost("h2", Address(10, 0, 0, 2))),
+        h3(s.topo.addHost("h3", Address(10, 0, 0, 3))),
+        swA(s.topo.addSwitch("swA")),
+        swB(s.topo.addSwitch("swB")),
+        swC(s.topo.addSwitch("swC")) {
+    LinkParams core;
+    core.rate = 10_Gbps;
+    LinkParams edge;
+    edge.rate = 1_Gbps;
+    s.topo.connect(h1, swA, edge);
+    s.topo.connect(swA, swB, core);
+    s.topo.connect(swB, swC, core);
+    s.topo.connect(swC, h2, edge);
+    s.topo.connect(swB, h3, edge);
+    s.topo.computeRoutes();
+  }
+  Host& h1;
+  Host& h2;
+  Host& h3;
+  SwitchDevice& swA;
+  SwitchDevice& swB;
+  SwitchDevice& swC;
+};
+
+TEST(Topology, RoutesAcrossMultipleHops) {
+  Scenario s;
+  ChainTopo t{s};
+  Capture cap;
+  t.h2.bind(Protocol::kUdp, 7, cap);
+  t.h1.send(probeTo(t.h2.address()));
+  s.simulator.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  EXPECT_EQ(cap.packets[0].ttl, 64 - 3);
+}
+
+TEST(Topology, BranchRouting) {
+  Scenario s;
+  ChainTopo t{s};
+  Capture cap;
+  t.h3.bind(Protocol::kUdp, 7, cap);
+  t.h1.send(probeTo(t.h3.address()));
+  t.h2.send(probeTo(t.h3.address()));
+  s.simulator.run();
+  EXPECT_EQ(cap.packets.size(), 2u);
+}
+
+TEST(Topology, TraceEnumeratesPath) {
+  Scenario s;
+  ChainTopo t{s};
+  const auto path = s.topo.trace(t.h1.address(), t.h2.address());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->complete());
+  ASSERT_EQ(path->hops.size(), 4u);
+  EXPECT_EQ(path->hops[0].device->name(), "swA");
+  EXPECT_EQ(path->hops[1].device->name(), "swB");
+  EXPECT_EQ(path->hops[2].device->name(), "swC");
+  EXPECT_EQ(path->hops[3].device->name(), "h2");
+  EXPECT_EQ(path->toString(), "h1 -> swA -> swB -> swC -> h2");
+}
+
+TEST(Topology, TraceBottleneckAndDelay) {
+  Scenario s;
+  ChainTopo t{s};
+  const auto path = s.topo.trace(t.h1.address(), t.h2.address());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->bottleneckRate(), 1_Gbps);            // the edge links
+  EXPECT_EQ(path->propagationDelay(), 20_us);  // default 5us per link, 4 links
+}
+
+TEST(Topology, TraceUnknownHostFails) {
+  Scenario s;
+  ChainTopo t{s};
+  EXPECT_FALSE(s.topo.trace(t.h1.address(), Address(9, 9, 9, 9)).has_value());
+}
+
+TEST(Topology, FindersLocateDevices) {
+  Scenario s;
+  ChainTopo t{s};
+  EXPECT_EQ(s.topo.findHost(Address(10, 0, 0, 3)), &t.h3);
+  EXPECT_EQ(s.topo.findHost(Address(10, 0, 0, 99)), nullptr);
+  EXPECT_EQ(s.topo.findDevice("swB"), &t.swB);
+  EXPECT_EQ(s.topo.findDevice("nope"), nullptr);
+}
+
+TEST(Topology, ShortestPathPreferredWhenRedundant) {
+  // Diamond: h1 - a - b - h2 and a - c - d - b (longer). BFS must pick the
+  // two-switch path.
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& h2 = s.topo.addHost("h2", Address(10, 0, 0, 2));
+  auto& a = s.topo.addSwitch("a");
+  auto& b = s.topo.addSwitch("b");
+  auto& c = s.topo.addSwitch("c");
+  auto& d = s.topo.addSwitch("d");
+  LinkParams lp;
+  s.topo.connect(h1, a, lp);
+  s.topo.connect(a, b, lp);
+  s.topo.connect(a, c, lp);
+  s.topo.connect(c, d, lp);
+  s.topo.connect(d, b, lp);
+  s.topo.connect(b, h2, lp);
+  s.topo.computeRoutes();
+
+  const auto path = s.topo.trace(h1.address(), h2.address());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops.size(), 3u);
+  EXPECT_EQ(path->hops[0].device->name(), "a");
+  EXPECT_EQ(path->hops[1].device->name(), "b");
+}
+
+TEST(Topology, RecomputeAfterStructuralChange) {
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& h2 = s.topo.addHost("h2", Address(10, 0, 0, 2));
+  auto& sw = s.topo.addSwitch("sw");
+  LinkParams lp;
+  s.topo.connect(h1, sw, lp);
+  s.topo.computeRoutes();
+  EXPECT_FALSE(s.topo.trace(h1.address(), h2.address()).has_value());
+
+  s.topo.connect(sw, h2, lp);
+  s.topo.computeRoutes();
+  EXPECT_TRUE(s.topo.trace(h1.address(), h2.address()).has_value());
+}
+
+TEST(Topology, NoRouteDropCounted) {
+  Scenario s;
+  ChainTopo t{s};
+  t.h1.send(probeTo(Address(99, 99, 99, 99)));
+  s.simulator.run();
+  EXPECT_EQ(t.swA.stats().dropsNoRoute, 1u);
+}
+
+}  // namespace
+}  // namespace scidmz::net

@@ -1,0 +1,91 @@
+#include "perfsonar/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+sim::SimTime at(std::int64_t seconds) {
+  return sim::SimTime::zero() + sim::Duration::seconds(seconds);
+}
+
+TEST(Alerts, LossAboveThresholdFires) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.01);
+  SoftFailureDetector detector{archive};
+  int fired = 0;
+  detector.onAlert = [&fired](const Alert&) { ++fired; };
+  detector.evaluate(at(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(detector.hasActiveAlert("a", "b"));
+}
+
+TEST(Alerts, CleanLossStaysQuiet) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.0);
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(2));
+  EXPECT_TRUE(detector.alerts().empty());
+}
+
+TEST(Alerts, LatchesOncePerCondition) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.02);
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(2));
+  archive.record("a", "b", kMetricLossFraction, at(3), 0.03);
+  detector.evaluate(at(4));
+  EXPECT_EQ(detector.alerts().size(), 1u);
+}
+
+TEST(Alerts, ClearPairReArmsDetection) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.02);
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(2));
+  detector.clearPair("a", "b");
+  EXPECT_FALSE(detector.hasActiveAlert("a", "b"));
+  archive.record("a", "b", kMetricLossFraction, at(3), 0.02);
+  detector.evaluate(at(4));
+  EXPECT_EQ(detector.alerts().size(), 2u);
+}
+
+TEST(Alerts, ThroughputRegressionAgainstBaseline) {
+  MeasurementArchive archive;
+  // Healthy baseline, then collapse (the failing-line-card signature).
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 9200.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(2), 9400.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(3), 9300.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(4), 800.0);
+
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(5));
+  ASSERT_EQ(detector.alerts().size(), 1u);
+  EXPECT_EQ(detector.alerts()[0].metric, kMetricThroughputMbps);
+  EXPECT_DOUBLE_EQ(detector.alerts()[0].value, 800.0);
+}
+
+TEST(Alerts, NoRegressionAlertDuringBaselineWindow) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 9200.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(2), 100.0);  // within window
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(3));
+  EXPECT_TRUE(detector.alerts().empty());
+}
+
+TEST(Alerts, ModestDipDoesNotFire) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 9000.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(2), 9000.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(3), 9000.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(4), 6000.0);  // 67% of baseline
+  SoftFailureDetector detector{archive};
+  detector.evaluate(at(5));
+  EXPECT_TRUE(detector.alerts().empty());
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,70 @@
+#include "perfsonar/archive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+sim::SimTime at(std::int64_t seconds) {
+  return sim::SimTime::zero() + sim::Duration::seconds(seconds);
+}
+
+TEST(Archive, RecordAndLatest) {
+  MeasurementArchive archive;
+  archive.record("lbl", "anl", kMetricThroughputMbps, at(1), 9200.0);
+  archive.record("lbl", "anl", kMetricThroughputMbps, at(2), 9400.0);
+
+  const auto latest = archive.latest("lbl", "anl", kMetricThroughputMbps);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 9400.0);
+  EXPECT_EQ(latest->at, at(2));
+}
+
+TEST(Archive, MissingSeriesIsEmpty) {
+  MeasurementArchive archive;
+  EXPECT_EQ(archive.series("x", "y", kMetricLossFraction), nullptr);
+  EXPECT_FALSE(archive.latest("x", "y", kMetricLossFraction).has_value());
+  EXPECT_FALSE(archive.meanSince("x", "y", kMetricLossFraction, at(0)).has_value());
+}
+
+TEST(Archive, DirectionsAreDistinct) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.5);
+  archive.record("b", "a", kMetricLossFraction, at(1), 0.0);
+  EXPECT_DOUBLE_EQ(archive.latest("a", "b", kMetricLossFraction)->value, 0.5);
+  EXPECT_DOUBLE_EQ(archive.latest("b", "a", kMetricLossFraction)->value, 0.0);
+}
+
+TEST(Archive, MeanSinceFiltersByTime) {
+  MeasurementArchive archive;
+  for (int i = 1; i <= 10; ++i) {
+    archive.record("a", "b", kMetricThroughputMbps, at(i), 100.0 * i);
+  }
+  const auto recent = archive.meanSince("a", "b", kMetricThroughputMbps, at(9));
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_DOUBLE_EQ(*recent, 950.0);  // samples at t=9 (900) and t=10 (1000)
+}
+
+TEST(Archive, BaselineMeanUsesFirstSamples) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 9000.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(2), 9200.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(3), 100.0);  // regression
+  const auto baseline = archive.baselineMean("a", "b", kMetricThroughputMbps, 2);
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_DOUBLE_EQ(*baseline, 9100.0);
+}
+
+TEST(Archive, KeysEnumerateAllSeries) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.0);
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 1.0);
+  archive.record("b", "a", kMetricLossFraction, at(1), 0.0);
+  EXPECT_EQ(archive.seriesCount(), 3u);
+  EXPECT_EQ(archive.keys().size(), 3u);
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,105 @@
+#include "perfsonar/bwctl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+struct TestPath {
+  explicit TestPath(Scenario& s, net::LinkParams params = {})
+      : a(s.topo.addHost("a", net::Address(10, 0, 0, 1))),
+        b(s.topo.addHost("b", net::Address(10, 0, 0, 2))),
+        link(s.topo.connect(a, b, params)) {
+    s.topo.computeRoutes();
+  }
+  net::Host& a;
+  net::Host& b;
+  net::Link& link;
+};
+
+TEST(Bwctl, MeasuresCleanPathNearCapacity) {
+  Scenario s;
+  net::LinkParams params;
+  params.rate = 1_Gbps;
+  params.delay = 1_ms;
+  TestPath net{s, params};
+  BwctlTest test{net.a, net.b};
+  BwctlResult seen;
+  test.onComplete = [&seen](const BwctlResult& r) { seen = r; };
+  test.start();
+  s.simulator.run();
+
+  ASSERT_TRUE(seen.ran);
+  EXPECT_GT(seen.throughput.toMbps(), 850.0);
+  EXPECT_LE(seen.throughput.toMbps(), 1000.0);
+  EXPECT_EQ(seen.retransmits, 0u);
+}
+
+TEST(Bwctl, LossyPathMeasuresFarBelowCapacity) {
+  Scenario s;
+  net::LinkParams params;
+  params.rate = 10_Gbps;
+  params.delay = 20_ms;
+  params.mtu = 9000_B;
+  TestPath net{s, params};
+  net.link.setLossModel(0, std::make_unique<net::RandomLoss>(1e-4, s.rng.fork(8)));
+  BwctlTest::Options options;
+  options.duration = 20_s;
+  BwctlTest test{net.a, net.b, options};
+  test.start();
+  s.simulator.run();
+
+  ASSERT_TRUE(test.result().ran);
+  EXPECT_LT(test.result().throughput.toGbps(), 2.0);
+  EXPECT_GT(test.result().retransmits, 0u);
+}
+
+TEST(Bwctl, BlackholedPathReportsZeroInsteadOfHanging) {
+  Scenario s;
+  TestPath net{s};
+  net.link.setLossModel(0, std::make_unique<net::PeriodicLoss>(1));  // dead
+  BwctlTest::Options options;
+  options.duration = 5_s;
+  BwctlTest test{net.a, net.b, options};
+  test.start();
+  s.simulator.runFor(60_s);
+
+  ASSERT_TRUE(test.result().ran);
+  EXPECT_EQ(test.result().throughput.bps(), 0u);
+}
+
+TEST(Bwctl, BackToBackTestsDoNotInterfere) {
+  Scenario s;
+  net::LinkParams params;
+  params.rate = 1_Gbps;
+  TestPath net{s, params};
+
+  BwctlResult first;
+  BwctlResult second;
+  BwctlTest::Options options;
+  options.duration = 3_s;
+  auto test1 = std::make_unique<BwctlTest>(net.a, net.b, options);
+  auto test2 = std::make_unique<BwctlTest>(net.a, net.b, options);
+  test1->onComplete = [&](const BwctlResult& r) {
+    first = r;
+    test2->start();
+  };
+  test2->onComplete = [&second](const BwctlResult& r) { second = r; };
+  test1->start();
+  s.simulator.runFor(120_s);
+
+  ASSERT_TRUE(first.ran);
+  ASSERT_TRUE(second.ran);
+  EXPECT_GT(first.throughput.toMbps(), 800.0);
+  EXPECT_GT(second.throughput.toMbps(), 800.0);
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,72 @@
+#include "perfsonar/dashboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+sim::SimTime at(std::int64_t seconds) {
+  return sim::SimTime::zero() + sim::Duration::seconds(seconds);
+}
+
+TEST(Dashboard, RatesThroughputAgainstExpected) {
+  MeasurementArchive archive;
+  archive.record("lbl", "anl", kMetricThroughputMbps, at(1), 9500.0);  // good
+  archive.record("lbl", "ornl", kMetricThroughputMbps, at(1), 4000.0); // degraded
+  archive.record("anl", "lbl", kMetricThroughputMbps, at(1), 100.0);   // bad
+
+  Dashboard dash{archive, {"lbl", "anl", "ornl"}, 10000.0};
+  EXPECT_EQ(dash.throughputRating("lbl", "anl"), CellRating::kGood);
+  EXPECT_EQ(dash.throughputRating("lbl", "ornl"), CellRating::kDegraded);
+  EXPECT_EQ(dash.throughputRating("anl", "lbl"), CellRating::kBad);
+  EXPECT_EQ(dash.throughputRating("ornl", "anl"), CellRating::kNoData);
+}
+
+TEST(Dashboard, RatesLossAbsolutely) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricLossFraction, at(1), 0.0);
+  archive.record("b", "a", kMetricLossFraction, at(1), 0.001);
+  archive.record("a", "c", kMetricLossFraction, at(1), 0.2);
+
+  Dashboard dash{archive, {"a", "b", "c"}, 10000.0};
+  EXPECT_EQ(dash.lossRating("a", "b"), CellRating::kGood);
+  EXPECT_EQ(dash.lossRating("b", "a"), CellRating::kDegraded);
+  EXPECT_EQ(dash.lossRating("a", "c"), CellRating::kBad);
+}
+
+TEST(Dashboard, CountAtRating) {
+  MeasurementArchive archive;
+  archive.record("a", "b", kMetricThroughputMbps, at(1), 9500.0);
+  archive.record("b", "a", kMetricThroughputMbps, at(1), 9500.0);
+  archive.record("a", "c", kMetricThroughputMbps, at(1), 10.0);
+
+  Dashboard dash{archive, {"a", "b", "c"}, 10000.0};
+  EXPECT_EQ(dash.countAtRating(CellRating::kGood), 2);
+  EXPECT_EQ(dash.countAtRating(CellRating::kBad), 1);
+  EXPECT_EQ(dash.countAtRating(CellRating::kNoData), 3);  // c->a, c->b, b->c
+}
+
+TEST(Dashboard, RenderShowsGridWithLegend) {
+  MeasurementArchive archive;
+  archive.record("lbl", "anl", kMetricThroughputMbps, at(1), 9500.0);
+  archive.record("lbl", "anl", kMetricLossFraction, at(1), 0.0);
+
+  Dashboard dash{archive, {"lbl", "anl"}, 10000.0};
+  const auto text = dash.render();
+  EXPECT_NE(text.find("lbl"), std::string::npos);
+  EXPECT_NE(text.find("anl"), std::string::npos);
+  EXPECT_NE(text.find("##"), std::string::npos);  // good|good cell
+  EXPECT_NE(text.find("legend"), std::string::npos);
+}
+
+TEST(Dashboard, DiagonalIsBlank) {
+  MeasurementArchive archive;
+  Dashboard dash{archive, {"x", "y"}, 100.0};
+  const auto text = dash.render();
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

@@ -1,0 +1,129 @@
+// Integration: the full Figure 2 pipeline — mesh measurements into the
+// archive, rendered as a dashboard, with a soft failure detected.
+#include "perfsonar/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../net/test_util.hpp"
+#include "perfsonar/alerts.hpp"
+#include "perfsonar/dashboard.hpp"
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+/// Three sites in a line: lbl -- wan1 -- anl -- wan2 -- ornl (all 10G).
+struct ThreeSiteWan {
+  explicit ThreeSiteWan(Scenario& s) {
+    auto& core1 = s.topo.addRouter("wan1");
+    auto& core2 = s.topo.addRouter("wan2");
+    lbl = &s.topo.addHost("ps-lbl", net::Address(198, 129, 0, 1));
+    anl = &s.topo.addHost("ps-anl", net::Address(198, 129, 0, 2));
+    ornl = &s.topo.addHost("ps-ornl", net::Address(198, 129, 0, 3));
+    net::LinkParams wan;
+    wan.rate = 10_Gbps;
+    wan.delay = 10_ms;
+    wan.mtu = 9000_B;
+    s.topo.connect(*lbl, core1, wan);
+    lblLink = s.topo.links().back().get();
+    s.topo.connect(core1, core2, wan);
+    s.topo.connect(core2, *anl, wan);
+    s.topo.connect(core2, *ornl, wan);
+    s.topo.computeRoutes();
+  }
+  net::Host* lbl;
+  net::Host* anl;
+  net::Host* ornl;
+  net::Link* lblLink;
+};
+
+MeshRunner::Options fastOptions() {
+  MeshRunner::Options options;
+  options.lossReportInterval = 5_s;
+  options.throughputTestGap = 1_s;
+  // Long enough that slow start amortizes and a clean 10G path rates
+  // "good" against a 9 Gbps expectation.
+  options.throughputTestDuration = 5_s;
+  options.owamp.interval = 10_ms;
+  return options;
+}
+
+TEST(Mesh, PopulatesArchiveForAllPairs) {
+  Scenario s;
+  ThreeSiteWan wan{s};
+  MeasurementArchive archive;
+  MeshRunner mesh{s.ctx,
+                  {{"lbl", wan.lbl}, {"anl", wan.anl}, {"ornl", wan.ornl}},
+                  archive,
+                  fastOptions()};
+  mesh.start();
+  s.simulator.runFor(60_s);
+  mesh.stop();
+
+  // 6 ordered pairs x loss + delay series, plus throughput for the pairs
+  // the round-robin reached.
+  EXPECT_GE(archive.seriesCount(), 12u);
+  for (const char* src : {"lbl", "anl", "ornl"}) {
+    for (const char* dst : {"lbl", "anl", "ornl"}) {
+      if (std::string{src} == dst) continue;
+      EXPECT_TRUE(archive.latest(src, dst, kMetricLossFraction).has_value())
+          << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Mesh, HealthyMeshRendersAllGood) {
+  Scenario s;
+  ThreeSiteWan wan{s};
+  MeasurementArchive archive;
+  MeshRunner mesh{s.ctx,
+                  {{"lbl", wan.lbl}, {"anl", wan.anl}, {"ornl", wan.ornl}},
+                  archive,
+                  fastOptions()};
+  mesh.start();
+  s.simulator.runFor(150_s);  // enough round-robin laps for all 6 pairs
+  mesh.stop();
+
+  Dashboard dash{archive, mesh.siteNames(), 9000.0};
+  EXPECT_EQ(dash.countAtRating(CellRating::kBad), 0);
+  EXPECT_EQ(dash.countAtRating(CellRating::kNoData), 0);
+  EXPECT_GE(dash.countAtRating(CellRating::kGood), 4);
+}
+
+TEST(Mesh, FailingLineCardShowsUpOnDashboardAndAlerts) {
+  Scenario s;
+  ThreeSiteWan wan{s};
+  MeasurementArchive archive;
+  MeshRunner mesh{s.ctx,
+                  {{"lbl", wan.lbl}, {"anl", wan.anl}, {"ornl", wan.ornl}},
+                  archive,
+                  fastOptions()};
+  // The paper's failing line card sits on LBL's uplink, outbound.
+  wan.lblLink->setLossModel(0, std::make_unique<net::PeriodicLoss>(2000));
+  mesh.start();
+
+  // Run the detector the way a deployment does: re-evaluate after every
+  // archive update rather than sampling one arbitrary final interval.
+  SoftFailureDetector detector{archive};
+  for (int i = 0; i < 30; ++i) {
+    s.simulator.runFor(5_s);
+    detector.evaluate(s.simulator.now());
+  }
+  mesh.stop();
+
+  // Both LBL-sourced directions degrade; paths not crossing the bad card
+  // stay clean.
+  Dashboard dash{archive, mesh.siteNames(), 9000.0};
+  EXPECT_NE(dash.throughputRating("lbl", "anl"), CellRating::kGood);
+  EXPECT_EQ(dash.throughputRating("anl", "ornl"), CellRating::kGood);
+
+  EXPECT_TRUE(detector.hasActiveAlert("lbl", "anl"));
+  EXPECT_FALSE(detector.hasActiveAlert("anl", "ornl"));
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

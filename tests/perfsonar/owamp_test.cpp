@@ -1,0 +1,142 @@
+#include "perfsonar/owamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+struct ProbePath {
+  explicit ProbePath(Scenario& s, net::LinkParams params = {})
+      : a(s.topo.addHost("a", net::Address(10, 0, 0, 1))),
+        b(s.topo.addHost("b", net::Address(10, 0, 0, 2))),
+        link(s.topo.connect(a, b, params)) {
+    s.topo.computeRoutes();
+  }
+  net::Host& a;
+  net::Host& b;
+  net::Link& link;
+};
+
+TEST(Owamp, CleanPathShowsZeroLoss) {
+  Scenario s;
+  ProbePath net{s};
+  OwampStream stream{net.a, net.b};
+  stream.start();
+  s.simulator.runFor(60_s);
+  stream.stop();
+  s.simulator.runFor(1_s);  // drain in-flight probes
+
+  const auto r = stream.report();
+  EXPECT_GT(r.sent, 500u);
+  EXPECT_EQ(r.received, r.sent);
+  EXPECT_DOUBLE_EQ(r.lossFraction, 0.0);
+}
+
+TEST(Owamp, DetectsFailingLineCardLossRate) {
+  // The Section 2 story: 1-in-22000 loss is invisible to error counters
+  // but plainly visible to a long-running OWAMP stream.
+  Scenario s;
+  ProbePath net{s};
+  net.link.setLossModel(0, std::make_unique<net::PeriodicLoss>(22000));
+
+  OwampStream::Options fast;
+  fast.interval = 100_us;  // dense probing to accumulate samples quickly
+  OwampStream stream{net.a, net.b, fast};
+  stream.start();
+  s.simulator.runFor(30_s);
+  stream.stop();
+  s.simulator.runFor(1_s);
+
+  const auto r = stream.report();
+  EXPECT_GT(r.sent, 100'000u);
+  EXPECT_NEAR(r.lossFraction, 1.0 / 22000.0, 2e-5);
+}
+
+TEST(Owamp, OneWayDelayMatchesPath) {
+  Scenario s;
+  net::LinkParams params;
+  params.delay = 12_ms;
+  ProbePath net{s, params};
+  OwampStream stream{net.a, net.b};
+  stream.start();
+  s.simulator.runFor(10_s);
+  stream.stop();
+  s.simulator.runFor(1_s);
+
+  const auto r = stream.report();
+  EXPECT_GE(r.minDelay, 12_ms);
+  EXPECT_LT(r.meanDelay, 13_ms);  // tiny serialization on top
+}
+
+TEST(Owamp, IntervalReportIsolatesWindows) {
+  Scenario s;
+  ProbePath net{s};
+  OwampStream::Options options;
+  options.lossTimeout = 50_ms;  // path delay is microseconds here
+  OwampStream stream{net.a, net.b, options};
+  stream.start();
+
+  s.simulator.runFor(10_s);
+  const auto first = stream.intervalReport();
+  EXPECT_GT(first.sent, 0u);
+  // At most the probe in flight at snapshot time counts as "lost".
+  EXPECT_LT(first.lossFraction, 0.02);
+
+  // Break the path; the next interval must show heavy loss.
+  net.link.setLossModel(0, std::make_unique<net::PeriodicLoss>(2));
+  s.simulator.runFor(10_s);
+  const auto second = stream.intervalReport();
+  EXPECT_NEAR(second.lossFraction, 0.5, 0.05);
+
+  // Repair; the following interval is clean again.
+  net.link.repair();
+  s.simulator.runFor(10_s);
+  const auto third = stream.intervalReport();
+  EXPECT_LT(third.lossFraction, 0.02);
+}
+
+TEST(Owamp, StopHaltsProbes) {
+  Scenario s;
+  ProbePath net{s};
+  OwampStream stream{net.a, net.b};
+  stream.start();
+  s.simulator.runFor(5_s);
+  stream.stop();
+  const auto sentAtStop = stream.probesSent();
+  s.simulator.runFor(5_s);
+  EXPECT_EQ(stream.probesSent(), sentAtStop);
+  // Once everything is past the loss horizon, the report covers exactly
+  // the probes emitted before the stop.
+  EXPECT_EQ(stream.report().sent, sentAtStop);
+}
+
+TEST(Owamp, TwoStreamsCoexistOnDistinctPorts) {
+  Scenario s;
+  ProbePath net{s};
+  OwampStream::Options opt1;
+  opt1.port = 861;
+  OwampStream::Options opt2;
+  opt2.port = 862;
+  OwampStream forward{net.a, net.b, opt1};
+  OwampStream reverse{net.b, net.a, opt2};
+  forward.start();
+  reverse.start();
+  s.simulator.runFor(10_s);
+  forward.stop();
+  reverse.stop();
+  s.simulator.runFor(1_s);
+  EXPECT_EQ(forward.report().lossFraction, 0.0);
+  EXPECT_EQ(reverse.report().lossFraction, 0.0);
+  EXPECT_GT(forward.report().received, 90u);
+  EXPECT_GT(reverse.report().received, 90u);
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

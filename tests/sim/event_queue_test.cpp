@@ -1,0 +1,79 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scidmz::sim {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+SimTime at(std::int64_t ns) { return SimTime::fromNs(ns); }
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&] { order.push_back(3); });
+  q.schedule(at(10), [&] { order.push_back(1); });
+  q.schedule(at(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifoByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(at(100), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(at(1), [&] { ++fired; });
+  const EventId id = q.schedule(at(2), [&] { fired += 100; });
+  q.schedule(at(3), [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceAndCancelInvalidAreNoOps) {
+  EventQueue q;
+  const EventId id = q.schedule(at(1), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  q.cancel(EventId{});
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(at(5), [] {});
+  q.schedule(at(9), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.nextTime(), at(9));
+}
+
+TEST(EventQueue, EmptyNextTimeIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.nextTime(), SimTime::max());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  q.schedule(at(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace scidmz::sim

@@ -1,0 +1,124 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng{11};
+  int counts[10] = {};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng{13};
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(1.0 / 22000.0)) ++hits;  // the failing-line-card rate
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 1.0 / 22000.0, 6e-5);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{17};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{19};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialDurationMean) {
+  Rng rng{23};
+  using namespace scidmz::sim::literals;
+  double totalSecs = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) totalSecs += rng.exponential(10_ms).toSeconds();
+  EXPECT_NEAR(totalSecs / n, 0.010, 0.0005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{29};
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(1.5, 2.0), 2.0);
+}
+
+TEST(Rng, ForkIsIndependentOfDrawHistory) {
+  Rng a{99};
+  Rng b{99};
+  b.next();
+  b.next();  // consume some draws
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, ForksWithDifferentSaltsDiverge) {
+  Rng base{5};
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.next() == f2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace scidmz::sim

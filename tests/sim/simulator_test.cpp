@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scidmz::sim {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule(10_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime::zero() + 10_ms);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 10_ms);
+  EXPECT_EQ(sim.eventsExecuted(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> firings;
+  std::function<void()> tick = [&] {
+    firings.push_back(sim.now().ns());
+    if (firings.size() < 5) sim.schedule(1_ms, tick);
+  };
+  sim.schedule(1_ms, tick);
+  sim.run();
+  ASSERT_EQ(firings.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(firings[i], static_cast<std::int64_t>(i + 1) * 1'000'000);
+  }
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineWithPendingWork) {
+  Simulator sim;
+  bool late = false;
+  sim.schedule(100_ms, [&] { late = true; });
+  sim.runUntil(SimTime::zero() + 50_ms);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 50_ms);
+  EXPECT_TRUE(sim.pendingEvents());
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10_ms, [&] { ++count; });
+  sim.schedule(30_ms, [&] { ++count; });
+  sim.runFor(20_ms);
+  EXPECT_EQ(count, 1);
+  sim.runFor(20_ms);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 40_ms);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadlineEvenWhenIdle) {
+  Simulator sim;
+  sim.runUntil(SimTime::zero() + 5_s);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 5_s);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1_ms, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2_ms, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pendingEvents());
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  SimTime when;
+  sim.schedule(5_ms, [&] {
+    sim.schedule(Duration::milliseconds(-3), [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when, SimTime::zero() + 5_ms);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1_ms, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace scidmz::sim

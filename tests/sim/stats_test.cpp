@@ -1,0 +1,83 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::sim {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(TimeWeightedMean, WeightsByDuration) {
+  TimeWeightedMean m;
+  const SimTime t0 = SimTime::zero();
+  m.update(t0, 10.0);          // 10 for 1s
+  m.update(t0 + 1_s, 20.0);    // 20 for 3s
+  const double mean = m.mean(t0 + 4_s);
+  EXPECT_DOUBLE_EQ(mean, (10.0 * 1 + 20.0 * 3) / 4.0);
+}
+
+TEST(TimeWeightedMean, SingleValue) {
+  TimeWeightedMean m;
+  m.update(SimTime::zero(), 42.0);
+  EXPECT_DOUBLE_EQ(m.mean(SimTime::zero() + 10_s), 42.0);
+  EXPECT_DOUBLE_EQ(m.current(), 42.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h{{10.0, 20.0, 30.0}};
+  for (double x : {5.0, 15.0, 15.0, 25.0, 35.0}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 1u);  // < 10
+  EXPECT_EQ(h.counts()[1], 2u);  // [10, 20)
+  EXPECT_EQ(h.counts()[2], 1u);  // [20, 30)
+  EXPECT_EQ(h.counts()[3], 1u);  // >= 30
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+}
+
+TEST(ThroughputMeter, AverageRate) {
+  ThroughputMeter m;
+  const SimTime t0 = SimTime::zero();
+  m.add(t0, 0_B);
+  m.add(t0 + 1_s, 125_MB);  // 125 MB over 1 s = 1 Gbps
+  EXPECT_EQ(m.averageRate().bps(), (1_Gbps).bps());
+  EXPECT_EQ(m.totalBytes(), 125_MB);
+}
+
+TEST(ThroughputMeter, ExplicitWindow) {
+  ThroughputMeter m;
+  const SimTime t0 = SimTime::zero();
+  m.add(t0 + 500_ms, 250_MB);
+  EXPECT_EQ(m.averageRate(t0, t0 + 2_s).bps(), (1_Gbps).bps());
+}
+
+TEST(ThroughputMeter, EmptyIsZero) {
+  ThroughputMeter m;
+  EXPECT_EQ(m.averageRate(), DataRate::zero());
+}
+
+}  // namespace
+}  // namespace scidmz::sim

@@ -1,0 +1,88 @@
+#include "sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::sim {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+TEST(Duration, LiteralsAndConversions) {
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+  EXPECT_EQ((3_ms).ns(), 3'000'000);
+  EXPECT_EQ((7_us).ns(), 7'000);
+  EXPECT_EQ((9_ns).ns(), 9);
+  EXPECT_DOUBLE_EQ((250_ms).toSeconds(), 0.25);
+  EXPECT_DOUBLE_EQ((250_ms).toMillis(), 250.0);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(1_s + 500_ms, 1500_ms);
+  EXPECT_EQ(1_s - 1_ms, 999_ms);
+  EXPECT_EQ((10_ms) * 3, 30_ms);
+  EXPECT_EQ((10_ms) / 2, 5_ms);
+  EXPECT_DOUBLE_EQ((10_ms) / (2_ms), 5.0);
+  EXPECT_LT(1_ms, 1_s);
+}
+
+TEST(Duration, FromSecondsRounds) {
+  EXPECT_EQ(Duration::fromSeconds(0.5).ns(), 500'000'000);
+  EXPECT_EQ(Duration::fromSeconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::fromSeconds(1.5e-9).ns(), 2);  // rounds half up
+}
+
+TEST(SimTime, PointArithmetic) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + 10_ms;
+  EXPECT_EQ((t1 - t0), 10_ms);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - 10_ms, t0);
+}
+
+TEST(DataSize, UnitsAndArithmetic) {
+  EXPECT_EQ((1_KB).byteCount(), 1'000u);
+  EXPECT_EQ((1_MB).byteCount(), 1'000'000u);
+  EXPECT_EQ((1_GB).byteCount(), 1'000'000'000u);
+  EXPECT_EQ((1_TB).byteCount(), 1'000'000'000'000u);
+  EXPECT_EQ((1_KiB).byteCount(), 1024u);
+  EXPECT_EQ((1_MiB).byteCount(), 1024u * 1024u);
+  EXPECT_EQ((1500_B).bitCount(), 12'000u);
+  EXPECT_EQ(2_KB - 500_B, 1500_B);
+}
+
+TEST(DataRate, TransmissionTime) {
+  // 1500B at 1Gbps = 12000 bits / 1e9 bps = 12 us.
+  EXPECT_EQ((1_Gbps).transmissionTime(1500_B), 12_us);
+  // 9000B at 10 Gbps = 72000 bits / 1e10 = 7.2 us.
+  EXPECT_EQ((10_Gbps).transmissionTime(9000_B), Duration::nanoseconds(7200));
+  // Rounds up: 1 byte at 3 bps = 8/3 s -> ceil in ns.
+  EXPECT_EQ((3_bps).transmissionTime(1_B), Duration::nanoseconds(2'666'666'667));
+}
+
+TEST(DataRate, TransmissionTimeNoOverflowForTerabytes) {
+  // 1 TB at 10 Gbps = 8e12 bits / 1e10 bps = 800 s. Would overflow a naive
+  // 64-bit bits*1e9 computation.
+  EXPECT_EQ((10_Gbps).transmissionTime(1_TB), 800_s);
+}
+
+TEST(DataRate, BytesInDuration) {
+  // Equation 2 of the paper: 1 Gbps over 10 ms RTT = 1.25 MB window.
+  EXPECT_EQ((1_Gbps).bytesIn(10_ms), DataSize::bytes(1'250'000));
+  EXPECT_EQ((10_Gbps).bytesIn(100_ms), DataSize::bytes(125'000'000));
+}
+
+TEST(DataRate, Conversions) {
+  EXPECT_DOUBLE_EQ((10_Gbps).toGbps(), 10.0);
+  EXPECT_DOUBLE_EQ((200_Mbps).toMbps(), 200.0);
+  EXPECT_DOUBLE_EQ((8_Mbps).toMBps(), 1.0);
+}
+
+TEST(Formatting, HumanReadable) {
+  EXPECT_EQ(toString(10_Gbps), "10 Gbps");
+  EXPECT_EQ(toString(1500_B), "1.5 KB");
+  EXPECT_EQ(toString(10_ms), "10 ms");
+  EXPECT_EQ(toString(2_s), "2 s");
+}
+
+}  // namespace
+}  // namespace scidmz::sim

@@ -1,0 +1,164 @@
+#include "tcp/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp/cubic.hpp"
+#include "tcp/htcp.hpp"
+#include "tcp/reno.hpp"
+
+namespace scidmz::tcp {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+constexpr double kMss = 1460.0;
+
+CcState freshState(double cwndSegments = 10, double ssthreshSegments = 1e9) {
+  CcState s;
+  s.mss = 1460_B;
+  s.cwnd = cwndSegments * kMss;
+  s.ssthresh = ssthreshSegments * kMss;
+  return s;
+}
+
+sim::SimTime at(double seconds) {
+  return sim::SimTime::zero() + sim::Duration::fromSeconds(seconds);
+}
+
+TEST(Factory, CreatesEachAlgorithm) {
+  EXPECT_EQ(makeCongestionControl(CcAlgorithm::kReno)->name(), "reno");
+  EXPECT_EQ(makeCongestionControl(CcAlgorithm::kCubic)->name(), "cubic");
+  EXPECT_EQ(makeCongestionControl(CcAlgorithm::kHtcp)->name(), "htcp");
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  RenoCc cc;
+  auto s = freshState(10);
+  // One RTT worth of ACKs: each full-MSS ACK adds one MSS.
+  for (int i = 0; i < 10; ++i) cc.onAckedBytes(s, 1460, 10_ms, at(0.01));
+  EXPECT_DOUBLE_EQ(s.cwnd, 20 * kMss);
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneMssPerRtt) {
+  RenoCc cc;
+  auto s = freshState(100, 50);  // past ssthresh -> CA
+  const double before = s.cwnd;
+  for (int i = 0; i < 100; ++i) cc.onAckedBytes(s, 1460, 10_ms, at(0.01));
+  EXPECT_NEAR(s.cwnd - before, kMss, kMss * 0.02);
+}
+
+TEST(Reno, LossHalvesWindow) {
+  RenoCc cc;
+  auto s = freshState(100, 50);
+  cc.onPacketLoss(s, at(1.0));
+  EXPECT_DOUBLE_EQ(s.cwnd, 50 * kMss);
+  EXPECT_DOUBLE_EQ(s.ssthresh, 50 * kMss);
+}
+
+TEST(Reno, LossFloorsAtTwoMss) {
+  RenoCc cc;
+  auto s = freshState(2, 1);
+  cc.onPacketLoss(s, at(1.0));
+  EXPECT_DOUBLE_EQ(s.cwnd, 2 * kMss);
+}
+
+TEST(AllAlgorithms, RtoCollapsesToOneMss) {
+  for (auto algo : {CcAlgorithm::kReno, CcAlgorithm::kCubic, CcAlgorithm::kHtcp}) {
+    auto cc = makeCongestionControl(algo);
+    auto s = freshState(100, 50);
+    cc->onRto(s, at(1.0));
+    EXPECT_DOUBLE_EQ(s.cwnd, kMss) << toString(algo);
+    EXPECT_DOUBLE_EQ(s.ssthresh, 50 * kMss) << toString(algo);
+  }
+}
+
+TEST(Cubic, LossBacksOffByBeta) {
+  CubicCc cc;
+  auto s = freshState(100, 50);
+  cc.onPacketLoss(s, at(1.0));
+  EXPECT_NEAR(s.cwnd, 70 * kMss, 1.0);  // beta = 0.7
+}
+
+TEST(Cubic, GrowsTowardWmaxAfterLoss) {
+  CubicCc cc;
+  auto s = freshState(100, 50);
+  cc.onPacketLoss(s, at(0.0));
+  const double afterLoss = s.cwnd;
+  // Feed ACKs over simulated time; cubic must climb back toward w_max.
+  for (int i = 1; i <= 2000; ++i) {
+    cc.onAckedBytes(s, 1460, 10_ms, at(0.001 * i));
+  }
+  EXPECT_GT(s.cwnd, afterLoss);
+  EXPECT_GT(s.cwnd, 90 * kMss);  // near or past the old maximum after 2s
+}
+
+TEST(Cubic, SlowStartStillExponential) {
+  CubicCc cc;
+  auto s = freshState(10);
+  for (int i = 0; i < 10; ++i) cc.onAckedBytes(s, 1460, 10_ms, at(0.01));
+  EXPECT_DOUBLE_EQ(s.cwnd, 20 * kMss);
+}
+
+TEST(Htcp, RenoCompatibleShortlyAfterLoss) {
+  HtcpCc cc;
+  auto s = freshState(100, 50);
+  cc.onPacketLoss(s, at(0.0));
+  const double before = s.cwnd;
+  // Within Delta_L = 1s of a loss, alpha == 1: Reno-like +1 MSS per RTT.
+  const int acksPerRtt = static_cast<int>(s.cwnd / kMss);
+  for (int i = 0; i < acksPerRtt; ++i) cc.onAckedBytes(s, 1460, 10_ms, at(0.5));
+  EXPECT_NEAR(s.cwnd - before, kMss, kMss * 0.05);
+}
+
+TEST(Htcp, AggressiveLongAfterLoss) {
+  HtcpCc cc;
+  auto s = freshState(1000, 500);
+  cc.onPacketLoss(s, at(0.0));
+  const double before = s.cwnd;
+  const int acksPerRtt = static_cast<int>(s.cwnd / kMss);
+  // 5 seconds after the loss: alpha = 1 + 10*4 + 4^2/4 = 45 MSS per RTT.
+  for (int i = 0; i < acksPerRtt; ++i) cc.onAckedBytes(s, 1460, 10_ms, at(5.0));
+  EXPECT_NEAR((s.cwnd - before) / kMss, 45.0, 4.0);
+}
+
+TEST(Htcp, AdaptiveBetaUsesRttRatio) {
+  HtcpCc cc;
+  auto s = freshState(100, 1e9);
+  // RTT nearly constant -> beta near its 0.8 cap (gentle backoff).
+  cc.onRttSample(10_ms);
+  cc.onRttSample(sim::Duration::microseconds(10'500));
+  cc.onPacketLoss(s, at(1.0));
+  EXPECT_NEAR(s.cwnd, 80 * kMss, kMss);
+}
+
+TEST(Htcp, DeepQueuesForceHalving) {
+  HtcpCc cc;
+  auto s = freshState(100, 1e9);
+  // RTT doubled by queueing -> beta clamps at 0.5.
+  cc.onRttSample(10_ms);
+  cc.onRttSample(40_ms);
+  cc.onPacketLoss(s, at(1.0));
+  EXPECT_NEAR(s.cwnd, 50 * kMss, kMss);
+}
+
+TEST(Htcp, OutgrowsRenoAtHighBdp) {
+  // The Figure 1 story: after a loss at a large window, H-TCP recovers far
+  // faster than Reno over the same ACK stream.
+  RenoCc reno;
+  HtcpCc htcp;
+  auto sr = freshState(2000, 1000);
+  auto sh = freshState(2000, 1000);
+  reno.onPacketLoss(sr, at(0.0));
+  htcp.onPacketLoss(sh, at(0.0));
+  for (int rtt = 0; rtt < 100; ++rtt) {
+    const double t = 0.1 * (rtt + 1);  // 100ms RTT path
+    for (int i = 0; i < 500; ++i) {
+      reno.onAckedBytes(sr, 1460, 100_ms, at(t));
+      htcp.onAckedBytes(sh, 1460, 100_ms, at(t));
+    }
+  }
+  EXPECT_GT(sh.cwnd, 2.0 * sr.cwnd);
+}
+
+}  // namespace
+}  // namespace scidmz::tcp

@@ -1,0 +1,199 @@
+#include "tcp/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../tcp/tcp_test_util.hpp"
+
+namespace scidmz::tcp {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::PathConfig;
+using testutil::TcpPath;
+
+TEST(Connection, HandshakeEstablishesBothSides) {
+  TcpPath path;
+  TcpListener listener{*path.b, 5001, TcpConfig{}};
+  TcpConnection client{*path.a, path.b->address(), 5001, TcpConfig{}};
+  bool clientUp = false;
+  bool serverUp = false;
+  listener.onAccept = [&](TcpConnection&) { serverUp = true; };
+  client.onEstablished = [&] { clientUp = true; };
+  client.start();
+  path.scenario.simulator.run();
+  EXPECT_TRUE(clientUp);
+  EXPECT_TRUE(serverUp);
+  EXPECT_TRUE(client.established());
+  EXPECT_EQ(listener.connectionCount(), 1u);
+}
+
+TEST(Connection, TransfersExactByteCount) {
+  TcpPath path;
+  const auto out = path.transfer(10_MB, TcpConfig{});
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.delivered, 10_MB);
+  EXPECT_EQ(out.senderStats.bytesAcked, 10_MB);
+}
+
+TEST(Connection, CleanPathHasNoRetransmits) {
+  TcpPath path;
+  const auto out = path.transfer(20_MB, TcpConfig::tunedDtn());
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.senderStats.retransmits, 0u);
+  EXPECT_EQ(out.senderStats.rtos, 0u);
+}
+
+TEST(Connection, ApproachesLineRateOnCleanShortPath) {
+  PathConfig cfg;
+  cfg.rate = 10_Gbps;
+  cfg.oneWayDelay = 500_us;  // 1ms RTT
+  TcpPath path{cfg};
+  const auto out = path.transfer(500_MB, TcpConfig::tunedDtn());
+  ASSERT_TRUE(out.completed);
+  EXPECT_GT(out.goodput.toGbps(), 8.0);
+}
+
+TEST(Connection, WindowCapLimitsThroughput) {
+  // Untuned 64 KiB host at 10ms RTT: ~52 Mbps ceiling regardless of pipe.
+  PathConfig cfg;
+  cfg.rate = 1_Gbps;
+  cfg.oneWayDelay = 5_ms;
+  TcpPath path{cfg};
+  const auto out = path.transfer(50_MB, TcpConfig::untunedDefault());
+  ASSERT_TRUE(out.completed);
+  EXPECT_LT(out.goodput.toMbps(), 60.0);
+  EXPECT_GT(out.goodput.toMbps(), 35.0);
+}
+
+TEST(Connection, TunedHostFillsSamePath) {
+  PathConfig cfg;
+  cfg.rate = 1_Gbps;
+  cfg.oneWayDelay = 5_ms;
+  TcpPath path{cfg};
+  const auto out = path.transfer(200_MB, TcpConfig::tunedDtn());
+  ASSERT_TRUE(out.completed);
+  EXPECT_GT(out.goodput.toMbps(), 800.0);
+}
+
+TEST(Connection, MssDerivedFromMtu) {
+  PathConfig cfg;
+  cfg.mtu = 1500_B;
+  TcpPath path{cfg};
+  EXPECT_EQ(path.a->mss(), 1460_B);
+
+  PathConfig jumbo;
+  jumbo.mtu = 9000_B;
+  TcpPath path2{jumbo};
+  EXPECT_EQ(path2.a->mss(), 8960_B);
+}
+
+TEST(Connection, DeliveredInOrderDespiteLoss) {
+  PathConfig cfg;
+  cfg.periodicLoss = 500;
+  TcpPath path{cfg};
+
+  // Track that delivery callbacks are cumulative and monotonic.
+  TcpConfig tcpCfg;
+  TcpListener listener{*path.b, 5001, tcpCfg};
+  TcpConnection client{*path.a, path.b->address(), 5001, tcpCfg};
+  sim::DataSize total = sim::DataSize::zero();
+  TcpConnection* server = nullptr;
+  listener.onAccept = [&](TcpConnection& c) {
+    server = &c;
+    c.onDelivered = [&total](sim::DataSize d) { total += d; };
+  };
+  client.onEstablished = [&client] { client.sendData(5_MB); };
+  bool finished = false;
+  client.onSendComplete = [&] { finished = true; };
+  client.start();
+  path.scenario.simulator.runFor(120_s);
+
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(total, 5_MB);
+  EXPECT_GT(client.stats().retransmits, 0u);
+}
+
+TEST(Connection, FinTeardownNotifiesReceiver) {
+  TcpPath path;
+  TcpConfig cfg;
+  TcpListener listener{*path.b, 5001, cfg};
+  TcpConnection client{*path.a, path.b->address(), 5001, cfg};
+  bool closed = false;
+  listener.onAccept = [&](TcpConnection& c) {
+    c.onClosed = [&closed] { closed = true; };
+  };
+  client.onEstablished = [&client] {
+    client.sendData(1_MB);
+    client.close();
+  };
+  client.start();
+  path.scenario.simulator.run();
+  EXPECT_TRUE(closed);
+}
+
+TEST(Connection, SendDataBeforeEstablishIsQueued) {
+  TcpPath path;
+  TcpConfig cfg;
+  TcpListener listener{*path.b, 5001, cfg};
+  TcpConnection client{*path.a, path.b->address(), 5001, cfg};
+  client.sendData(1_MB);  // before start()
+  bool done = false;
+  client.onSendComplete = [&done] { done = true; };
+  client.start();
+  path.scenario.simulator.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Connection, MultipleSendDataCallsAccumulate) {
+  TcpPath path;
+  const auto runTwoChunks = [&] {
+    TcpConfig cfg;
+    path.listener = std::make_unique<TcpListener>(*path.b, 5001, cfg);
+    path.client = std::make_unique<TcpConnection>(*path.a, path.b->address(), 5001, cfg);
+    TcpConnection* server = nullptr;
+    path.listener->onAccept = [&server](TcpConnection& c) { server = &c; };
+    path.client->onEstablished = [&] {
+      path.client->sendData(1_MB);
+      path.client->sendData(2_MB);
+    };
+    path.scenario.simulator.schedule(1_s, [&] { path.client->sendData(3_MB); });
+    path.client->start();
+    path.scenario.simulator.runFor(30_s);
+    return server != nullptr ? server->deliveredBytes() : sim::DataSize::zero();
+  };
+  EXPECT_EQ(runTwoChunks(), 6_MB);
+}
+
+TEST(Connection, SurvivesSynLoss) {
+  // Drop the very first packet (the SYN): the handshake must recover via
+  // the initial RTO.
+  PathConfig cfg;
+  cfg.periodicLoss = 0;
+  TcpPath path{cfg};
+  path.link->setLossModel(0, std::make_unique<net::PeriodicLoss>(1));  // drop next packet
+  TcpConfig tcpCfg;
+  TcpListener listener{*path.b, 5001, tcpCfg};
+  TcpConnection client{*path.a, path.b->address(), 5001, tcpCfg};
+  bool up = false;
+  client.onEstablished = [&up] { up = true; };
+  client.start();
+  // After the first drop, remove the impairment so the retry succeeds.
+  path.scenario.simulator.schedule(100_ms, [&path] { path.link->repair(); });
+  path.scenario.simulator.runFor(10_s);
+  EXPECT_TRUE(up);
+}
+
+TEST(Connection, GoodputReflectsElapsedTime) {
+  PathConfig cfg;
+  cfg.rate = 1_Gbps;
+  cfg.oneWayDelay = 1_ms;
+  TcpPath path{cfg};
+  const auto out = path.transfer(100_MB, TcpConfig::tunedDtn());
+  ASSERT_TRUE(out.completed);
+  // 100 MB at ~1 Gbps is ~0.8s; allow generous slack for slow start.
+  EXPECT_GT(out.elapsed, 500_ms);
+  EXPECT_LT(out.elapsed, 3_s);
+}
+
+}  // namespace
+}  // namespace scidmz::tcp

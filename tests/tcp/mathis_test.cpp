@@ -1,0 +1,78 @@
+#include "tcp/mathis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::tcp {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+TEST(Mathis, Equation1ScalesInverselyWithRtt) {
+  const auto at10ms = mathisThroughput(9000_B, 10_ms, 1e-4);
+  const auto at100ms = mathisThroughput(9000_B, 100_ms, 1e-4);
+  EXPECT_NEAR(static_cast<double>(at10ms.bps()) / static_cast<double>(at100ms.bps()), 10.0, 0.01);
+}
+
+TEST(Mathis, Equation1ScalesWithInverseSqrtLoss) {
+  const auto p1 = mathisThroughput(9000_B, 10_ms, 1e-4);
+  const auto p2 = mathisThroughput(9000_B, 10_ms, 1e-6);
+  EXPECT_NEAR(static_cast<double>(p2.bps()) / static_cast<double>(p1.bps()), 10.0, 0.01);
+}
+
+TEST(Mathis, PaperFailingLineCardExample) {
+  // Section 2: 1/22000 loss on a 10G path. At 50ms (cross-country), Mathis
+  // gives well under 1 Gbps despite the 10G pipe — the collapse in Fig 1.
+  const double loss = 1.0 / 22000.0;
+  const auto rate = mathisThroughput(9000_B, 50_ms, loss);
+  EXPECT_LT(rate, 1_Gbps);
+  EXPECT_GT(rate, 100_Mbps);
+}
+
+TEST(Mathis, JumboFramesScaleThroughputSixFold) {
+  const auto jumbo = mathisThroughput(9000_B, 20_ms, 1e-5);
+  const auto standard = mathisThroughput(1500_B, 20_ms, 1e-5);
+  EXPECT_NEAR(static_cast<double>(jumbo.bps()) / static_cast<double>(standard.bps()), 6.0, 0.01);
+}
+
+TEST(Mathis, ZeroLossIsUnbounded) {
+  EXPECT_EQ(mathisThroughput(9000_B, 10_ms, 0.0), sim::DataRate::zero());  // sentinel
+  EXPECT_EQ(predictThroughput(10_Gbps, 9000_B, 1_GB, 10_ms, 0.0), 10_Gbps);
+}
+
+TEST(LossFree, WindowLimitedWhenBdpExceedsWindow) {
+  // 64 KiB window at 10ms RTT: 65536*8/0.01 = ~52.4 Mbps — the Penn State
+  // ceiling from Section 6.2.
+  const auto rate = lossFreeThroughput(1_Gbps, sim::DataSize::kibibytes(64), 10_ms);
+  EXPECT_NEAR(rate.toMbps(), 52.4, 0.1);
+}
+
+TEST(LossFree, BottleneckLimitedWhenWindowAmple) {
+  const auto rate = lossFreeThroughput(1_Gbps, 16_MB, 10_ms);
+  EXPECT_EQ(rate, 1_Gbps);
+}
+
+TEST(Predict, TakesMinimumOfAllBounds) {
+  // Big window, big pipe, but lossy: Mathis bound governs.
+  const auto lossy = predictThroughput(10_Gbps, 9000_B, 1_GB, 50_ms, 1e-3);
+  EXPECT_EQ(lossy, mathisThroughput(9000_B, 50_ms, 1e-3));
+  // Tiny loss: pipe governs.
+  const auto clean = predictThroughput(1_Gbps, 9000_B, 1_GB, 1_ms, 1e-9);
+  EXPECT_EQ(clean, 1_Gbps);
+}
+
+TEST(Equation2, PaperWindowExample) {
+  // 1 Gbps x 10 ms = 1.25 MB (the paper's VTTI computation).
+  EXPECT_EQ(bandwidthDelayWindow(1_Gbps, 10_ms), sim::DataSize::bytes(1'250'000));
+  // "This theoretical value was 20 times less than the required size":
+  // 64 KB default vs 1.25 MB needed => factor ~19-20.
+  const double factor = 1'250'000.0 / 65536.0;
+  EXPECT_NEAR(factor, 19.1, 0.1);
+}
+
+TEST(Equation2, ScalesLinearly) {
+  EXPECT_EQ(bandwidthDelayWindow(10_Gbps, 100_ms).byteCount(), 125'000'000u);
+  EXPECT_EQ(bandwidthDelayWindow(100_Mbps, 1_ms).byteCount(), 12'500u);
+}
+
+}  // namespace
+}  // namespace scidmz::tcp

@@ -1,0 +1,111 @@
+// Shared scaffolding for TCP tests: a two-host path with configurable
+// rate/RTT/loss and a one-shot bulk transfer runner.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::testutil {
+
+struct PathConfig {
+  sim::DataRate rate = sim::DataRate::gigabitsPerSecond(10);
+  sim::Duration oneWayDelay = sim::Duration::milliseconds(5);
+  sim::DataSize mtu = sim::DataSize::bytes(9000);
+  double randomLoss = 0.0;          ///< applied in the data direction (a -> b)
+  std::uint64_t periodicLoss = 0;   ///< drop 1-in-N in the data direction
+};
+
+/// a (client/sender) --link--> b (server/receiver).
+struct TcpPath {
+  explicit TcpPath(PathConfig config = {}) : cfg(config) {
+    net::LinkParams params;
+    params.rate = cfg.rate;
+    params.delay = cfg.oneWayDelay;
+    params.mtu = cfg.mtu;
+    a = &scenario.topo.addHost("a", net::Address(10, 0, 0, 1));
+    b = &scenario.topo.addHost("b", net::Address(10, 0, 0, 2));
+    link = &scenario.topo.connect(*a, *b, params);
+    if (config.randomLoss > 0) {
+      link->setLossModel(0, std::make_unique<net::RandomLoss>(config.randomLoss,
+                                                              scenario.rng.fork(77)));
+    } else if (config.periodicLoss > 0) {
+      link->setLossModel(0, std::make_unique<net::PeriodicLoss>(config.periodicLoss));
+    }
+    scenario.topo.computeRoutes();
+  }
+
+  struct TransferOutcome {
+    bool completed = false;
+    sim::Duration elapsed = sim::Duration::zero();
+    sim::DataSize delivered = sim::DataSize::zero();
+    sim::DataRate goodput = sim::DataRate::zero();
+    tcp::TcpStats senderStats;
+    bool scalingActive = false;
+  };
+
+  /// Run a bulk a->b transfer of `bytes`, giving up after `timeout`.
+  TransferOutcome transfer(sim::DataSize bytes, tcp::TcpConfig tcpConfig,
+                           sim::Duration timeout = sim::Duration::seconds(600)) {
+    listener = std::make_unique<tcp::TcpListener>(*b, 5001, tcpConfig);
+    client = std::make_unique<tcp::TcpConnection>(*a, b->address(), 5001, tcpConfig);
+
+    tcp::TcpConnection* serverSide = nullptr;
+    listener->onAccept = [&serverSide](tcp::TcpConnection& c) { serverSide = &c; };
+
+    bool done = false;
+    sim::SimTime doneAt;
+    client->onEstablished = [this, bytes] { client->sendData(bytes); };
+    client->onSendComplete = [&] {
+      done = true;
+      doneAt = scenario.simulator.now();
+      scenario.simulator.stop();
+    };
+    client->start();
+    scenario.simulator.runUntil(scenario.simulator.now() + timeout);
+
+    TransferOutcome out;
+    out.completed = done;
+    out.elapsed = (done ? doneAt : scenario.simulator.now()) - sim::SimTime::zero();
+    if (serverSide != nullptr) out.delivered = serverSide->deliveredBytes();
+    out.goodput = client->goodput();
+    out.senderStats = client->stats();
+    out.scalingActive = client->windowScalingActive();
+    return out;
+  }
+
+  /// Steady-state goodput: start an effectively-infinite flow, discard
+  /// `warmup` (slow-start transient and sender-queue drain), then measure
+  /// delivered bytes over `window`. This is how the Figure 1 "measured"
+  /// curves are produced — the Mathis equation models the congestion-
+  /// avoidance equilibrium, not the startup transient.
+  sim::DataRate steadyRate(tcp::TcpConfig tcpConfig, sim::Duration warmup,
+                           sim::Duration window) {
+    listener = std::make_unique<tcp::TcpListener>(*b, 5001, tcpConfig);
+    client = std::make_unique<tcp::TcpConnection>(*a, b->address(), 5001, tcpConfig);
+    tcp::TcpConnection* serverSide = nullptr;
+    listener->onAccept = [&serverSide](tcp::TcpConnection& c) { serverSide = &c; };
+    client->onEstablished = [this] { client->sendData(sim::DataSize::terabytes(100)); };
+    client->start();
+    scenario.simulator.runFor(warmup);
+    const auto base = serverSide ? serverSide->deliveredBytes() : sim::DataSize::zero();
+    scenario.simulator.runFor(window);
+    if (serverSide == nullptr) return sim::DataRate::zero();
+    const auto delta = serverSide->deliveredBytes() - base;
+    return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(delta.bitCount()) / window.toSeconds()));
+  }
+
+  Scenario scenario;
+  PathConfig cfg;
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  net::Link* link = nullptr;
+  std::unique_ptr<tcp::TcpListener> listener;
+  std::unique_ptr<tcp::TcpConnection> client;
+};
+
+}  // namespace scidmz::testutil

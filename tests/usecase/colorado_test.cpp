@@ -1,0 +1,56 @@
+#include "usecase/colorado.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::usecase {
+namespace {
+
+TEST(Colorado, DefectCollapsesDownloads) {
+  ColoradoConfig config;
+  config.vendorFixApplied = false;
+  const auto result = runColorado(config);
+  EXPECT_TRUE(result.storeForwardLatched);
+  EXPECT_GT(result.switchDrops, 0u);
+  // Well below the ~5 Gbps the group's aggregate demand represents.
+  EXPECT_LT(result.aggregateMbps, 2500.0);
+}
+
+TEST(Colorado, VendorFixRestoresLineRatePerHost) {
+  ColoradoConfig config;
+  config.vendorFixApplied = true;
+  const auto result = runColorado(config);
+  // The fallback to store-and-forward still happens; it is just loss-free.
+  EXPECT_TRUE(result.storeForwardLatched);
+  EXPECT_EQ(result.switchDrops, 0u);
+  // "performance returned to near line rate for each member".
+  EXPECT_GT(result.worstHostMbps(), 800.0);
+  EXPECT_GT(result.aggregateMbps, 4000.0);
+}
+
+TEST(Colorado, FixImprovesEveryHost) {
+  ColoradoConfig broken;
+  broken.vendorFixApplied = false;
+  const auto before = runColorado(broken);
+
+  ColoradoConfig fixed;
+  fixed.vendorFixApplied = true;
+  const auto after = runColorado(fixed);
+
+  ASSERT_EQ(before.perHostMbps.size(), after.perHostMbps.size());
+  for (std::size_t i = 0; i < before.perHostMbps.size(); ++i) {
+    EXPECT_GT(after.perHostMbps[i], before.perHostMbps[i]) << "host " << i;
+  }
+  EXPECT_GT(after.aggregateMbps, 2.0 * before.aggregateMbps);
+}
+
+TEST(Colorado, LightLoadNeverTripsTheDefect) {
+  ColoradoConfig config;
+  config.physicsHosts = 1;  // a single 1G flow stays under the threshold
+  config.defectThreshold = sim::DataRate::gigabitsPerSecond(2);
+  const auto result = runColorado(config);
+  EXPECT_FALSE(result.storeForwardLatched);
+  EXPECT_GT(result.worstHostMbps(), 800.0);
+}
+
+}  // namespace
+}  // namespace scidmz::usecase

@@ -1,0 +1,46 @@
+#include "usecase/nersc_olcf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::usecase {
+namespace {
+
+const NerscOlcfResult& sharedResult() {
+  static const NerscOlcfResult result = runNerscOlcf();
+  return result;
+}
+
+TEST(NerscOlcf, BeforeASingleFileTakesMoreThanAWorkday) {
+  // Paper: "waited more than an entire workday for a single 33 GB input
+  // file".
+  const auto& r = sharedResult();
+  EXPECT_GT(r.fileTimeBefore.toSeconds(), 8.0 * 3600.0);
+}
+
+TEST(NerscOlcf, AfterRatesReachTwoHundredMBps) {
+  // Paper: "immediately able to improve their transfer rate to 200 MB/sec".
+  const auto& r = sharedResult();
+  EXPECT_GT(r.afterMBps, 150.0);
+  EXPECT_LT(r.afterMBps, 280.0);
+}
+
+TEST(NerscOlcf, ImprovementAtLeastTwentyFold) {
+  // Paper: "WAN transfers ... increased by at least a factor of 20".
+  EXPECT_GT(sharedResult().speedup(), 20.0);
+}
+
+TEST(NerscOlcf, CampaignFinishesInUnderThreeDays) {
+  // Paper: "move all 40 TB ... in less than three days".
+  const auto& r = sharedResult();
+  const double days = r.campaignTimeAfter.toSeconds() / 86400.0;
+  EXPECT_GT(days, 1.0);
+  EXPECT_LT(days, 3.0);
+}
+
+TEST(NerscOlcf, SingleFileNowMinutes) {
+  const auto& r = sharedResult();
+  EXPECT_LT(r.fileTimeAfter.toSeconds(), 15.0 * 60.0);
+}
+
+}  // namespace
+}  // namespace scidmz::usecase

@@ -1,0 +1,44 @@
+#include "usecase/noaa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scidmz::usecase {
+namespace {
+
+// One shared run: the scenario is deterministic and moderately expensive.
+const NoaaResult& sharedResult() {
+  static const NoaaResult result = runNoaa();
+  return result;
+}
+
+TEST(Noaa, LegacyPathTricklesAtFtpSpeeds) {
+  // Paper: "data trickled in at about 1-2 MB/s".
+  const auto& r = sharedResult();
+  EXPECT_GT(r.legacyMBps, 0.5);
+  EXPECT_LT(r.legacyMBps, 3.0);
+}
+
+TEST(Noaa, DmzPathReachesHundredsOfMBps) {
+  // Paper: "approximately 395 MB/s".
+  const auto& r = sharedResult();
+  EXPECT_GT(r.dmzMBps, 250.0);
+  EXPECT_LT(r.dmzMBps, 550.0);
+}
+
+TEST(Noaa, SpeedupIsAboutTwoHundredFold) {
+  // Paper: "a throughput increase of nearly 200 times".
+  const auto& r = sharedResult();
+  EXPECT_GT(r.speedup(), 100.0);
+  EXPECT_LT(r.speedup(), 500.0);
+}
+
+TEST(Noaa, BatchLandsInTensOfMinutes) {
+  // Paper: 239.5 GB "in just over 10 minutes".
+  const auto& r = sharedResult();
+  const double minutes = r.dmzBatchTime.toSeconds() / 60.0;
+  EXPECT_GT(minutes, 5.0);
+  EXPECT_LT(minutes, 25.0);
+}
+
+}  // namespace
+}  // namespace scidmz::usecase

@@ -1,0 +1,159 @@
+#include "vc/openflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::vc {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+net::FlowKey flowOf(const char* src, const char* dst, std::uint16_t sport, std::uint16_t dport) {
+  return net::FlowKey{net::Address::parse(src), net::Address::parse(dst), sport, dport,
+                      net::Protocol::kTcp};
+}
+
+TEST(FlowTable, TableMissDefault) {
+  FlowTable table;
+  EXPECT_EQ(table.lookup(flowOf("1.1.1.1", "2.2.2.2", 1, 2)), FlowAction::kToController);
+  FlowTable forwardMiss{FlowAction::kForward};
+  EXPECT_EQ(forwardMiss.lookup(flowOf("1.1.1.1", "2.2.2.2", 1, 2)), FlowAction::kForward);
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  FlowRule allow;
+  allow.priority = 10;
+  allow.match.src = net::Prefix::parse("10.0.0.0/8");
+  allow.action = FlowAction::kBypassFirewall;
+  table.add(allow);
+  FlowRule block;
+  block.priority = 100;
+  block.match.src = net::Prefix::parse("10.0.0.5/32");
+  block.action = FlowAction::kDrop;
+  table.add(block);
+
+  EXPECT_EQ(table.lookup(flowOf("10.0.0.5", "2.2.2.2", 1, 2)), FlowAction::kDrop);
+  EXPECT_EQ(table.lookup(flowOf("10.0.0.6", "2.2.2.2", 1, 2)), FlowAction::kBypassFirewall);
+}
+
+TEST(FlowTable, WildcardsAndExactFields) {
+  FlowTable table{FlowAction::kForward};
+  FlowRule rule;
+  rule.priority = 1;
+  rule.match.dstPort = 2811;
+  rule.match.proto = net::Protocol::kTcp;
+  rule.action = FlowAction::kBypassFirewall;
+  table.add(rule);
+
+  EXPECT_EQ(table.lookup(flowOf("1.1.1.1", "2.2.2.2", 999, 2811)), FlowAction::kBypassFirewall);
+  EXPECT_EQ(table.lookup(flowOf("1.1.1.1", "2.2.2.2", 999, 22)), FlowAction::kForward);
+}
+
+TEST(FlowTable, RemoveAndHitCounting) {
+  FlowTable table;
+  FlowRule rule;
+  rule.priority = 1;
+  rule.action = FlowAction::kDrop;
+  const auto handle = table.add(rule);
+  table.lookup(flowOf("1.1.1.1", "2.2.2.2", 1, 2));
+  table.lookup(flowOf("3.3.3.3", "4.4.4.4", 5, 6));
+  ASSERT_NE(table.rule(handle), nullptr);
+  EXPECT_EQ(table.rule(handle)->hits, 2u);
+  table.remove(handle);
+  EXPECT_EQ(table.ruleCount(), 0u);
+  EXPECT_EQ(table.lookup(flowOf("1.1.1.1", "2.2.2.2", 1, 2)), FlowAction::kToController);
+}
+
+/// outside --10G-- firewall --10G-- server, with IDS + controller.
+struct SdnSite {
+  explicit SdnSite(Scenario& s)
+      : outside(s.topo.addHost("outside", net::Address(198, 0, 0, 1))),
+        server(s.topo.addHost("server", net::Address(10, 0, 0, 1))),
+        fw(s.topo.addFirewall("fw", net::FirewallProfile::enterprise10G())),
+        controller(fw, ids) {
+    net::LinkParams lp;
+    lp.rate = 10_Gbps;
+    lp.delay = 1_ms;
+    s.topo.connect(outside, fw, lp);
+    s.topo.connect(fw, server, lp);
+    s.topo.computeRoutes();
+  }
+  net::Host& outside;
+  net::Host& server;
+  net::FirewallDevice& fw;
+  net::IntrusionDetectionSystem ids;
+  BypassController controller;
+};
+
+TEST(BypassController, VetsFlowThenInstallsBypass) {
+  Scenario s;
+  SdnSite site{s};
+  site.ids.setVettingPacketCount(5);
+
+  tcp::TcpConfig cfg;
+  tcp::TcpListener listener{site.server, 5001, cfg};
+  tcp::TcpConnection client{site.outside, site.server.address(), 5001, cfg};
+  client.onEstablished = [&client] { client.sendData(20_MB); };
+  bool done = false;
+  client.onSendComplete = [&done] { done = true; };
+  client.start();
+  s.simulator.runFor(120_s);
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(site.controller.bypassesInstalled(), 2u);  // both directions vetted
+  EXPECT_GE(site.controller.table().ruleCount(), 2u);
+  // After vetting, the data flood bypasses the engines: the firewall's
+  // inspected count stays tiny relative to the 20 MB of segments.
+  EXPECT_LT(site.fw.firewallStats().inspected, 200u);
+}
+
+TEST(BypassController, FlaggedSourceGetsDropped) {
+  Scenario s;
+  SdnSite site{s};
+  site.ids.addWatchlistPrefix(net::Prefix::parse("198.0.0.0/24"));
+
+  tcp::TcpConfig cfg;
+  tcp::TcpListener listener{site.server, 5001, cfg};
+  tcp::TcpConnection client{site.outside, site.server.address(), 5001, cfg};
+  bool established = false;
+  client.onEstablished = [&established] { established = true; };
+  client.start();
+  s.simulator.runFor(10_s);
+
+  // The watchlisted SYN is observed, a deny is installed, and the
+  // handshake never completes (policy drops at the firewall).
+  EXPECT_FALSE(established);
+  EXPECT_GE(site.controller.dropsInstalled(), 1u);
+  EXPECT_GT(site.fw.firewallStats().dropsPolicy, 0u);
+  EXPECT_EQ(site.controller.table().lookup(
+                net::FlowKey{site.outside.address(), site.server.address(), 1, 2,
+                             net::Protocol::kTcp}),
+            FlowAction::kDrop);
+}
+
+TEST(BypassController, CleanFlowUnaffectedByOthersBlock) {
+  Scenario s;
+  SdnSite site{s};
+  site.ids.addWatchlistPrefix(net::Prefix::parse("198.0.0.99/32"));  // someone else
+  site.ids.setVettingPacketCount(3);
+
+  tcp::TcpConfig cfg;
+  tcp::TcpListener listener{site.server, 5001, cfg};
+  tcp::TcpConnection client{site.outside, site.server.address(), 5001, cfg};
+  client.onEstablished = [&client] { client.sendData(1_MB); };
+  bool done = false;
+  client.onSendComplete = [&done] { done = true; };
+  client.start();
+  s.simulator.runFor(60_s);
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(site.controller.dropsInstalled(), 0u);
+}
+
+}  // namespace
+}  // namespace scidmz::vc

@@ -1,0 +1,137 @@
+#include "vc/oscars.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+
+namespace scidmz::vc {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+sim::SimTime at(std::int64_t seconds) {
+  return sim::SimTime::zero() + sim::Duration::seconds(seconds);
+}
+
+/// h1 - sw - h2 with a 10G core link, plus h3 on the same switch.
+struct VcTopo {
+  explicit VcTopo(Scenario& s)
+      : h1(s.topo.addHost("h1", net::Address(10, 0, 0, 1))),
+        h2(s.topo.addHost("h2", net::Address(10, 0, 0, 2))),
+        h3(s.topo.addHost("h3", net::Address(10, 0, 0, 3))),
+        sw(s.topo.addSwitch("sw")) {
+    net::LinkParams lp;
+    lp.rate = 10_Gbps;
+    s.topo.connect(h1, sw, lp);
+    s.topo.connect(h2, sw, lp);
+    s.topo.connect(h3, sw, lp);
+    s.topo.computeRoutes();
+  }
+  net::Host& h1;
+  net::Host& h2;
+  net::Host& h3;
+  net::SwitchDevice& sw;
+};
+
+TEST(Oscars, ReservesAlongRoutedPath) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  const auto id = oscars.reserve(topo.h1.address(), topo.h2.address(), 4_Gbps, at(0), at(100));
+  ASSERT_TRUE(id.has_value());
+  const auto* res = oscars.find(*id);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->path.size(), 2u);  // h1-sw, sw-h2
+  EXPECT_TRUE(oscars.activeAt(*id, at(50)));
+  EXPECT_FALSE(oscars.activeAt(*id, at(100)));
+}
+
+TEST(Oscars, AdmissionControlRejectsOversubscription) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  ASSERT_TRUE(oscars.reserve(topo.h1.address(), topo.h2.address(), 7_Gbps, at(0), at(100)));
+  // Second circuit sharing the h1-sw link cannot get another 7G.
+  EXPECT_FALSE(
+      oscars.reserve(topo.h1.address(), topo.h3.address(), 7_Gbps, at(50), at(150)).has_value());
+  // But 3G fits.
+  EXPECT_TRUE(
+      oscars.reserve(topo.h1.address(), topo.h3.address(), 3_Gbps, at(50), at(150)).has_value());
+}
+
+TEST(Oscars, DisjointTimeWindowsShareCapacity) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  ASSERT_TRUE(oscars.reserve(topo.h1.address(), topo.h2.address(), 9_Gbps, at(0), at(100)));
+  EXPECT_TRUE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 9_Gbps, at(100), at(200)).has_value());
+}
+
+TEST(Oscars, MidWindowOverlapDetected) {
+  // Reservation B starts inside A's window: the checkpoint at B.start must
+  // catch the combined demand even though B.start != A.start.
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  ASSERT_TRUE(oscars.reserve(topo.h1.address(), topo.h2.address(), 6_Gbps, at(50), at(150)));
+  EXPECT_FALSE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 6_Gbps, at(0), at(100)).has_value());
+  EXPECT_TRUE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 6_Gbps, at(0), at(50)).has_value());
+}
+
+TEST(Oscars, ReleaseReturnsCapacity) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  const auto id = oscars.reserve(topo.h1.address(), topo.h2.address(), 9_Gbps, at(0), at(100));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 9_Gbps, at(0), at(100)).has_value());
+  oscars.release(*id);
+  EXPECT_TRUE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 9_Gbps, at(0), at(100)).has_value());
+}
+
+TEST(Oscars, ReservableFractionHoldsHeadroom) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo, 0.5};  // only half of each link reservable
+  EXPECT_FALSE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 6_Gbps, at(0), at(10)).has_value());
+  EXPECT_TRUE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 5_Gbps, at(0), at(10)).has_value());
+}
+
+TEST(Oscars, AvailableOnReportsRemaining) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  const auto id = oscars.reserve(topo.h1.address(), topo.h2.address(), 4_Gbps, at(0), at(100));
+  ASSERT_TRUE(id.has_value());
+  const auto* res = oscars.find(*id);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(oscars.availableOn(*res->path[0], at(50)), 6_Gbps);
+  EXPECT_EQ(oscars.availableOn(*res->path[0], at(150)), 10_Gbps);
+}
+
+TEST(Oscars, RejectsUnroutableAndDegenerate) {
+  Scenario s;
+  VcTopo topo{s};
+  OscarsService oscars{s.topo};
+  EXPECT_FALSE(oscars
+                   .reserve(topo.h1.address(), net::Address(99, 9, 9, 9), 1_Gbps, at(0), at(10))
+                   .has_value());
+  EXPECT_FALSE(
+      oscars.reserve(topo.h1.address(), topo.h2.address(), 1_Gbps, at(10), at(10)).has_value());
+  EXPECT_FALSE(oscars
+                   .reserve(topo.h1.address(), topo.h2.address(), sim::DataRate::zero(), at(0),
+                            at(10))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace scidmz::vc

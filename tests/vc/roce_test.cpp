@@ -1,0 +1,119 @@
+#include "vc/roce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::vc {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+struct RocePath {
+  explicit RocePath(Scenario& s, net::LinkParams params)
+      : a(s.topo.addHost("a", net::Address(10, 0, 0, 1))),
+        b(s.topo.addHost("b", net::Address(10, 0, 0, 2))),
+        link(s.topo.connect(a, b, params)) {
+    s.topo.computeRoutes();
+  }
+  net::Host& a;
+  net::Host& b;
+  net::Link& link;
+};
+
+net::LinkParams circuit40G() {
+  net::LinkParams lp;
+  lp.rate = 40_Gbps;
+  lp.delay = 10_ms;
+  lp.mtu = 9000_B;
+  return lp;
+}
+
+TEST(Roce, FillsGuaranteedCircuit) {
+  Scenario s;
+  RocePath path{s, circuit40G()};
+  RoceTransfer::Options options;
+  options.rate = 40_Gbps;
+  RoceTransfer transfer{path.a, path.b, 5_GB, options};
+  RoceResult seen;
+  transfer.onComplete = [&seen](const RoceResult& r) { seen = r; };
+  transfer.start();
+  s.simulator.runFor(60_s);
+
+  ASSERT_TRUE(seen.completed);
+  // Kissel et al.: 39.5 Gbps on a 40GE host. Pacing + headers cost a bit.
+  EXPECT_GT(seen.goodput.toGbps(), 38.0);
+  EXPECT_EQ(seen.bytesMoved, 5_GB);
+  EXPECT_EQ(seen.bytesWasted, 0_B);
+}
+
+TEST(Roce, CpuCostFiftyTimesBelowTcp) {
+  Scenario s;
+  RocePath path{s, circuit40G()};
+  RoceTransfer::Options options;
+  options.rate = 40_Gbps;
+  RoceTransfer transfer{path.a, path.b, 5_GB, options};
+  transfer.start();
+  s.simulator.runFor(60_s);
+  ASSERT_TRUE(transfer.finished());
+  const double roceCpu = transfer.result().cpuUnits;
+  const double tcpCpu = tcpCpuUnits(5_GB);
+  EXPECT_NEAR(tcpCpu / roceCpu, 50.0, 0.5);
+}
+
+TEST(Roce, CollapsesUnderLossWithoutCircuit) {
+  // The same transfer with a little random loss: go-back-N wastes huge
+  // amounts of the pipe (this is why RoCE needs a loss-free circuit).
+  Scenario s;
+  RocePath path{s, circuit40G()};
+  path.link.setLossModel(0, std::make_unique<net::RandomLoss>(1e-4, s.rng.fork(21)));
+  RoceTransfer::Options options;
+  options.rate = 40_Gbps;
+  RoceTransfer transfer{path.a, path.b, 2_GB, options};
+  transfer.start();
+  s.simulator.runFor(300_s);
+
+  ASSERT_TRUE(transfer.finished());
+  ASSERT_TRUE(transfer.result().completed);
+  EXPECT_GT(transfer.result().bytesWasted, 1_GB);         // massive rewinding
+  EXPECT_LT(transfer.result().goodput.toGbps(), 20.0);    // well under the pipe
+}
+
+TEST(Roce, DeadPathTimesOutIncomplete) {
+  Scenario s;
+  RocePath path{s, circuit40G()};
+  path.link.setLossModel(0, std::make_unique<net::PeriodicLoss>(1));
+  RoceTransfer::Options options;
+  options.rate = 40_Gbps;
+  options.progressTimeout = 2_s;
+  RoceTransfer transfer{path.a, path.b, 100_MB, options};
+  transfer.start();
+  s.simulator.runFor(60_s);
+
+  ASSERT_TRUE(transfer.finished());
+  EXPECT_FALSE(transfer.result().completed);
+  EXPECT_EQ(transfer.result().bytesMoved, 0_B);
+}
+
+TEST(Roce, TailLossRecoveredByRewind) {
+  Scenario s;
+  RocePath path{s, circuit40G()};
+  RoceTransfer::Options options;
+  options.rate = 40_Gbps;
+  RoceTransfer transfer{path.a, path.b, 100_MB, options};
+  // Drop exactly one packet near the end of the stream: after ~11,000
+  // 4 KiB messages. PeriodicLoss(11000) drops message ~11000 of ~12200.
+  path.link.setLossModel(0, std::make_unique<net::PeriodicLoss>(11000));
+  transfer.start();
+  s.simulator.runFor(60_s);
+
+  ASSERT_TRUE(transfer.finished());
+  EXPECT_TRUE(transfer.result().completed);
+  EXPECT_GT(transfer.result().bytesWasted, 0_B);
+}
+
+}  // namespace
+}  // namespace scidmz::vc
