@@ -1,6 +1,9 @@
 // Ablation: sender pacing (the DTN tuning guides' fq pacing) against the
 // burst behaviour Section 5 describes. A 10G host feeds a 1G egress
 // through a switch whose buffer we sweep; bursty vs paced senders.
+// The (buffer, paced) grid runs as parallel sweep cells.
+#include <vector>
+
 #include "../bench/bench_util.hpp"
 #include "net/switch.hpp"
 
@@ -15,7 +18,7 @@ struct Outcome {
   std::uint64_t retx = 0;
 };
 
-Outcome run(bool paced, sim::DataSize buffer) {
+Outcome run(bool paced, sim::DataSize buffer, sim::SweepCell& cell) {
   Scenario s;
   net::SwitchProfile profile;
   profile.egressBuffer = buffer;
@@ -50,6 +53,7 @@ Outcome run(bool paced, sim::DataSize buffer) {
   Outcome o;
   o.mbps = server ? static_cast<double>(server->deliveredBytes().bitCount()) / 20.0 / 1e6 : 0.0;
   o.retx = client.stats().retransmits;
+  cell.eventsExecuted = s.simulator.eventsExecuted();
   return o;
 }
 
@@ -59,13 +63,24 @@ int main() {
   bench::header("ablation_pacing: bursty vs paced senders into a slower egress",
                 "Section 5 (TCP burst behaviour) + DTN tuning guidance, Dart et al. SC13");
 
+  const std::vector<sim::DataSize> buffers{sim::DataSize::kibibytes(256),
+                                           sim::DataSize::kibibytes(512),
+                                           sim::DataSize::mebibytes(2), sim::DataSize::mebibytes(8)};
+  // Cells in table order: (bursty, paced) per buffer size.
+  sim::SweepRunner sweep;
+  const auto results = sweep.run<Outcome>(
+      buffers.size() * 2,
+      [&buffers](sim::SweepCell& cell) {
+        return run(cell.index % 2 == 1, buffers[cell.index / 2], cell);
+      },
+      "buffer_grid");
+
   bench::row("%-14s %-14s %-10s %-14s %-10s", "egress_buffer", "bursty_mbps", "retx",
              "paced_mbps", "retx");
-  for (const auto buffer : {sim::DataSize::kibibytes(256), sim::DataSize::kibibytes(512),
-                            sim::DataSize::mebibytes(2), sim::DataSize::mebibytes(8)}) {
-    const auto bursty = run(false, buffer);
-    const auto paced = run(true, buffer);
-    bench::row("%-14s %-14.1f %-10llu %-14.1f %-10llu", sim::toString(buffer).c_str(),
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const auto& bursty = results[i * 2];
+    const auto& paced = results[i * 2 + 1];
+    bench::row("%-14s %-14.1f %-10llu %-14.1f %-10llu", sim::toString(buffers[i]).c_str(),
                bursty.mbps, static_cast<unsigned long long>(bursty.retx), paced.mbps,
                static_cast<unsigned long long>(paced.retx));
   }
@@ -73,5 +88,6 @@ int main() {
   bench::row("line-rate bursts need the egress buffer to hold them; pacing shrinks");
   bench::row("the required buffer — the host-side complement to the deep-buffered");
   bench::row("switch the location pattern calls for.");
+  bench::writeSweepReport(sweep, "ablation_pacing");
   return 0;
 }

@@ -1,9 +1,11 @@
 // Shared helpers for the figure/table reproduction benches: scenario
-// bootstrap, steady-state TCP measurement, and aligned table printing.
+// bootstrap, steady-state TCP measurement, aligned table printing, and the
+// sweep-report plumbing (stderr summary + BENCH_sim.json).
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -11,6 +13,7 @@
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "tcp/connection.hpp"
 
 namespace scidmz::bench {
@@ -30,12 +33,62 @@ inline void header(const char* title, const char* paperRef) {
   std::printf("================================================================\n");
 }
 
+inline std::string vformatRow(const char* fmt, va_list args) {
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+/// printf into a std::string — for cells that run off the main thread and
+/// must defer their output until the sweep completes.
+inline std::string formatRow(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = vformatRow(fmt, args);
+  va_end(args);
+  return out;
+}
+
 inline void row(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
   std::vprintf(fmt, args);
   va_end(args);
   std::printf("\n");
+}
+
+/// Table cell for a measured rate: "%.1f" when the flow established, the
+/// "n/e" (never established) marker otherwise — a silent 0.0 looks like a
+/// collapsed-but-working flow, which is a different failure.
+inline std::string mbpsCell(double mbps, bool established) {
+  return established ? formatRow("%.1f", mbps) : std::string{"n/e"};
+}
+
+/// Print each sweep run's parallel stats to stderr (stdout must stay
+/// byte-identical to a serial run) and write the BENCH_sim.json wall-clock
+/// summary. SCIDMZ_BENCH_JSON overrides the output path; set it empty to
+/// disable the file.
+inline void writeSweepReport(const sim::SweepRunner& sweep, const char* benchName) {
+  for (const auto& run : sweep.history()) {
+    const double speedup = run.wallSeconds > 0 ? run.cellSecondsSum() / run.wallSeconds : 0.0;
+    std::fprintf(stderr,
+                 "[sweep] %s/%s: %zu cells on %d worker%s, %.2fs wall "
+                 "(%.2fs serial-equivalent, %.2fx), %llu events\n",
+                 benchName, run.name.c_str(), run.cells.size(), run.workers,
+                 run.workers == 1 ? "" : "s", run.wallSeconds,
+                 run.cellSecondsSum(), speedup,
+                 static_cast<unsigned long long>(run.totalEvents()));
+  }
+  const char* env = std::getenv("SCIDMZ_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_sim.json";
+  if (path.empty()) return;
+  if (!sweep.writeJson(benchName, path)) {
+    std::fprintf(stderr, "[sweep] could not write %s\n", path.c_str());
+  }
 }
 
 /// Steady-state goodput of one bulk TCP flow between two hosts: start an
@@ -51,21 +104,32 @@ struct SteadyFlow {
     client->start();
   }
 
-  /// Receiver-side goodput over `window` after discarding `warmup`.
+  /// Receiver-side goodput over `window` after discarding `warmup`. The
+  /// connection is pinned at the start of the window: if the listener has
+  /// not accepted by then the measurement is meaningless, so this returns
+  /// zero and flips established() false rather than silently measuring a
+  /// flow that only appeared (or never appeared) mid-window off a zero base.
   [[nodiscard]] sim::DataRate measure(sim::Duration warmup, sim::Duration window) {
     scenario.simulator.runFor(warmup);
-    const auto base = server != nullptr ? server->deliveredBytes() : sim::DataSize::zero();
+    tcp::TcpConnection* measured = server;
+    established_ = measured != nullptr;
+    const auto base = measured != nullptr ? measured->deliveredBytes() : sim::DataSize::zero();
     scenario.simulator.runFor(window);
-    if (server == nullptr) return sim::DataRate::zero();
-    const auto delta = server->deliveredBytes() - base;
+    if (measured == nullptr) return sim::DataRate::zero();
+    const auto delta = measured->deliveredBytes() - base;
     return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
         static_cast<double>(delta.bitCount()) / window.toSeconds()));
   }
+
+  /// False when the flow had not established by the start of the last
+  /// measure() window — surface as "n/e" in bench tables via mbpsCell().
+  [[nodiscard]] bool established() const { return established_; }
 
   Scenario& scenario;
   std::unique_ptr<tcp::TcpListener> listener;
   std::unique_ptr<tcp::TcpConnection> client;
   tcp::TcpConnection* server = nullptr;
+  bool established_ = true;
 };
 
 }  // namespace scidmz::bench

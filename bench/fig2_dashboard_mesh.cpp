@@ -3,7 +3,13 @@
 // has the Section 2 failing line card (1 / 22,000 loss). We render the
 // dashboard grid — the degraded row/column pattern of the paper's figure —
 // then repair the card and render again.
+//
+// The scenario runs as a single sweep cell (the runner still provides the
+// wall-clock/events bookkeeping and BENCH_sim.json output): the cell defers
+// its rows into a string list so nothing prints from a worker thread.
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "../bench/bench_util.hpp"
 #include "perfsonar/alerts.hpp"
@@ -14,9 +20,10 @@ using namespace scidmz;
 using namespace scidmz::sim::literals;
 using scidmz::bench::Scenario;
 
-int main() {
-  bench::header("fig2_dashboard_mesh: perfSONAR mesh dashboard with a soft failure",
-                "Figure 2 + Section 3.3, Dart et al. SC13");
+namespace {
+
+std::vector<std::string> runMesh(sim::SweepCell& cell) {
+  std::vector<std::string> out;
 
   Scenario s;
   // Star of four sites around a WAN core; 10G, 10ms spokes.
@@ -54,10 +61,10 @@ int main() {
   detectorOptions.throughputDropFraction = 0.6;
   perfsonar::SoftFailureDetector detector{archive, detectorOptions};
   std::size_t alertCount = 0;
-  detector.onAlert = [&alertCount](const perfsonar::Alert& a) {
+  detector.onAlert = [&alertCount, &out](const perfsonar::Alert& a) {
     ++alertCount;
-    bench::row("  alert @%s: %s -> %s (%s)", sim::toString(a.at).c_str(), a.src.c_str(),
-               a.dst.c_str(), a.metric.c_str());
+    out.push_back(bench::formatRow("  alert @%s: %s -> %s (%s)", sim::toString(a.at).c_str(),
+                                   a.src.c_str(), a.dst.c_str(), a.metric.c_str()));
   };
 
   // Healthy baseline first (regression detection needs one), then the card
@@ -67,7 +74,7 @@ int main() {
     s.simulator.runFor(10_s);
     detector.evaluate(s.simulator.now());
   }
-  bench::row("t=80s: lbl's uplink line card begins dropping 1/22000 packets");
+  out.push_back("t=80s: lbl's uplink line card begins dropping 1/22000 packets");
   lblUplink->setLossModel(0, std::make_unique<net::RandomLoss>(1.0 / 22000.0, s.rng.fork(2)));
   for (int i = 0; i < 15; ++i) {
     s.simulator.runFor(10_s);
@@ -77,22 +84,38 @@ int main() {
   // 2s tests only reach ~5-7 Gbps through slow start on a clean 40ms-RTT
   // path; rate against that expectation rather than full line rate.
   perfsonar::Dashboard dashboard{archive, mesh.siteNames(), 5000.0};
-  bench::row("%s", "");
-  bench::row("dashboard with the failing line card on lbl's uplink:");
-  bench::row("%s", dashboard.render().c_str());
-  bench::row("degraded/bad cells: %d (expect the lbl-sourced row impaired)",
-             dashboard.countAtRating(perfsonar::CellRating::kBad) +
-                 dashboard.countAtRating(perfsonar::CellRating::kDegraded));
-  bench::row("alerts raised: %zu", alertCount);
+  out.push_back("");
+  out.push_back("dashboard with the failing line card on lbl's uplink:");
+  out.push_back(dashboard.render());
+  out.push_back(bench::formatRow(
+      "degraded/bad cells: %d (expect the lbl-sourced row impaired)",
+      dashboard.countAtRating(perfsonar::CellRating::kBad) +
+          dashboard.countAtRating(perfsonar::CellRating::kDegraded)));
+  out.push_back(bench::formatRow("alerts raised: %zu", alertCount));
 
-  bench::row("%s", "");
-  bench::row("repairing the line card and re-measuring...");
+  out.push_back("");
+  out.push_back("repairing the line card and re-measuring...");
   lblUplink->repair();
   s.simulator.runFor(120_s);
-  bench::row("%s", dashboard.render().c_str());
-  bench::row("degraded/bad cells after repair: %d",
-             dashboard.countAtRating(perfsonar::CellRating::kBad) +
-                 dashboard.countAtRating(perfsonar::CellRating::kDegraded));
+  out.push_back(dashboard.render());
+  out.push_back(bench::formatRow("degraded/bad cells after repair: %d",
+                                 dashboard.countAtRating(perfsonar::CellRating::kBad) +
+                                     dashboard.countAtRating(perfsonar::CellRating::kDegraded)));
   mesh.stop();
+  cell.eventsExecuted = s.simulator.eventsExecuted();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("fig2_dashboard_mesh: perfSONAR mesh dashboard with a soft failure",
+                "Figure 2 + Section 3.3, Dart et al. SC13");
+
+  sim::SweepRunner sweep;
+  const auto lines = sweep.run<std::vector<std::string>>(
+      1, [](sim::SweepCell& cell) { return runMesh(cell); }, "mesh");
+  for (const auto& line : lines[0]) bench::row("%s", line.c_str());
+  bench::writeSweepReport(sweep, "fig2_dashboard_mesh");
   return 0;
 }

@@ -1,7 +1,19 @@
 // Infrastructure microbenchmarks (google-benchmark): the discrete-event
 // kernel and the hot per-packet paths that bound how much simulated
 // traffic the figure benches can afford.
+//
+// The BM_Legacy* benchmarks run a copy of the seed event queue
+// (std::function callbacks, binary priority_queue, unordered_set lazy
+// cancellation) against the same workloads as the current queue, so one
+// binary prints before/after events-per-second for the schedule/pop hot
+// path. Compare the items_per_second counters of each Legacy/current pair.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
 
 #include "net/host.hpp"
 #include "net/topology.hpp"
@@ -16,8 +28,77 @@ using namespace scidmz::sim::literals;
 
 namespace {
 
-void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  sim::EventQueue queue;
+/// The seed-era queue, verbatim: heap-allocating std::function callbacks,
+/// binary heap, unordered_set cancellation probing on every peek/pop.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  std::uint64_t schedule(sim::SimTime at, Callback cb) {
+    const std::uint64_t id = ++next_seq_;
+    heap_.push(Entry{at, id, std::move(cb)});
+    ++live_;
+    return id;
+  }
+
+  void cancel(std::uint64_t id) {
+    if (id == 0) return;
+    if (cancelled_.insert(id).second && live_ > 0) --live_;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  struct Popped {
+    sim::SimTime at;
+    Callback cb;
+  };
+  Popped pop() {
+    skipCancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return Popped{top.at, std::move(top.cb)};
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime at;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skipCancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().seq);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Packet-sized capture, what the link/switch/device forwarding events
+/// carry. std::function heap-allocates this; SmallCallback keeps it inline.
+struct PacketSizedCapture {
+  void* owner = nullptr;
+  unsigned char payload[144] = {};
+  void operator()() const { benchmark::DoNotOptimize(payload[0]); }
+};
+
+template <typename Queue>
+void scheduleAndPopLoop(benchmark::State& state) {
+  Queue queue;
   std::int64_t t = 0;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
@@ -31,7 +112,108 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  scheduleAndPopLoop<sim::EventQueue>(state);
+}
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_LegacyEventQueueScheduleAndPop(benchmark::State& state) {
+  scheduleAndPopLoop<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleAndPop);
+
+template <typename Queue>
+void packetCaptureLoop(benchmark::State& state) {
+  Queue queue;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(sim::SimTime::fromNs(t + (i * 7919) % 1000), PacketSizedCapture{});
+    }
+    while (!queue.empty()) {
+      auto ev = queue.pop();
+      ev.cb();
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void BM_EventQueuePacketSizedCapture(benchmark::State& state) {
+  packetCaptureLoop<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueuePacketSizedCapture);
+
+void BM_LegacyEventQueuePacketSizedCapture(benchmark::State& state) {
+  packetCaptureLoop<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueuePacketSizedCapture);
+
+template <typename Queue, typename Id>
+void scheduleCancelLoop(benchmark::State& state) {
+  Queue queue;
+  std::vector<Id> ids;
+  ids.reserve(64);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(queue.schedule(sim::SimTime::fromNs(t + (i * 7919) % 1000), [] {}));
+    }
+    for (int i = 0; i < 64; i += 2) queue.cancel(ids[static_cast<std::size_t>(i)]);
+    while (!queue.empty()) {
+      auto ev = queue.pop();
+      benchmark::DoNotOptimize(ev.at);
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+/// Timer-churn pattern: half of everything scheduled is cancelled before it
+/// fires (RTO timers rearmed by every ACK behave like this).
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  scheduleCancelLoop<sim::EventQueue, sim::EventId>(state);
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop);
+
+void BM_LegacyEventQueueScheduleCancelPop(benchmark::State& state) {
+  scheduleCancelLoop<LegacyEventQueue, std::uint64_t>(state);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleCancelPop);
+
+/// Steady-state churn against a deep heap: the regime the figure benches
+/// live in (a single 10G high-BDP flow keeps thousands of packet/timer
+/// events in flight).
+template <typename Queue>
+void deepHeapChurnLoop(benchmark::State& state) {
+  Queue queue;
+  sim::Rng rng{7};
+  std::int64_t t = 0;
+  for (int i = 0; i < 4096; ++i) {
+    queue.schedule(sim::SimTime::fromNs(static_cast<std::int64_t>(rng.below(1 << 20))),
+                   PacketSizedCapture{});
+  }
+  for (auto _ : state) {
+    auto ev = queue.pop();
+    benchmark::DoNotOptimize(ev.at);
+    queue.schedule(sim::SimTime::fromNs(t + static_cast<std::int64_t>(rng.below(1 << 20))),
+                   PacketSizedCapture{});
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventQueueDeepHeapChurn(benchmark::State& state) {
+  deepHeapChurnLoop<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueDeepHeapChurn);
+
+void BM_LegacyEventQueueDeepHeapChurn(benchmark::State& state) {
+  deepHeapChurnLoop<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyEventQueueDeepHeapChurn);
 
 void BM_RngNext(benchmark::State& state) {
   sim::Rng rng{1};

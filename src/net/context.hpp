@@ -23,12 +23,17 @@ class Context {
 
   [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
   [[nodiscard]] std::uint64_t nextPacketId() { return ++packet_id_; }
+  /// Scenario-local measurement-stream ids (OWAMP etc.). Keeping the counter
+  /// here — never in function-local statics — is what lets sweep cells run
+  /// in parallel without races or cross-cell id drift.
+  [[nodiscard]] std::uint32_t nextStreamId() { return ++stream_id_; }
 
  private:
   sim::Simulator& sim_;
   sim::Rng& rng_;
   sim::Logger& log_;
   std::uint64_t packet_id_ = 0;
+  std::uint32_t stream_id_ = 0;
 };
 
 }  // namespace scidmz::net

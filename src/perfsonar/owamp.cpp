@@ -5,11 +5,6 @@
 namespace scidmz::perfsonar {
 namespace {
 
-std::uint32_t nextStreamId() {
-  static std::uint32_t counter = 0;
-  return ++counter;
-}
-
 OwampReport makeReport(std::uint64_t due, std::uint64_t arrived,
                        const sim::RunningStats& delays) {
   OwampReport r;
@@ -26,7 +21,7 @@ OwampReport makeReport(std::uint64_t due, std::uint64_t arrived,
 }  // namespace
 
 OwampStream::OwampStream(net::Host& src, net::Host& dst, Options options)
-    : src_(src), dst_(dst), options_(options), receiver_(dst), stream_id_(nextStreamId()) {
+    : src_(src), dst_(dst), options_(options), receiver_(dst), stream_id_(src.ctx().nextStreamId()) {
   receiver_.stream_id_ = stream_id_;
   dst_.bind(net::Protocol::kUdp, options_.port, receiver_);
 }

@@ -1,17 +1,30 @@
 // Discrete-event scheduler core.
 //
-// Events are (time, sequence, callback) tuples ordered by time with the
-// insertion sequence as a tie-break, so simultaneous events fire in the
-// order they were scheduled — a requirement for deterministic replay.
-// Cancellation is lazy: cancelled ids are remembered and skipped on pop.
+// Events are (time, sequence) keys in a 4-ary min-heap, with the insertion
+// sequence as a tie-break so simultaneous events fire in the order they were
+// scheduled — a requirement for deterministic replay. Callbacks live in a
+// side slot table with stable addresses, so heap sifts move 24-byte keys
+// instead of whole closures and the schedule path performs no allocation for
+// common capture sizes (see sim/callback.hpp).
+//
+// Cancellation is an O(1) tombstone write through a slot/generation handle:
+// the EventId encodes (slot, generation), a fired or cancelled event bumps
+// its slot's generation, and any stale handle is rejected exactly — no
+// auxiliary cancelled-set, no drift in the live-event accounting. Tombstoned
+// heap entries are reclaimed when they surface, or in bulk when they
+// outnumber live entries.
+//
+// Not thread-safe by design: the simulator is a single logical thread of
+// control. Parallelism lives at the sweep level (sim/sweep.hpp), where
+// independent Simulator instances run one per scenario cell.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::sim {
@@ -23,26 +36,36 @@ struct EventId {
   [[nodiscard]] constexpr bool valid() const { return value != 0; }
 };
 
-/// Time-ordered event queue. Not thread-safe by design: the simulator is a
-/// single logical thread of control (parallelism lives at the sweep level,
-/// where independent Simulator instances run per scenario).
+/// Time-ordered event queue.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Sized so a `this` pointer plus a Packet-by-value capture stays inline.
+  using Callback = SmallCallback<192>;
 
   /// Schedule `cb` at absolute time `at`. Returns a cancellation handle.
-  EventId schedule(SimTime at, Callback cb) {
-    const EventId id{++next_seq_};
-    heap_.push(Entry{at, id.value, std::move(cb)});
+  /// Templated so the closure is constructed directly in its slot.
+  template <typename F>
+  EventId schedule(SimTime at, F&& cb) {
+    const std::uint32_t slot = acquireSlot(std::forward<F>(cb));
+    heapPush(HeapEntry{at, ++next_seq_, slot});
     ++live_;
-    return id;
+    return EventId{pack(slot, slots_[slot].generation)};
   }
 
-  /// Cancel a previously scheduled event. Cancelling an already-fired or
-  /// already-cancelled event is a harmless no-op.
+  /// Cancel a previously scheduled event. Cancelling an already-fired,
+  /// already-cancelled, or invalid handle is a harmless no-op: the slot's
+  /// generation no longer matches, so accounting is untouched.
   void cancel(EventId id) {
     if (!id.valid()) return;
-    if (cancelled_.insert(id.value).second && live_ > 0) --live_;
+    const std::uint32_t slot = unpackSlot(id.value);
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (!s.active || s.tombstone || s.generation != unpackGeneration(id.value)) return;
+    s.tombstone = true;
+    s.cb.reset();  // release captured resources eagerly
+    --live_;
+    ++tombstones_;
+    if (tombstones_ > 64 && tombstones_ > live_) compact();
   }
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
@@ -50,8 +73,8 @@ class EventQueue {
 
   /// Time of the next live event; SimTime::max() when empty.
   [[nodiscard]] SimTime nextTime() {
-    skipCancelled();
-    return heap_.empty() ? SimTime::max() : heap_.top().at;
+    skipTombstones();
+    return heap_.empty() ? SimTime::max() : heap_.front().at;
   }
 
   /// Pop the next live event. Precondition: !empty().
@@ -60,47 +83,159 @@ class EventQueue {
     Callback cb;
   };
   Popped pop() {
-    skipCancelled();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    skipTombstones();
+    const HeapEntry top = heap_.front();
+    heapPopFront();
+    Popped out{top.at, std::move(slots_[top.slot].cb)};
+    releaseSlot(top.slot);
     --live_;
-    return Popped{top.at, std::move(top.cb)};
+    return out;
   }
 
-  /// Drop everything (used when tearing a simulation down early).
+  /// Drop everything (used when tearing a simulation down early). Slots are
+  /// released, not destroyed, so handles issued before clear() stay stale.
   void clear() {
-    heap_ = {};
-    cancelled_.clear();
+    for (const HeapEntry& e : heap_) {
+      if (slots_[e.slot].tombstone) --tombstones_;
+      releaseSlot(e.slot);
+    }
+    heap_.clear();
     live_ = 0;
   }
 
   [[nodiscard]] std::uint64_t scheduledTotal() const { return next_seq_; }
 
+  /// Heap entries currently tombstoned (observability/tests).
+  [[nodiscard]] std::size_t tombstoneCount() const { return tombstones_; }
+
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq = 0;
-    Callback cb;
+    std::uint32_t slot = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 0;
+    bool active = false;     ///< Owned by a heap entry (live or tombstoned).
+    bool tombstone = false;  ///< Cancelled; reclaimed when it surfaces.
   };
 
-  void skipCancelled() {
-    while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().seq);
-      if (it == cancelled_.end()) return;
-      cancelled_.erase(it);
-      heap_.pop();
+  // EventId layout: (slot + 1) in the high 32 bits keeps value != 0.
+  static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+  }
+  static constexpr std::uint32_t unpackSlot(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32) - 1;
+  }
+  static constexpr std::uint32_t unpackGeneration(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+
+  template <typename F>
+  std::uint32_t acquireSlot(F&& cb) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.cb.assign(std::forward<F>(cb));
+    s.active = true;
+    s.tombstone = false;
+    return slot;
+  }
+
+  void releaseSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.cb.reset();
+    s.active = false;
+    s.tombstone = false;
+    ++s.generation;  // invalidate outstanding handles
+    free_.push_back(slot);
+  }
+
+  void skipTombstones() {
+    while (!heap_.empty() && slots_[heap_.front().slot].tombstone) {
+      const std::uint32_t slot = heap_.front().slot;
+      heapPopFront();
+      releaseSlot(slot);
+      --tombstones_;
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Rebuild the heap without tombstoned entries, bounding dead-entry state
+  /// for workloads that cancel most of what they schedule.
+  void compact() {
+    std::size_t kept = 0;
+    for (const HeapEntry& e : heap_) {
+      if (slots_[e.slot].tombstone) {
+        releaseSlot(e.slot);
+        --tombstones_;
+      } else {
+        heap_[kept++] = e;
+      }
+    }
+    heap_.resize(kept);
+    if (kept > 1) {
+      for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) siftDown(i, heap_[i]);
+    }
+  }
+
+  // --- 4-ary min-heap over (at, seq); shallower than binary, and the four
+  // children share a cache line's worth of 24-byte entries. ---
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  // Sifts move a hole and place the element once instead of swapping
+  // 24-byte entries at every level.
+  void heapPush(HeapEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heapPopFront() {
+    const HeapEntry tail = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0, tail);
+  }
+
+  void siftDown(std::size_t i, HeapEntry e) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
   std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

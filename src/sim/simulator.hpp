@@ -22,15 +22,18 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
-  /// Schedule `cb` after `delay` (>= 0) from now.
-  EventId schedule(Duration delay, EventQueue::Callback cb) {
+  /// Schedule `cb` after `delay` (>= 0) from now. Templated end-to-end so
+  /// the callable is materialized once, in the event queue's slot table.
+  template <typename F>
+  EventId schedule(Duration delay, F&& cb) {
     return queue_.schedule(now_ + (delay < Duration::zero() ? Duration::zero() : delay),
-                           std::move(cb));
+                           std::forward<F>(cb));
   }
 
   /// Schedule `cb` at an absolute time (clamped to now if in the past).
-  EventId scheduleAt(SimTime at, EventQueue::Callback cb) {
-    return queue_.schedule(at < now_ ? now_ : at, std::move(cb));
+  template <typename F>
+  EventId scheduleAt(SimTime at, F&& cb) {
+    return queue_.schedule(at < now_ ? now_ : at, std::forward<F>(cb));
   }
 
   void cancel(EventId id) { queue_.cancel(id); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace scidmz::sim {
@@ -73,6 +75,105 @@ TEST(EventQueue, ClearDropsEverything) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+// The seed implementation remembered a cancelled id forever and decremented
+// live_ even when the event had already fired, so empty() could report true
+// while live events remained. A stale handle must now be a pure no-op.
+TEST(EventQueue, CancelAfterFireKeepsAccounting) {
+  EventQueue q;
+  int fired = 0;
+  const EventId first = q.schedule(at(1), [&] { ++fired; });
+  q.schedule(at(2), [&] { ++fired; });
+  q.pop().cb();        // fires the first event
+  q.cancel(first);     // stale: must not touch the remaining event's accounting
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceDecrementsOnce) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  const EventId id = q.schedule(at(2), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(id);  // second cancel of the same handle: no double decrement
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+// A handle for a fired event must not be able to kill an unrelated event
+// that later reuses the same internal slot.
+TEST(EventQueue, StaleHandleCannotCancelSlotReuser) {
+  EventQueue q;
+  const EventId old = q.schedule(at(1), [] {});
+  q.pop();  // fires; the slot is recycled
+  int fired = 0;
+  q.schedule(at(2), [&] { ++fired; });
+  q.cancel(old);  // generation mismatch: no-op
+  ASSERT_FALSE(q.empty());
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, TombstonesAreReclaimed) {
+  EventQueue q;
+  // Cancel far more than the compaction threshold; dead entries must not
+  // accumulate without bound.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) ids.push_back(q.schedule(at(1000 + i), [] {}));
+    for (const EventId id : ids) q.cancel(id);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.tombstoneCount(), 128u);
+  // The queue stays fully usable afterwards.
+  int fired = 0;
+  q.schedule(at(1), [&] { ++fired; });
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterClearIsNoOp) {
+  EventQueue q;
+  const EventId id = q.schedule(at(1), [] {});
+  q.clear();
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  int fired = 0;
+  q.schedule(at(2), [&] { ++fired; });
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+// Captures larger than the inline buffer take the heap fallback; behaviour
+// must be identical.
+TEST(EventQueue, OversizedCapturesStillFire) {
+  EventQueue q;
+  std::array<std::uint64_t, 64> big{};  // 512 bytes, above the inline budget
+  big[0] = 41;
+  int result = 0;
+  EventQueue::Callback cb{[big, &result] { result = static_cast<int>(big[0]) + 1; }};
+  EXPECT_FALSE(cb.isInline());
+  q.schedule(at(1), std::move(cb));
+  q.pop().cb();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(EventQueue, PacketSizedCaptureStaysInline) {
+  struct Capture {
+    void* owner = nullptr;
+    unsigned char bytes[144] = {};
+    void operator()() const {}
+  };
+  EventQueue::Callback cb{Capture{}};
+  EXPECT_TRUE(cb.isInline());
 }
 
 }  // namespace
