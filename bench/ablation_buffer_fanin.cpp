@@ -80,7 +80,7 @@ Outcome run(int senders, sim::DataSize buffer, sim::SweepCell& cell) {
   // Drops on the congested egress port (interface 0 = toward the sink).
   const auto& q = sw.interface(0).queue().stats();
   o.dropPct = q.dropFraction() * 100.0;
-  cell.eventsExecuted = s.simulator.eventsExecuted();
+  bench::finishCell(s, cell);
   return o;
 }
 
@@ -103,6 +103,10 @@ int main() {
       },
       "fanin_grid");
 
+  bench::JsonTable table("ablation_buffer_fanin", "egress buffer sweep under fan-in",
+                         "Section 5 (fan-in and buffer sizing), Dart et al. SC13",
+                         {"senders", "egress_buffer", "aggregate_mbps", "drop_pct"});
+
   bench::row("%-10s %-14s %-18s %-10s", "senders", "egress_buffer", "aggregate_mbps",
              "drop_pct");
   std::size_t next = 0;
@@ -111,12 +115,17 @@ int main() {
       const auto& o = results[next++];
       bench::row("%-10d %-14s %-18.1f %-10.3f", senders, sim::toString(buffer).c_str(),
                  o.aggregateMbps, o.dropPct);
+      table.addRow({senders, sim::toString(buffer), o.aggregateMbps, o.dropPct});
     }
     bench::row("%s", "");
   }
   bench::row("shallow buffers shave multiple Gbps off the aggregate as coincident");
   bench::row("bursts drop and flows stall in recovery; science-DMZ-class buffers");
   bench::row("carry the same fan-in at line rate.");
+  table.addNote("shallow buffers shave multiple Gbps off the aggregate as coincident bursts"
+                " drop and flows stall in recovery; science-DMZ-class buffers carry the same"
+                " fan-in at line rate");
+  table.write();
   bench::writeSweepReport(sweep, "ablation_buffer_fanin");
   return 0;
 }

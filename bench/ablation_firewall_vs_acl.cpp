@@ -64,7 +64,7 @@ PathResult scienceFlow(bool useFirewall, int rttMs) {
 }
 
 /// The business profile: hundreds of short flows through the firewall.
-void businessProfile() {
+void businessProfile(bench::JsonTable& table) {
   Scenario s;
   auto& fw = s.topo.addFirewall("fw", net::FirewallProfile::enterprise10G());
   auto& outside = s.topo.addSwitch("outside");
@@ -104,6 +104,9 @@ void businessProfile() {
       static_cast<double>(std::max<std::uint64_t>(st.inspected + st.dropsInputBuffer, 1));
   bench::row("business mix through the SAME firewall: %llu flows, %.4f%% buffer drops",
              static_cast<unsigned long long>(traffic.stats().flowsStarted), dropFrac * 100.0);
+  table.addNote(bench::formatRow(
+      "business mix through the SAME firewall: %llu flows, %.4f%% buffer drops",
+      static_cast<unsigned long long>(traffic.stats().flowsStarted), dropFrac * 100.0));
 }
 
 }  // namespace
@@ -112,6 +115,11 @@ int main() {
   bench::header("ablation_firewall_vs_acl: the science path's middlebox choice",
                 "Section 5 (firewall internals, ACL alternative), Dart et al. SC13");
 
+  bench::JsonTable table(
+      "ablation_firewall_vs_acl", "the science path's middlebox choice",
+      "Section 5 (firewall internals, ACL alternative), Dart et al. SC13",
+      {"rtt_ms", "firewall_path_mbps", "acl_switch_path_mbps", "firewall_drops"});
+
   bench::row("%-8s %-22s %-22s %-16s", "rtt_ms", "firewall_path_mbps", "acl_switch_path_mbps",
              "firewall_drops");
   for (const int rtt : {5, 20, 60}) {
@@ -119,11 +127,16 @@ int main() {
     const auto viaAcl = scienceFlow(false, rtt);
     bench::row("%-8d %-22.1f %-22.1f %-16llu", rtt, viaFw.mbps, viaAcl.mbps,
                static_cast<unsigned long long>(viaFw.middleboxDrops));
+    table.addRow({rtt, viaFw.mbps, viaAcl.mbps,
+                  static_cast<unsigned long long>(viaFw.middleboxDrops)});
   }
   bench::row("%s", "");
-  businessProfile();
+  businessProfile(table);
   bench::row("%s", "");
   bench::row("the firewall is fine for what it was built for (many small flows) and");
   bench::row("ruinous for single line-rate science flows; ACLs filter at line rate.");
+  table.addNote("the firewall is fine for what it was built for (many small flows) and"
+                " ruinous for single line-rate science flows; ACLs filter at line rate");
+  table.write();
   return 0;
 }

@@ -53,7 +53,7 @@ Outcome run(bool paced, sim::DataSize buffer, sim::SweepCell& cell) {
   Outcome o;
   o.mbps = server ? static_cast<double>(server->deliveredBytes().bitCount()) / 20.0 / 1e6 : 0.0;
   o.retx = client.stats().retransmits;
-  cell.eventsExecuted = s.simulator.eventsExecuted();
+  bench::finishCell(s, cell);
   return o;
 }
 
@@ -75,6 +75,11 @@ int main() {
       },
       "buffer_grid");
 
+  bench::JsonTable table(
+      "ablation_pacing", "bursty vs paced senders into a slower egress",
+      "Section 5 (TCP burst behaviour) + DTN tuning guidance, Dart et al. SC13",
+      {"egress_buffer", "bursty_mbps", "bursty_retx", "paced_mbps", "paced_retx"});
+
   bench::row("%-14s %-14s %-10s %-14s %-10s", "egress_buffer", "bursty_mbps", "retx",
              "paced_mbps", "retx");
   for (std::size_t i = 0; i < buffers.size(); ++i) {
@@ -83,11 +88,17 @@ int main() {
     bench::row("%-14s %-14.1f %-10llu %-14.1f %-10llu", sim::toString(buffers[i]).c_str(),
                bursty.mbps, static_cast<unsigned long long>(bursty.retx), paced.mbps,
                static_cast<unsigned long long>(paced.retx));
+    table.addRow({sim::toString(buffers[i]), bursty.mbps,
+                  static_cast<unsigned long long>(bursty.retx), paced.mbps,
+                  static_cast<unsigned long long>(paced.retx)});
   }
   bench::row("%s", "");
   bench::row("line-rate bursts need the egress buffer to hold them; pacing shrinks");
   bench::row("the required buffer — the host-side complement to the deep-buffered");
   bench::row("switch the location pattern calls for.");
+  table.addNote("line-rate bursts need the egress buffer to hold them; pacing shrinks the"
+                " required buffer — the host-side complement to the deep-buffered switch");
+  table.write();
   bench::writeSweepReport(sweep, "ablation_pacing");
   return 0;
 }

@@ -1,13 +1,18 @@
 // Shared helpers for the figure/table reproduction benches: scenario
-// bootstrap, steady-state TCP measurement, aligned table printing, and the
-// sweep-report plumbing (stderr summary + BENCH_sim.json).
+// bootstrap, steady-state TCP measurement, aligned table printing, the
+// sweep-report plumbing (stderr summary + BENCH_sim.json), and the
+// machine-readable table emitter (scidmz.bench.table.v1 JSON next to every
+// ASCII table, consumed by CI).
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "sim/log.hpp"
@@ -68,6 +73,17 @@ inline std::string mbpsCell(double mbps, bool established) {
   return established ? formatRow("%.1f", mbps) : std::string{"n/e"};
 }
 
+/// Standard end-of-cell bookkeeping: record events executed and, when the
+/// scenario instrumented itself (SCIDMZ_TELEMETRY=1 or an explicit
+/// enable()), attach the telemetry snapshot so writeSweepReport() merges it
+/// into the cell's BENCH_sim.json entry.
+inline void finishCell(Scenario& s, sim::SweepCell& cell) {
+  cell.eventsExecuted = s.simulator.eventsExecuted();
+  if (s.ctx.telemetry().enabled()) {
+    cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
+  }
+}
+
 /// Print each sweep run's parallel stats to stderr (stdout must stay
 /// byte-identical to a serial run) and write the BENCH_sim.json wall-clock
 /// summary. SCIDMZ_BENCH_JSON overrides the output path; set it empty to
@@ -90,6 +106,137 @@ inline void writeSweepReport(const sim::SweepRunner& sweep, const char* benchNam
     std::fprintf(stderr, "[sweep] could not write %s\n", path.c_str());
   }
 }
+
+/// A cell of a machine-readable bench table: number or string.
+struct JsonValue {
+  enum class Kind { kNumber, kString };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+
+  JsonValue(double v) : number(v) {}                        // NOLINT(google-explicit-constructor)
+  JsonValue(int v) : number(v) {}                           // NOLINT(google-explicit-constructor)
+  JsonValue(long long v)                                    // NOLINT(google-explicit-constructor)
+      : number(static_cast<double>(v)) {}
+  JsonValue(unsigned long long v)                           // NOLINT(google-explicit-constructor)
+      : number(static_cast<double>(v)) {}
+  JsonValue(const char* v) : kind(Kind::kString), text(v) {}  // NOLINT
+  JsonValue(std::string v)                                  // NOLINT(google-explicit-constructor)
+      : kind(Kind::kString), text(std::move(v)) {}
+
+  void appendTo(std::string& out) const {
+    if (kind == Kind::kNumber) {
+      char buf[40];
+      // %.10g keeps integers exact (up to 2^33) and floats readable while
+      // staying byte-deterministic for identical inputs.
+      std::snprintf(buf, sizeof buf, "%.10g", number);
+      out += buf;
+      return;
+    }
+    out.push_back('"');
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+};
+
+/// Machine-readable mirror of a bench's ASCII table (one schema for every
+/// figure/use-case bench, consumed by CI). Rows are appended alongside the
+/// printed rows; write() drops `<bench>.table.json` next to the binary's
+/// working directory. SCIDMZ_TABLE_JSON_DIR redirects the output directory;
+/// set it to the empty string to disable the file entirely.
+class JsonTable {
+ public:
+  JsonTable(std::string bench, std::string title, std::string paperRef,
+            std::vector<std::string> columns)
+      : bench_(std::move(bench)),
+        title_(std::move(title)),
+        paper_ref_(std::move(paperRef)),
+        columns_(std::move(columns)) {}
+
+  JsonTable& addRow(std::vector<JsonValue> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Free-form notes (the explanatory lines under the ASCII table).
+  JsonTable& addNote(std::string note) {
+    notes_.push_back(std::move(note));
+    return *this;
+  }
+
+  [[nodiscard]] std::string toJson() const {
+    std::string out;
+    out.reserve(256 + rows_.size() * 64);
+    out += "{\"schema\":\"scidmz.bench.table.v1\",\"bench\":";
+    JsonValue(bench_).appendTo(out);
+    out += ",\"title\":";
+    JsonValue(title_).appendTo(out);
+    out += ",\"paper_ref\":";
+    JsonValue(paper_ref_).appendTo(out);
+    out += ",\"columns\":[";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) out += ',';
+      JsonValue(columns_[i]).appendTo(out);
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out += ',';
+      out += '[';
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c) out += ',';
+        rows_[r][c].appendTo(out);
+      }
+      out += ']';
+    }
+    out += "],\"notes\":[";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i) out += ',';
+      JsonValue(notes_[i]).appendTo(out);
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  bool writeTo(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return false;
+    out << toJson();
+    return static_cast<bool>(out);
+  }
+
+  /// Write to $SCIDMZ_TABLE_JSON_DIR/<bench>.table.json (default ".").
+  /// Returns true when written or intentionally disabled.
+  bool write() const {
+    const char* env = std::getenv("SCIDMZ_TABLE_JSON_DIR");
+    std::string dir = env != nullptr ? env : ".";
+    if (env != nullptr && dir.empty()) return true;  // explicitly disabled
+    const std::string path = dir + "/" + bench_ + ".table.json";
+    if (!writeTo(path)) {
+      std::fprintf(stderr, "[table] could not write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string title_;
+  std::string paper_ref_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<JsonValue>> rows_;
+  std::vector<std::string> notes_;
+};
 
 /// Steady-state goodput of one bulk TCP flow between two hosts: start an
 /// effectively infinite transfer, discard `warmup`, measure `window`.

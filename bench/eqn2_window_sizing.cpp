@@ -43,6 +43,11 @@ int main() {
   const Case cases[] = {
       {100_Mbps, 10_ms}, {1_Gbps, 10_ms}, {1_Gbps, 50_ms}, {10_Gbps, 10_ms}, {10_Gbps, 100_ms}};
 
+  bench::JsonTable table(
+      "eqn2_window_sizing", "BDP window requirement, analytic + simulated",
+      "Equation 2 + Section 6.2, Dart et al. SC13",
+      {"rate", "rtt_ms", "required_window_bytes", "mbps_64KB_buf", "mbps_tuned_buf"});
+
   bench::row("%-12s %-8s %-16s %-18s %-18s", "rate", "rtt_ms", "required_window",
              "mbps_64KB_buf", "mbps_tuned_buf");
   for (const auto& c : cases) {
@@ -52,10 +57,17 @@ int main() {
     const double big = measure(c.rate, c.rtt, tuned);
     bench::row("%-12s %-8.0f %-16s %-18.1f %-18.1f", sim::toString(c.rate).c_str(),
                c.rtt.toMillis(), sim::toString(window).c_str(), small, big);
+    table.addRow({sim::toString(c.rate), c.rtt.toMillis(),
+                  static_cast<unsigned long long>(window.byteCount()), small, big});
   }
   bench::row("%s", "");
   bench::row("paper example: 1 Gbps x 10 ms needs %s; the 64KB default is ~20x too small,",
              sim::toString(tcp::bandwidthDelayWindow(1_Gbps, 10_ms)).c_str());
   bench::row("capping throughput near 50 Mbps regardless of link speed.");
+  table.addNote(bench::formatRow(
+      "paper example: 1 Gbps x 10 ms needs %s; the 64KB default is ~20x too small, capping"
+      " throughput near 50 Mbps regardless of link speed",
+      sim::toString(tcp::bandwidthDelayWindow(1_Gbps, 10_ms)).c_str()));
+  table.write();
   return 0;
 }

@@ -70,7 +70,7 @@ CellResult measureCell(const CellSpec& spec, sim::SweepCell& cell) {
   CellResult result;
   result.mbps = flow.measure(warmup, sim::Duration::fromSeconds(windowSecs)).toMbps();
   result.established = flow.established();
-  cell.eventsExecuted = s.simulator.eventsExecuted();
+  bench::finishCell(s, cell);
   return result;
 }
 
@@ -96,6 +96,11 @@ int main() {
       specs.size(), [&specs](sim::SweepCell& cell) { return measureCell(specs[cell.index], cell); },
       "grid");
 
+  bench::JsonTable table("fig1_tcp_loss_rtt",
+                         "throughput vs RTT under loss (10G hosts, 9K MTU)",
+                         "Figure 1 + Section 2.1 (Mathis equation), Dart et al. SC13",
+                         {"rtt_ms", "loss", "mathis_mbps", "reno_mbps", "htcp_mbps"});
+
   bench::row("%-10s %-12s %-14s %-14s %-14s", "rtt_ms", "loss", "mathis_mbps", "reno_mbps",
              "htcp_mbps");
   std::size_t next = 0;
@@ -110,6 +115,8 @@ int main() {
       bench::row("%-10d %-12.2e %-14.1f %-14s %-14s", rtt, loss, capped,
                  bench::mbpsCell(reno.mbps, reno.established).c_str(),
                  bench::mbpsCell(htcp.mbps, htcp.established).c_str());
+      table.addRow({rtt, loss, capped, bench::mbpsCell(reno.mbps, reno.established),
+                    bench::mbpsCell(htcp.mbps, htcp.established)});
     }
     bench::row("%s", "");
   }
@@ -118,6 +125,10 @@ int main() {
   bench::row("  - loss-free row flat near 10000 Mbps at all RTTs");
   bench::row("  - each lossy family falls ~1/RTT; families drop ~1/sqrt(loss)");
   bench::row("  - htcp >= reno at high RTT x loss (the paper's measured gap)");
+  table.addNote("loss-free row flat near 10000 Mbps at all RTTs");
+  table.addNote("each lossy family falls ~1/RTT; families drop ~1/sqrt(loss)");
+  table.addNote("htcp >= reno at high RTT x loss (the paper's measured gap)");
+  table.write();
   bench::writeSweepReport(sweep, "fig1_tcp_loss_rtt");
   return 0;
 }

@@ -100,20 +100,34 @@ int main() {
                second ? "granted (bug)" : "denied, circuit is full");
   }
 
+  bench::JsonTable table(
+      "vc_roce_circuit", "RoCE vs TCP on a guaranteed 40G virtual circuit",
+      "Section 7.1 (OSCARS + RoCE, Kissel et al. numbers), Dart et al. SC13",
+      {"transport", "gbps", "cpu_units", "wasted_GB"});
+
   bench::row("%s", "");
   bench::row("%-30s %-12s %-14s %-12s", "transport", "gbps", "cpu_units", "wasted_GB");
   const auto tcp = runTcp();
   bench::row("%-30s %-12.1f %-14.3f %-12s", "tcp (htcp) on circuit", tcp.gbps, tcp.cpuUnits, "-");
+  table.addRow({"tcp (htcp) on circuit", tcp.gbps, tcp.cpuUnits, "-"});
   const auto roce = runRoce(0.0);
   bench::row("%-30s %-12.1f %-14.3f %-12.2f", "roce on loss-free circuit", roce.gbps,
              roce.cpuUnits, roce.wastedGB);
+  table.addRow({"roce on loss-free circuit", roce.gbps, roce.cpuUnits, roce.wastedGB});
   const auto roceLossy = runRoce(1e-4);
   bench::row("%-30s %-12.1f %-14.3f %-12.2f", "roce without circuit (1e-4 loss)",
              roceLossy.gbps, roceLossy.cpuUnits, roceLossy.wastedGB);
+  table.addRow({"roce without circuit (1e-4 loss)", roceLossy.gbps, roceLossy.cpuUnits,
+                roceLossy.wastedGB});
   bench::row("%s", "");
   bench::row("cpu per GB moved, tcp/roce: %.0fx (paper: ~50x less CPU;",
              vc::kTcpCpuUnitsPerGB / vc::kRoceCpuUnitsPerGB);
   bench::row("39.5 Gbps single flow on a 40GE host). without the circuit, go-back-N");
   bench::row("wastes the pipe: RoCE requires the loss-free guaranteed-bandwidth path.");
+  table.addNote(bench::formatRow(
+      "cpu per GB moved, tcp/roce: %.0fx (paper: ~50x less CPU); without the circuit,"
+      " go-back-N wastes the pipe",
+      vc::kTcpCpuUnitsPerGB / vc::kRoceCpuUnitsPerGB));
+  table.write();
   return 0;
 }

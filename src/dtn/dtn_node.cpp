@@ -65,6 +65,12 @@ void DtnTransfer::maybeFinish() {
         static_cast<double>(file_size_.bitCount()) / result_.elapsed.toSeconds()));
   }
   for (const auto& s : streams_) result_.retransmits += s->stats().retransmits;
+  auto& tel = src_.host().ctx().telemetry();
+  if (tel.enabled()) {
+    ++tel.metrics().counter("dtn/transfers_completed");
+    tel.metrics().counter("dtn/bytes_transferred") += file_size_.byteCount();
+    tel.metrics().counter("dtn/retransmits") += result_.retransmits;
+  }
   if (dst_.filesystem() != nullptr) {
     dst_.filesystem()->commitFile(file_name_, file_size_, now);
   }

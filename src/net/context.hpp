@@ -1,7 +1,7 @@
 // Shared per-scenario services handed to every component by reference.
 // Holding them in one struct keeps constructors short and makes it obvious
 // that a scenario is a unit of determinism: one Simulator, one master Rng,
-// one Logger.
+// one Logger, one Telemetry hub.
 #pragma once
 
 #include <cstdint>
@@ -9,17 +9,22 @@
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace scidmz::net {
 
 class Context {
  public:
   Context(sim::Simulator& simulator, sim::Rng& rng, sim::Logger& logger)
-      : sim_(simulator), rng_(rng), log_(logger) {}
+      : sim_(simulator), rng_(rng), log_(logger), telemetry_(simulator) {}
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] const sim::Logger& log() const { return log_; }
+  /// Scenario-local instrumentation; disabled (near-zero cost) unless the
+  /// scenario calls telemetry().enable() or SCIDMZ_TELEMETRY is set.
+  [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
   [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
   [[nodiscard]] std::uint64_t nextPacketId() { return ++packet_id_; }
@@ -32,6 +37,7 @@ class Context {
   sim::Simulator& sim_;
   sim::Rng& rng_;
   sim::Logger& log_;
+  telemetry::Telemetry telemetry_;
   std::uint64_t packet_id_ = 0;
   std::uint32_t stream_id_ = 0;
 };

@@ -1,8 +1,10 @@
 #include "net/device.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "net/link.hpp"
+#include "net/trace.hpp"
 
 namespace scidmz::net {
 
@@ -18,12 +20,51 @@ sim::DataRate Interface::rate() const {
   return link_ ? link_->rate() : sim::DataRate::zero();
 }
 
+void Interface::initTelemetry() {
+  auto& tel = ctx_.telemetry();
+  const std::string base = owner_.name() + "/if" + std::to_string(index_);
+  tel_point_ = tel.recorder().internPoint(base);
+  tel_drops_ = &tel.metrics().counter("queue/" + base + "/drops");
+  tel.addSampler("queue/" + base + "/depth_bytes",
+                 [this] { return static_cast<double>(queue_.depth().byteCount()); });
+  // Utilization over the last sampling interval: bits transmitted since the
+  // previous tick divided by what the link could have carried.
+  tel.addSampler("link/" + base + "/utilization",
+                 [this, lastBytes = std::uint64_t{0}, lastNs = std::int64_t{0}]() mutable {
+                   const std::int64_t nowNs = ctx_.now().ns();
+                   const std::uint64_t bytes = stats_.txBytes.byteCount();
+                   const auto dBytes = static_cast<double>(bytes - lastBytes);
+                   const auto dNs = static_cast<double>(nowNs - lastNs);
+                   lastBytes = bytes;
+                   lastNs = nowNs;
+                   const std::uint64_t bps = link_ != nullptr ? link_->rate().bps() : 0;
+                   if (dNs <= 0.0 || bps == 0) return 0.0;
+                   return dBytes * 8.0 * 1e9 / (dNs * static_cast<double>(bps));
+                 });
+  tel_init_ = true;
+}
+
 void Interface::send(Packet packet) {
   if (link_ == nullptr) {
     ++owner_.stats().dropsOther;
     return;
   }
-  if (!queue_.tryEnqueue(ctx_.now(), std::move(packet))) return;  // drop counted by queue
+  auto& tel = ctx_.telemetry();
+  const bool traced = tel.enabled();
+  telemetry::FlightEvent ev;
+  if (traced) {
+    if (!tel_init_) initTelemetry();
+    ev = makeFlightEvent(ctx_.now(), packet);
+    ev.point = tel_point_;
+  }
+  const bool accepted = queue_.tryEnqueue(ctx_.now(), std::move(packet));
+  if (traced) {
+    ev.kind = accepted ? telemetry::FlightEventKind::kEnqueue : telemetry::FlightEventKind::kDrop;
+    ev.aux2 = queue_.depth().byteCount();
+    if (!accepted) ++*tel_drops_;
+    tel.recorder().record(ev);
+  }
+  if (!accepted) return;  // drop counted by queue (and telemetry when enabled)
   if (!transmitting_) startNextTransmission();
 }
 
@@ -32,6 +73,15 @@ void Interface::startNextTransmission() {
   if (!next) {
     transmitting_ = false;
     return;
+  }
+  auto& tel = ctx_.telemetry();
+  if (tel.enabled()) {
+    if (!tel_init_) initTelemetry();
+    telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *next);
+    ev.kind = telemetry::FlightEventKind::kDequeue;
+    ev.point = tel_point_;
+    ev.aux2 = queue_.depth().byteCount();
+    tel.recorder().record(ev);
   }
   transmitting_ = true;
   const auto txTime = link_->rate().transmissionTime(next->wireSize());

@@ -51,6 +51,11 @@ class Interface {
 
  private:
   void startNextTransmission();
+  /// Lazily interns this port's emit point, caches its drop counter, and
+  /// registers the queue-depth and link-utilization probes. Called on the
+  /// first packet seen with telemetry enabled, so uninstrumented runs pay
+  /// nothing and emit points appear in deterministic (traffic) order.
+  void initTelemetry();
 
   Context& ctx_;
   Device& owner_;
@@ -60,6 +65,9 @@ class Interface {
   int end_ = 0;
   bool transmitting_ = false;
   Stats stats_;
+  bool tel_init_ = false;
+  std::uint32_t tel_point_ = 0;
+  std::uint64_t* tel_drops_ = nullptr;
 };
 
 struct DeviceStats {

@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "net/trace.hpp"
+
 namespace scidmz::net {
+
+void FirewallDevice::initTelemetry() {
+  auto& tel = ctx_.telemetry();
+  tel_point_ = tel.recorder().internPoint(name() + "/input");
+  tel_drops_buffer_ = &tel.metrics().counter("firewall/" + name() + "/drops_input_buffer");
+  tel_drops_policy_ = &tel.metrics().counter("firewall/" + name() + "/drops_policy");
+  tel_drops_session_ = &tel.metrics().counter("firewall/" + name() + "/drops_session_table");
+  tel_syns_rewritten_ = &tel.metrics().counter("firewall/" + name() + "/syns_rewritten");
+  tel_inspected_ = &tel.metrics().counter("firewall/" + name() + "/inspected");
+  tel.addSampler("firewall/" + name() + "/input_buffered_bytes",
+                 [this] { return static_cast<double>(buffered_.byteCount()); });
+  tel_init_ = true;
+}
 
 void FirewallDevice::receive(Packet packet, Interface& in) {
   notifyTap(packet, in);
   ++stats_.rxPackets;
   stats_.rxBytes += packet.wireSize();
+
+  auto& tel = ctx_.telemetry();
+  const bool traced = tel.enabled();
+  if (traced && !tel_init_) initTelemetry();
 
   // Vetted flows skip the inspection engines entirely (SDN bypass).
   if (bypass_.contains(packet.flow)) {
@@ -19,6 +38,13 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
   if (!policy_.permits(packet)) {
     ++fw_stats_.dropsPolicy;
     ++stats_.dropsAcl;
+    if (traced) {
+      ++*tel_drops_policy_;
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      ev.kind = telemetry::FlightEventKind::kDrop;
+      ev.point = tel_point_;
+      tel.recorder().record(ev);
+    }
     return;
   }
 
@@ -30,6 +56,13 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
         sessions_.find(forwardKey.reversed()) == sessions_.end()) {
       if (sessions_.size() >= profile_.sessionTableSize) {
         ++fw_stats_.dropsSessionTable;
+        if (traced) {
+          ++*tel_drops_session_;
+          telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+          ev.kind = telemetry::FlightEventKind::kDrop;
+          ev.point = tel_point_;
+          tel.recorder().record(ev);
+        }
         return;
       }
       sessions_.emplace(forwardKey, ctx_.now());
@@ -45,6 +78,7 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
       tcp.windowScalePresent = false;
       tcp.windowScale = 0;
       ++fw_stats_.synsRewritten;
+      if (traced) ++*tel_syns_rewritten_;
     }
   }
 
@@ -52,6 +86,14 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
   const auto size = packet.wireSize();
   if (buffered_ + size > profile_.inputBuffer) {
     ++fw_stats_.dropsInputBuffer;
+    if (traced) {
+      ++*tel_drops_buffer_;
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      ev.kind = telemetry::FlightEventKind::kDrop;
+      ev.point = tel_point_;
+      ev.aux2 = buffered_.byteCount();
+      tel.recorder().record(ev);
+    }
     return;
   }
   buffered_ += size;
@@ -67,6 +109,10 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
   ctx_.sim().scheduleAt(releaseAt, [this, pkt = std::move(packet)]() mutable {
     buffered_ -= pkt.wireSize();
     ++fw_stats_.inspected;
+    if (ctx_.telemetry().enabled()) {
+      if (!tel_init_) initTelemetry();
+      ++*tel_inspected_;
+    }
     forward(std::move(pkt));
   });
 }

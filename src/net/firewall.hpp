@@ -104,6 +104,9 @@ class FirewallDevice : public Device {
   };
 
   void inspectAndForward(Packet packet);
+  /// Lazily interns the input-stage emit point, caches drop/rewrite
+  /// counters and registers the buffered-bytes probe.
+  void initTelemetry();
 
   FirewallProfile profile_;
   AclTable policy_{AclAction::kPermit};
@@ -111,6 +114,14 @@ class FirewallDevice : public Device {
   std::vector<Engine> engines_;
   sim::DataSize buffered_ = sim::DataSize::zero();
   std::unordered_map<FlowKey, sim::SimTime, FlowKeyHash> sessions_;
+
+  bool tel_init_ = false;
+  std::uint32_t tel_point_ = 0;
+  std::uint64_t* tel_drops_buffer_ = nullptr;
+  std::uint64_t* tel_drops_policy_ = nullptr;
+  std::uint64_t* tel_drops_session_ = nullptr;
+  std::uint64_t* tel_syns_rewritten_ = nullptr;
+  std::uint64_t* tel_inspected_ = nullptr;
 
   /// Set of flows granted engine bypass.
   struct Bypass {

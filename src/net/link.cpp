@@ -1,6 +1,9 @@
 #include "net/link.hpp"
 
+#include <string>
+
 #include "net/device.hpp"
+#include "net/trace.hpp"
 
 namespace scidmz::net {
 
@@ -19,15 +22,43 @@ void Link::repair() {
   loss_[1].reset();
 }
 
+void Link::initTelemetry(int dir) {
+  auto& tel = ctx_.telemetry();
+  const std::string name =
+      end(dir).owner().name() + "->" + peer(dir).owner().name();
+  DirTelemetry& t = tel_[dir & 1];
+  t.point = tel.recorder().internPoint("link:" + name);
+  t.lost = &tel.metrics().counter("link/" + name + "/lost");
+  t.delivered = &tel.metrics().counter("link/" + name + "/delivered");
+  t.init = true;
+}
+
 void Link::transmitComplete(int fromEnd, Packet packet) {
   auto& dir = stats_[fromEnd & 1];
   auto& loss = loss_[fromEnd & 1];
+  auto& tel = ctx_.telemetry();
+  const bool traced = tel.enabled();
+  if (traced && !tel_[fromEnd & 1].init) initTelemetry(fromEnd & 1);
   if (loss && loss->shouldDrop(packet)) {
     ++dir.lost;
+    if (traced) {
+      ++*tel_[fromEnd & 1].lost;
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      ev.kind = telemetry::FlightEventKind::kLinkLoss;
+      ev.point = tel_[fromEnd & 1].point;
+      tel.recorder().record(ev);
+    }
     return;
   }
   ++dir.delivered;
   dir.bytesDelivered += packet.wireSize();
+  if (traced) {
+    ++*tel_[fromEnd & 1].delivered;
+    telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+    ev.kind = telemetry::FlightEventKind::kDeliver;
+    ev.point = tel_[fromEnd & 1].point;
+    tel.recorder().record(ev);
+  }
   Interface& dst = peer(fromEnd);
   ctx_.sim().schedule(params_.delay, [&dst, pkt = std::move(packet)]() mutable {
     dst.owner().receive(std::move(pkt), dst);

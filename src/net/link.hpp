@@ -58,12 +58,22 @@ class Link {
   [[nodiscard]] const DirectionStats& stats(int fromEnd) const { return stats_[fromEnd & 1]; }
 
  private:
+  /// Lazily interned per-direction emit point + cached counters.
+  struct DirTelemetry {
+    bool init = false;
+    std::uint32_t point = 0;
+    std::uint64_t* lost = nullptr;
+    std::uint64_t* delivered = nullptr;
+  };
+  void initTelemetry(int dir);
+
   Context& ctx_;
   LinkParams params_;
   Interface& endA_;
   Interface& endB_;
   std::unique_ptr<LossModel> loss_[2];
   DirectionStats stats_[2];
+  DirTelemetry tel_[2];
 };
 
 }  // namespace scidmz::net

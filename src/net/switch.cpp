@@ -1,5 +1,7 @@
 #include "net/switch.hpp"
 
+#include "net/trace.hpp"
+
 namespace scidmz::net {
 
 void SwitchDevice::receive(Packet packet, Interface& in) {
@@ -9,6 +11,14 @@ void SwitchDevice::receive(Packet packet, Interface& in) {
 
   if (acl_ && !acl_->permits(packet)) {
     ++stats_.dropsAcl;
+    auto& tel = ctx_.telemetry();
+    if (tel.enabled()) {
+      ++tel.metrics().counter("switch/" + name() + "/drops_acl");
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      ev.kind = telemetry::FlightEventKind::kDrop;
+      ev.point = tel.recorder().internPoint(name() + "/acl");
+      tel.recorder().record(ev);
+    }
     return;
   }
 
@@ -45,6 +55,8 @@ void SwitchDevice::trackLoad(const Packet& packet) {
     defect_latched_ = true;  // sticky, as observed at Colorado
     ctx_.log().log(now, sim::LogLevel::kWarn, name(),
                    "high load: falling back to store-and-forward mode");
+    auto& tel = ctx_.telemetry();
+    if (tel.enabled()) ++tel.metrics().counter("switch/" + name() + "/defect_latched");
   }
 }
 

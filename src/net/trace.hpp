@@ -1,0 +1,32 @@
+// Bridging helpers between net types and the telemetry layer's POD views.
+#pragma once
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace scidmz::net {
+
+/// Flatten a 5-tuple for the flight recorder (IANA protocol numbers).
+[[nodiscard]] inline telemetry::FlowRef toFlowRef(const FlowKey& key) {
+  telemetry::FlowRef ref;
+  ref.src = key.src.value();
+  ref.dst = key.dst.value();
+  ref.srcPort = key.srcPort;
+  ref.dstPort = key.dstPort;
+  ref.proto = key.proto == Protocol::kTcp ? 6 : 17;
+  return ref;
+}
+
+/// Common fields of a packet-level trace event; caller fills kind/point/aux.
+[[nodiscard]] inline telemetry::FlightEvent makeFlightEvent(sim::SimTime at,
+                                                            const Packet& packet) {
+  telemetry::FlightEvent ev;
+  ev.at = at;
+  ev.packetId = packet.id;
+  ev.flow = toFlowRef(packet.flow);
+  ev.bytes = static_cast<std::uint32_t>(packet.wireSize().byteCount());
+  return ev;
+}
+
+}  // namespace scidmz::net

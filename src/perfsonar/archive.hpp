@@ -1,8 +1,16 @@
 // Measurement archive: the esmond-style store behind a perfSONAR
 // deployment. Time series keyed by (source site, destination site, metric),
 // queryable for dashboards and alerting.
+//
+// Storage is the telemetry layer's TimeSeries — the archive is a consumer
+// of the same probe machinery as the rest of the simulator, not a private
+// stats store. Attach it to a scenario's Telemetry hub and every archived
+// measurement also appears in telemetry snapshots (and BENCH_sim.json) as
+// "psonar/<src>-><dst>/<metric>"; default-constructed archives own their
+// series locally.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -11,6 +19,8 @@
 
 #include "sim/stats.hpp"
 #include "sim/units.hpp"
+#include "telemetry/series.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace scidmz::perfsonar {
 
@@ -19,22 +29,28 @@ inline constexpr const char* kMetricThroughputMbps = "throughput_mbps";
 inline constexpr const char* kMetricLossFraction = "loss_fraction";
 inline constexpr const char* kMetricOneWayDelayMs = "owd_ms";
 
-struct Sample {
-  sim::SimTime at;
-  double value = 0.0;
-};
+/// Archive samples ARE telemetry samples; one vocabulary across the stack.
+using Sample = telemetry::Sample;
 
 class MeasurementArchive {
  public:
+  /// Standalone archive owning its series.
+  MeasurementArchive() = default;
+  /// Archive whose series live in (and are reported by) the telemetry hub.
+  explicit MeasurementArchive(telemetry::Telemetry& hub) : hub_(&hub) {}
+
+  MeasurementArchive(const MeasurementArchive&) = delete;
+  MeasurementArchive& operator=(const MeasurementArchive&) = delete;
+
   void record(const std::string& src, const std::string& dst, const std::string& metric,
               sim::SimTime at, double value) {
-    series_[Key{src, dst, metric}].push_back(Sample{at, value});
+    seriesFor(src, dst, metric).append(at, value);
   }
 
   [[nodiscard]] const std::vector<Sample>* series(const std::string& src, const std::string& dst,
                                                   const std::string& metric) const {
-    const auto it = series_.find(Key{src, dst, metric});
-    return it == series_.end() ? nullptr : &it->second;
+    const auto it = index_.find(Key{src, dst, metric});
+    return it == index_.end() ? nullptr : &it->second->samples();
   }
 
   [[nodiscard]] std::optional<Sample> latest(const std::string& src, const std::string& dst,
@@ -69,7 +85,7 @@ class MeasurementArchive {
     return stats.mean();
   }
 
-  [[nodiscard]] std::size_t seriesCount() const { return series_.size(); }
+  [[nodiscard]] std::size_t seriesCount() const { return index_.size(); }
 
   struct SeriesKey {
     std::string src;
@@ -78,8 +94,8 @@ class MeasurementArchive {
   };
   [[nodiscard]] std::vector<SeriesKey> keys() const {
     std::vector<SeriesKey> out;
-    out.reserve(series_.size());
-    for (const auto& [key, samples] : series_) {
+    out.reserve(index_.size());
+    for (const auto& [key, ts] : index_) {
       out.push_back(SeriesKey{std::get<0>(key), std::get<1>(key), std::get<2>(key)});
     }
     return out;
@@ -87,7 +103,27 @@ class MeasurementArchive {
 
  private:
   using Key = std::tuple<std::string, std::string, std::string>;
-  std::map<Key, std::vector<Sample>> series_;
+
+  [[nodiscard]] telemetry::TimeSeries& seriesFor(const std::string& src, const std::string& dst,
+                                                 const std::string& metric) {
+    Key key{src, dst, metric};
+    const auto it = index_.find(key);
+    if (it != index_.end()) return *it->second;
+    const std::string name = "psonar/" + src + "->" + dst + "/" + metric;
+    telemetry::TimeSeries* ts = nullptr;
+    if (hub_ != nullptr) {
+      ts = &hub_->series(name);
+    } else {
+      local_.emplace_back(name);
+      ts = &local_.back();
+    }
+    index_.emplace(std::move(key), ts);
+    return *ts;
+  }
+
+  telemetry::Telemetry* hub_ = nullptr;
+  std::deque<telemetry::TimeSeries> local_;  // stable addresses (standalone mode)
+  std::map<Key, telemetry::TimeSeries*> index_;
 };
 
 }  // namespace scidmz::perfsonar

@@ -4,9 +4,18 @@
 // owned by the scenario. By default records are dropped; tests and the
 // troubleshooting example install sinks. Keeping logging explicit (no
 // global singleton) preserves determinism and keeps scenarios independent.
+//
+// For field diagnostics without code changes, SCIDMZ_LOG=<level> (trace /
+// debug / info / warn / error) arms a stderr sink on every Logger at
+// construction — any bench or example becomes chatty on demand.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +37,19 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
   return "?";
 }
 
+/// Parse "debug", "WARN", ... (case-insensitive); nullopt on anything else.
+[[nodiscard]] inline std::optional<LogLevel> parseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 struct LogRecord {
   SimTime at;
   LogLevel level = LogLevel::kInfo;
@@ -38,6 +60,22 @@ struct LogRecord {
 class Logger {
  public:
   using Sink = std::function<void(const LogRecord&)>;
+
+  /// Honors SCIDMZ_LOG: when set to a valid level, lowers the threshold to
+  /// it and attaches a stderr sink so existing binaries gain diagnostics
+  /// with no code changes.
+  Logger() {
+    if (const char* env = std::getenv("SCIDMZ_LOG"); env != nullptr) {
+      if (const auto level = parseLogLevel(env)) {
+        level_ = *level;
+        addSink([](const LogRecord& r) {
+          std::fprintf(stderr, "[%12lld ns] %-5s %s: %s\n", static_cast<long long>(r.at.ns()),
+                       std::string(toString(r.level)).c_str(), r.component.c_str(),
+                       r.message.c_str());
+        });
+      }
+    }
+  }
 
   /// Records below `level` are dropped before reaching sinks.
   void setLevel(LogLevel level) { level_ = level; }
@@ -54,6 +92,38 @@ class Logger {
  private:
   LogLevel level_ = LogLevel::kInfo;
   std::vector<Sink> sinks_;
+};
+
+/// Bounded sink keeping the most recent `capacity` records: cheap enough
+/// to leave armed in benches and long scenarios, with a drop count so a
+/// truncated window is never mistaken for a quiet one.
+class RingBufferSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1024) : capacity_(capacity ? capacity : 1) {}
+
+  [[nodiscard]] Logger::Sink sink() {
+    return [this](const LogRecord& r) {
+      if (records_.size() == capacity_) {
+        records_.pop_front();
+        ++dropped_;
+      }
+      records_.push_back(r);
+    };
+  }
+
+  [[nodiscard]] const std::deque<LogRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records evicted to make room since construction.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<LogRecord> records_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Convenience sink collecting records into a vector (tests).

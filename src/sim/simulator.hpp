@@ -38,15 +38,34 @@ class Simulator {
 
   void cancel(EventId id) { queue_.cancel(id); }
 
-  /// Run until the event queue drains or stop() is called.
+  /// Schedule a *daemon* event: background housekeeping (telemetry sampling
+  /// ticks, watchdogs) that should never keep a run() alive on its own.
+  /// run() returns once only daemon events remain; runFor()/runUntil()
+  /// still fire daemons up to their deadline, so periodic probes sample
+  /// through idle windows. Daemon events must not be cancelled via
+  /// cancel() — the pending-daemon count would leak; let them fire and
+  /// simply not reschedule.
+  template <typename F>
+  EventId scheduleDaemon(Duration delay, F&& cb) {
+    ++daemons_;
+    return schedule(delay, [this, fn = std::forward<F>(cb)]() mutable {
+      --daemons_;
+      fn();
+    });
+  }
+
+  /// Run until the event queue drains (daemon events excluded) or stop()
+  /// is called.
   void run() { runUntil(SimTime::max()); }
 
   /// Run events with time <= deadline; the clock ends at
   /// min(deadline, time of last event) — or exactly deadline if any event
-  /// remained beyond it.
+  /// remained beyond it. With an infinite deadline, pending daemon events
+  /// alone do not keep the loop running.
   void runUntil(SimTime deadline) {
     stopped_ = false;
-    while (!stopped_ && !queue_.empty()) {
+    const bool finite = deadline != SimTime::max();
+    while (!stopped_ && (finite ? !queue_.empty() : queue_.size() > daemons_)) {
       if (queue_.nextTime() > deadline) {
         now_ = deadline;
         return;
@@ -56,7 +75,7 @@ class Simulator {
       ++executed_;
       ev.cb();
     }
-    if (!stopped_ && deadline != SimTime::max() && now_ < deadline) now_ = deadline;
+    if (!stopped_ && finite && now_ < deadline) now_ = deadline;
   }
 
   /// Run for `d` of simulated time from now.
@@ -68,11 +87,14 @@ class Simulator {
   [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
   [[nodiscard]] bool pendingEvents() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pendingEventCount() const { return queue_.size(); }
+  /// Daemon events currently pending (scheduled and not yet fired).
+  [[nodiscard]] std::size_t pendingDaemonCount() const { return daemons_; }
 
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
+  std::size_t daemons_ = 0;
   bool stopped_ = false;
 };
 

@@ -83,7 +83,7 @@ struct SweepRunner::Pool {
       const double wall = secondsSince(start);
 
       lock.lock();
-      (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted};
+      (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted, std::move(cell.telemetryJson)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -176,7 +176,13 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         << "      \"cell_stats\": [";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "{\"wall_seconds\": " << formatDouble(run.cells[i].wallSeconds)
-          << ", \"events\": " << run.cells[i].eventsExecuted << "}";
+          << ", \"events\": " << run.cells[i].eventsExecuted;
+      // telemetryJson is already a JSON object (scidmz.telemetry.v1);
+      // embed it raw so the cell's counters/series land in BENCH_sim.json.
+      if (!run.cells[i].telemetryJson.empty()) {
+        out << ", \"telemetry\": " << run.cells[i].telemetryJson;
+      }
+      out << "}";
     }
     out << "]\n    }" << (r + 1 < history_.size() ? "," : "") << "\n";
   }

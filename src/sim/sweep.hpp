@@ -27,6 +27,10 @@ namespace scidmz::sim {
 struct SweepCellStats {
   double wallSeconds = 0.0;
   std::uint64_t eventsExecuted = 0;
+  /// Pre-serialized telemetry snapshot (scidmz.telemetry.v1 JSON), empty
+  /// when the cell did not instrument itself. Opaque to the runner — sim
+  /// stays independent of the telemetry layer.
+  std::string telemetryJson;
 };
 
 /// One run() call's report.
@@ -55,6 +59,9 @@ struct SweepCell {
   std::size_t index = 0;
   /// Cell sets this (typically Simulator::eventsExecuted()) before returning.
   std::uint64_t eventsExecuted = 0;
+  /// Cell may set this to its telemetry snapshot JSON
+  /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
+  std::string telemetryJson;
 };
 
 /// Fixed-size worker pool executing scenario cells.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "net/trace.hpp"
 
 namespace scidmz::tcp {
 
@@ -62,6 +65,10 @@ TcpConnection::~TcpConnection() {
   if (pace_timer_.valid()) {
     host_.ctx().sim().cancel(pace_timer_);
     pace_timer_ = sim::EventId{};
+  }
+  if (tel_init_) {
+    auto& tel = host_.ctx().telemetry();
+    for (const auto id : tel_samplers_) tel.removeSampler(id);
   }
   if (bound_port_) host_.unbind(net::Protocol::kTcp, flow_.srcPort);
 }
@@ -163,7 +170,22 @@ void TcpConnection::sendSegment(std::uint64_t seq, sim::DataSize len, bool fin,
   header.tsEcho = ts_recent_;
   host_.send(net::makeTcpPacket(flow_, header, len));
   ++stats_.dataSegmentsSent;
-  if (isRetransmit) ++stats_.retransmits;
+  if (isRetransmit) {
+    ++stats_.retransmits;
+    auto& tel = host_.ctx().telemetry();
+    if (tel.enabled()) {
+      if (!tel_init_) initTelemetry();
+      ++*tel_retransmits_;
+      telemetry::FlightEvent ev;
+      ev.at = host_.ctx().now();
+      ev.kind = telemetry::FlightEventKind::kRetransmit;
+      ev.point = tel_point_;
+      ev.aux = seq;
+      ev.flow = net::toFlowRef(flow_);
+      ev.bytes = static_cast<std::uint32_t>((len + net::kTcpIpHeaderBytes).byteCount());
+      tel.recorder().record(ev);
+    }
+  }
   if (!sent_any_) {
     sent_any_ = true;
     first_send_at_ = host_.ctx().now();
@@ -297,7 +319,24 @@ void TcpConnection::onPacket(const net::Packet& packet) {
 void TcpConnection::becomeEstablished() {
   if (state_ == State::kEstablished) return;
   state_ = State::kEstablished;
+  if (host_.ctx().telemetry().enabled() && !tel_init_) initTelemetry();
   if (onEstablished) onEstablished();
+}
+
+void TcpConnection::initTelemetry() {
+  auto& tel = host_.ctx().telemetry();
+  const std::string base = "tcp/" + flow_.toString();
+  tel_point_ = tel.recorder().internPoint("tcp:" + flow_.toString());
+  tel_retransmits_ = &tel.metrics().counter(base + "/retransmits");
+  tel_rtos_ = &tel.metrics().counter(base + "/rtos");
+  tel_samplers_[0] = tel.addSampler(base + "/cwnd_bytes", [this] { return cc_state_.cwnd; });
+  tel_samplers_[1] =
+      tel.addSampler(base + "/ssthresh_bytes", [this] { return cc_state_.ssthresh; });
+  tel_samplers_[2] = tel.addSampler(base + "/srtt_ms", [this] { return srtt_.toMillis(); });
+  tel_samplers_[3] = tel.addSampler(base + "/inflight_bytes", [this] {
+    return snd_nxt_ >= snd_una_ ? static_cast<double>(snd_nxt_ - snd_una_) : 0.0;
+  });
+  tel_init_ = true;
 }
 
 void TcpConnection::handleAck(const net::TcpHeader& header) {
@@ -593,6 +632,13 @@ void TcpConnection::onRtoFire() {
   if (snd_nxt_ <= snd_una_) return;  // nothing outstanding
 
   ++stats_.rtos;
+  {
+    auto& tel = host_.ctx().telemetry();
+    if (tel.enabled()) {
+      if (!tel_init_) initTelemetry();
+      ++*tel_rtos_;
+    }
+  }
   cc_->onRto(cc_state_, host_.ctx().now());
   in_recovery_ = false;
   dup_acks_ = 0;

@@ -9,6 +9,7 @@
 // at NIC line rate (the bursts that overflow shallow buffers downstream).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 
 #include "net/host.hpp"
 #include "tcp/congestion.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace scidmz::tcp {
 
@@ -157,6 +159,11 @@ class TcpConnection : public net::PacketSink {
   /// First un-SACKed byte at or after `point`.
   [[nodiscard]] std::uint64_t nextHole(std::uint64_t point) const;
   void becomeEstablished();
+  /// Registers per-flow probes (cwnd/ssthresh/srtt/in-flight), caches the
+  /// retransmit/RTO counters and interns the flow's emit point. Called on
+  /// establishment when telemetry is enabled; samplers are unregistered in
+  /// the destructor so a closing connection stops being sampled.
+  void initTelemetry();
   void checkSendComplete();
   void sampleRtt(sim::Duration sample);
   void armRto();
@@ -221,6 +228,13 @@ class TcpConnection : public net::PacketSink {
   bool delivered_any_ = false;
 
   TcpStats stats_;
+
+  // Telemetry (armed lazily; zero cost while the hub is disabled).
+  bool tel_init_ = false;
+  std::uint32_t tel_point_ = 0;
+  std::uint64_t* tel_retransmits_ = nullptr;
+  std::uint64_t* tel_rtos_ = nullptr;
+  std::array<telemetry::SamplerId, 4> tel_samplers_{};
 };
 
 /// Listening socket: accepts SYNs on a port, owns the spawned server-side

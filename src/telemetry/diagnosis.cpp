@@ -1,0 +1,23 @@
+#include "telemetry/diagnosis.hpp"
+
+#include <algorithm>
+
+namespace scidmz::telemetry {
+
+LossDiagnosis localizeLoss(const TelemetrySnapshot& snapshot) {
+  LossDiagnosis diag;
+  for (const auto& c : snapshot.counters) {
+    if (c.value == 0) continue;
+    const bool lossy = c.name.find("lost") != std::string::npos ||
+                       c.name.find("drops") != std::string::npos;
+    if (lossy) diag.suspects.push_back({c.name, c.value});
+  }
+  std::sort(diag.suspects.begin(), diag.suspects.end(),
+            [](const HopLoss& a, const HopLoss& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.point < b.point;
+            });
+  return diag;
+}
+
+}  // namespace scidmz::telemetry

@@ -1,0 +1,36 @@
+// Soft-failure localization from telemetry alone: rank every hop that
+// recorded loss or drops so the lossy element (the paper's "dirty
+// linecard") can be named without packet captures or manual bisection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.hpp"
+
+namespace scidmz::telemetry {
+
+struct HopLoss {
+  std::string point;        ///< Counter name of the lossy hop.
+  std::uint64_t count = 0;  ///< Packets lost/dropped there.
+};
+
+struct LossDiagnosis {
+  /// Every hop with nonzero loss, highest count first (name breaks ties).
+  std::vector<HopLoss> suspects;
+
+  [[nodiscard]] bool clean() const { return suspects.empty(); }
+  /// The most likely failing element, or nullptr on a clean network.
+  [[nodiscard]] const HopLoss* culprit() const {
+    return suspects.empty() ? nullptr : &suspects.front();
+  }
+};
+
+/// Scan a snapshot's counters for loss/drop evidence. Matches the standard
+/// emit-point vocabulary: any counter whose name contains "lost" or
+/// "drops" (queue tail drops, ACL drops, firewall buffer drops, link-level
+/// impairment loss) with a nonzero value becomes a suspect.
+[[nodiscard]] LossDiagnosis localizeLoss(const TelemetrySnapshot& snapshot);
+
+}  // namespace scidmz::telemetry

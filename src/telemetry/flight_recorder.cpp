@@ -1,0 +1,151 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace scidmz::telemetry {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void appendIp(std::string& out, std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  out += buf;
+}
+
+std::string_view protoName(std::uint8_t proto) {
+  switch (proto) {
+    case 6: return "tcp";
+    case 17: return "udp";
+    default: return "other";
+  }
+}
+
+}  // namespace
+
+std::string_view toString(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEnqueue: return "enqueue";
+    case FlightEventKind::kDequeue: return "dequeue";
+    case FlightEventKind::kDrop: return "drop";
+    case FlightEventKind::kLinkLoss: return "link_loss";
+    case FlightEventKind::kRetransmit: return "retransmit";
+    case FlightEventKind::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+std::uint32_t FlightRecorder::internPoint(const std::string& name) {
+  const auto it = point_index_.find(name);
+  if (it != point_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(points_.size());
+  points_.push_back(name);
+  point_index_.emplace(name, id);
+  return id;
+}
+
+const std::string& FlightRecorder::pointName(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  return id < points_.size() ? points_[id] : kUnknown;
+}
+
+void FlightRecorder::record(const FlightEvent& event) {
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;  // overwrite the oldest
+  head_ = (head_ + 1) % capacity_;
+}
+
+void FlightRecorder::setCapacity(std::size_t capacity) {
+  // Only honored before any event is recorded; resizing a live ring would
+  // scramble chronological order for no real use case.
+  if (total_ == 0) capacity_ = capacity ? capacity : 1;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void FlightRecorder::exportJsonl(std::ostream& out) const {
+  std::string line;
+  forEach([&](const FlightEvent& e) {
+    line.clear();
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "{\"t_ns\":%lld,\"ev\":\"",
+                  static_cast<long long>(e.at.ns()));
+    line += buf;
+    line += toString(e.kind);
+    line += "\",\"point\":\"";
+    appendEscaped(line, pointName(e.point));
+    line += "\",\"pkt\":";
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(e.packetId));
+    line += buf;
+    line += ",\"src\":\"";
+    appendIp(line, e.flow.src);
+    line += "\",\"dst\":\"";
+    appendIp(line, e.flow.dst);
+    std::snprintf(buf, sizeof buf, "\",\"sport\":%u,\"dport\":%u,\"proto\":\"", e.flow.srcPort,
+                  e.flow.dstPort);
+    line += buf;
+    line += protoName(e.flow.proto);
+    std::snprintf(buf, sizeof buf, "\",\"bytes\":%u,\"seq\":%llu,\"depth\":%llu}", e.bytes,
+                  static_cast<unsigned long long>(e.aux),
+                  static_cast<unsigned long long>(e.aux2));
+    line += buf;
+    out << line << '\n';
+  });
+}
+
+void FlightRecorder::exportCsv(std::ostream& out) const {
+  out << "t_ns,ev,point,pkt,src,dst,sport,dport,proto,bytes,seq,depth\n";
+  std::string line;
+  forEach([&](const FlightEvent& e) {
+    line.clear();
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%lld,", static_cast<long long>(e.at.ns()));
+    line += buf;
+    line += toString(e.kind);
+    line += ',';
+    line += pointName(e.point);  // point names never contain commas by convention
+    std::snprintf(buf, sizeof buf, ",%llu,", static_cast<unsigned long long>(e.packetId));
+    line += buf;
+    appendIp(line, e.flow.src);
+    line += ',';
+    appendIp(line, e.flow.dst);
+    std::snprintf(buf, sizeof buf, ",%u,%u,", e.flow.srcPort, e.flow.dstPort);
+    line += buf;
+    line += protoName(e.flow.proto);
+    std::snprintf(buf, sizeof buf, ",%u,%llu,%llu", e.bytes,
+                  static_cast<unsigned long long>(e.aux),
+                  static_cast<unsigned long long>(e.aux2));
+    line += buf;
+    out << line << '\n';
+  });
+}
+
+}  // namespace scidmz::telemetry

@@ -1,0 +1,100 @@
+// Packet-level flight recorder: a bounded ring of enqueue/dequeue/drop/
+// loss/retransmit events, deterministic by construction (simulated time
+// only, ids minted by the scenario).
+//
+// Emit points intern their location once ("dtn0/if0", "fw0/input") and
+// record fixed-size POD events; when the ring is full the oldest events
+// are overwritten and counted, never silently lost. Exporters stream the
+// retained window in chronological order as JSONL (one event per line,
+// schema scidmz.trace.v1 — see EXPERIMENTS.md) or CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::telemetry {
+
+enum class FlightEventKind : std::uint8_t {
+  kEnqueue,     ///< Packet accepted into an egress queue; aux2 = depth after.
+  kDequeue,     ///< Packet left a queue for the wire; aux2 = depth after.
+  kDrop,        ///< Buffer-full (or policy) drop at a device; aux2 = depth.
+  kLinkLoss,    ///< Impairment model dropped the packet on the wire.
+  kRetransmit,  ///< TCP sender retransmitted; aux = sequence number.
+  kDeliver,     ///< Packet delivered to the far end of a link.
+};
+
+[[nodiscard]] std::string_view toString(FlightEventKind kind);
+
+/// Flow identity flattened to PODs so telemetry does not depend on net.
+/// `proto` uses IANA numbers (6 = TCP, 17 = UDP).
+struct FlowRef {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  std::uint8_t proto = 0;
+};
+
+struct FlightEvent {
+  sim::SimTime at;
+  std::uint64_t packetId = 0;
+  std::uint64_t aux = 0;   ///< Kind-specific (TCP sequence for retransmits).
+  std::uint64_t aux2 = 0;  ///< Kind-specific (queue depth in bytes).
+  FlowRef flow;
+  std::uint32_t bytes = 0;  ///< Wire size of the packet.
+  std::uint32_t point = 0;  ///< Interned emit-point id.
+  FlightEventKind kind = FlightEventKind::kEnqueue;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1 << 16);
+
+  /// Register an emit point ("hostA/if0"); idempotent, returns a stable id.
+  [[nodiscard]] std::uint32_t internPoint(const std::string& name);
+  [[nodiscard]] const std::string& pointName(std::uint32_t id) const;
+  [[nodiscard]] std::size_t pointCount() const { return points_.size(); }
+
+  void record(const FlightEvent& event);
+
+  void setCapacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently retained in the ring.
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Events recorded over the recorder's lifetime.
+  [[nodiscard]] std::uint64_t totalRecorded() const { return total_; }
+  /// Events overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return total_ - static_cast<std::uint64_t>(ring_.size());
+  }
+
+  /// Visit retained events oldest-first.
+  template <typename F>
+  void forEach(F&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
+  }
+
+  /// One JSON object per line; deterministic for a given scenario + seed.
+  void exportJsonl(std::ostream& out) const;
+  /// Same columns, CSV with a header row.
+  void exportCsv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t head_ = 0;  ///< Index of the oldest retained event once full.
+  std::uint64_t total_ = 0;
+  std::vector<std::string> points_;
+  std::map<std::string, std::uint32_t> point_index_;
+};
+
+}  // namespace scidmz::telemetry

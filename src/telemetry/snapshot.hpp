@@ -1,0 +1,50 @@
+// End-of-run telemetry summary: every counter and gauge, a per-series
+// digest of each probe, and the flight recorder's accounting, serializable
+// as JSON for BENCH_sim.json cell merging and CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scidmz::telemetry {
+
+struct TelemetrySnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct SeriesSummary {
+    std::string name;
+    std::size_t sampleCount = 0;
+    double first = 0.0;
+    double last = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+
+  /// Sorted by name so snapshots from different scenarios diff cleanly
+  /// regardless of emit-point initialization order.
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<SeriesSummary> series;
+
+  std::uint64_t flightEventsRecorded = 0;
+  std::uint64_t flightEventsRetained = 0;
+  std::uint64_t flightEventsOverwritten = 0;
+
+  /// Counter value by exact name; 0 when absent.
+  [[nodiscard]] std::uint64_t counterValue(const std::string& name) const;
+  /// Series summary by exact name; nullptr when absent.
+  [[nodiscard]] const SeriesSummary* findSeries(const std::string& name) const;
+
+  /// Compact JSON object (schema scidmz.telemetry.v1, see EXPERIMENTS.md).
+  [[nodiscard]] std::string toJson() const;
+};
+
+}  // namespace scidmz::telemetry

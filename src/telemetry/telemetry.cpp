@@ -1,0 +1,139 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+namespace scidmz::telemetry {
+
+namespace {
+
+bool envTruthy(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  return s != "0" && s != "off" && s != "false" && s != "no";
+}
+
+long long envLong(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != v && parsed > 0) ? parsed : fallback;
+}
+
+}  // namespace
+
+Telemetry::Telemetry(sim::Simulator& simulator) : sim_(simulator) {
+  if (envTruthy("SCIDMZ_TELEMETRY")) {
+    TelemetryConfig cfg;
+    cfg.sampleEvery = sim::Duration::microseconds(
+        envLong("SCIDMZ_TELEMETRY_CADENCE_US", cfg.sampleEvery.ns() / 1000));
+    cfg.ringCapacity =
+        static_cast<std::size_t>(envLong("SCIDMZ_TELEMETRY_RING",
+                                         static_cast<long long>(cfg.ringCapacity)));
+    enable(cfg);
+  }
+}
+
+void Telemetry::enable(TelemetryConfig config) {
+  if (enabled_) return;  // first enable wins; samplers may already be armed
+  enabled_ = true;
+  config_ = config;
+  recorder_.setCapacity(config_.ringCapacity);
+  if (!samplers_.empty()) armTick();
+}
+
+TimeSeries& Telemetry::series(const std::string& name) {
+  const auto it = series_index_.find(name);
+  if (it != series_index_.end()) return series_[it->second];
+  series_.emplace_back(name);
+  series_index_.emplace(name, series_.size() - 1);
+  return series_.back();
+}
+
+const TimeSeries* Telemetry::findSeries(const std::string& name) const {
+  const auto it = series_index_.find(name);
+  return it != series_index_.end() ? &series_[it->second] : nullptr;
+}
+
+SamplerId Telemetry::addSampler(const std::string& seriesName, Sampler fn) {
+  SamplerEntry entry;
+  entry.id = ++next_sampler_id_;
+  entry.series = &series(seriesName);
+  entry.fn = std::move(fn);
+  samplers_.push_back(std::move(entry));
+  if (enabled_) armTick();
+  return SamplerId{samplers_.back().id};
+}
+
+void Telemetry::removeSampler(SamplerId id) {
+  if (!id.valid()) return;
+  const auto it = std::find_if(samplers_.begin(), samplers_.end(),
+                               [&](const SamplerEntry& e) { return e.id == id.value; });
+  if (it != samplers_.end()) samplers_.erase(it);
+}
+
+void Telemetry::armTick() {
+  if (tick_armed_) return;
+  tick_armed_ = true;
+  sim_.scheduleDaemon(config_.sampleEvery, [this] { tick(); });
+}
+
+void Telemetry::tick() {
+  tick_armed_ = false;
+  // Sample by id, not iterator: a sampler callback may register or remove
+  // samplers (e.g. a TCP connection closing mid-run).
+  for (std::size_t i = 0; i < samplers_.size(); ++i) {
+    SamplerEntry& entry = samplers_[i];
+    entry.series->append(sim_.now(), entry.fn());
+  }
+  if (!samplers_.empty()) armTick();
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot snap;
+  metrics_.forEachCounter([&](const std::string& name, std::uint64_t value) {
+    snap.counters.push_back({name, value});
+  });
+  metrics_.forEachGauge([&](const std::string& name, double value) {
+    snap.gauges.push_back({name, value});
+  });
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  for (const TimeSeries& s : series_) {
+    TelemetrySnapshot::SeriesSummary summary;
+    summary.name = s.name();
+    summary.sampleCount = s.size();
+    if (!s.empty()) {
+      summary.first = s.first();
+      summary.last = s.last();
+      summary.min = s.min();
+      summary.max = s.max();
+      summary.mean = s.mean();
+    }
+    snap.series.push_back(std::move(summary));
+  }
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  snap.flightEventsRecorded = recorder_.totalRecorded();
+  snap.flightEventsRetained = recorder_.size();
+  snap.flightEventsOverwritten = recorder_.overwritten();
+  return snap;
+}
+
+bool Telemetry::writeTrace(const std::string& path, bool csv) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  if (csv) {
+    recorder_.exportCsv(out);
+  } else {
+    recorder_.exportJsonl(out);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace scidmz::telemetry

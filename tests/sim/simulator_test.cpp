@@ -96,5 +96,54 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, RunTerminatesWhenOnlyDaemonsRemain) {
+  Simulator sim;
+  int daemonFired = 0;
+  int workFired = 0;
+  std::function<void()> rearm = [&] {
+    ++daemonFired;
+    sim.scheduleDaemon(10_ms, rearm);
+  };
+  sim.scheduleDaemon(10_ms, rearm);
+  sim.schedule(25_ms, [&] { ++workFired; });
+  sim.run();  // must not spin on the self-rearming daemon forever
+  EXPECT_EQ(workFired, 1);
+  EXPECT_EQ(daemonFired, 2);  // 10ms and 20ms, interleaved with real work
+  EXPECT_EQ(sim.now(), SimTime::zero() + 25_ms);
+  EXPECT_EQ(sim.pendingDaemonCount(), 1u);
+}
+
+TEST(Simulator, RunForFiresDaemonsThroughTheWindow) {
+  Simulator sim;
+  int daemonFired = 0;
+  std::function<void()> rearm = [&] {
+    ++daemonFired;
+    sim.scheduleDaemon(10_ms, rearm);
+  };
+  sim.scheduleDaemon(10_ms, rearm);
+  sim.runFor(35_ms);  // finite deadline: daemons tick at 10, 20, 30
+  EXPECT_EQ(daemonFired, 3);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 35_ms);
+}
+
+TEST(Simulator, RunAloneNeverFiresALoneDaemon) {
+  Simulator sim;
+  bool fired = false;
+  sim.scheduleDaemon(5_ms, [&] { fired = true; });
+  EXPECT_EQ(sim.pendingDaemonCount(), 1u);
+  sim.run();  // nothing but the daemon: exits immediately, clock untouched
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(Simulator, DaemonCountReturnsToZeroWhenNotRearmed) {
+  Simulator sim;
+  sim.scheduleDaemon(5_ms, [] {});
+  EXPECT_EQ(sim.pendingDaemonCount(), 1u);
+  sim.runFor(10_ms);  // finite window fires it
+  EXPECT_EQ(sim.pendingDaemonCount(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 10_ms);
+}
+
 }  // namespace
 }  // namespace scidmz::sim

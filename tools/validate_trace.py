@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts against their schemas (stdlib only).
+
+Usage: validate_trace.py FILE [FILE ...]
+
+Dispatch is by content:
+  *.jsonl                       -> scidmz.trace.v1 (one flight event per line)
+  {"schema": "scidmz.telemetry.v1"}    -> snapshot
+  {"schema": "scidmz.bench.table.v1"}  -> bench table
+  {"benchmark": ..., "runs": [...]}    -> BENCH_sim.json sweep report
+                                          (embedded telemetry validated too)
+
+Exits non-zero on the first structural violation, printing file:line context.
+Used by the CI telemetry smoke job; handy locally after any bench run.
+"""
+
+import json
+import re
+import sys
+
+TRACE_EVENTS = {"enqueue", "dequeue", "drop", "link_loss", "retransmit", "deliver"}
+TRACE_PROTOS = {"tcp", "udp", "other"}
+IP_RE = re.compile(r"^\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}$")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(where, message):
+    raise ValidationError(f"{where}: {message}")
+
+
+def require(cond, where, message):
+    if not cond:
+        fail(where, message)
+
+
+def check_uint(obj, key, where, bits=64):
+    require(key in obj, where, f"missing key {key!r}")
+    value = obj[key]
+    require(isinstance(value, int) and not isinstance(value, bool), where,
+            f"{key!r} must be an integer, got {type(value).__name__}")
+    require(0 <= value < 2 ** bits, where, f"{key!r}={value} out of range")
+    return value
+
+
+def check_str(obj, key, where):
+    require(key in obj, where, f"missing key {key!r}")
+    require(isinstance(obj[key], str), where, f"{key!r} must be a string")
+    return obj[key]
+
+
+def validate_trace_line(event, where, prev_t):
+    t = check_uint(event, "t_ns", where)
+    require(t >= prev_t, where, f"t_ns={t} goes backwards (previous {prev_t})")
+    ev = check_str(event, "ev", where)
+    require(ev in TRACE_EVENTS, where, f"unknown ev {ev!r}")
+    check_str(event, "point", where)
+    check_uint(event, "pkt", where)
+    for key in ("src", "dst"):
+        ip = check_str(event, key, where)
+        require(IP_RE.match(ip) and all(int(o) < 256 for o in ip.split(".")),
+                where, f"{key!r}={ip!r} is not a dotted quad")
+    check_uint(event, "sport", where, bits=16)
+    check_uint(event, "dport", where, bits=16)
+    proto = check_str(event, "proto", where)
+    require(proto in TRACE_PROTOS, where, f"unknown proto {proto!r}")
+    check_uint(event, "bytes", where, bits=32)
+    check_uint(event, "seq", where)
+    check_uint(event, "depth", where)
+    return t
+
+
+def validate_trace(path):
+    count = 0
+    prev_t = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(where, f"invalid JSON: {err}")
+            require(isinstance(event, dict), where, "line is not a JSON object")
+            prev_t = validate_trace_line(event, where, prev_t)
+            count += 1
+    require(count > 0, path, "trace contains no events")
+    return f"scidmz.trace.v1, {count} events, time monotone"
+
+
+def validate_snapshot(doc, where):
+    require(doc.get("schema") == "scidmz.telemetry.v1", where, "wrong schema")
+    for section in ("counters", "gauges", "series"):
+        require(isinstance(doc.get(section), dict), where,
+                f"{section!r} must be a JSON object")
+    names = list(doc["counters"])
+    require(names == sorted(names), where, "counters are not sorted by name")
+    for name, value in doc["counters"].items():
+        require(isinstance(value, int) and value >= 0, where,
+                f"counter {name!r} must be a non-negative integer")
+    for name, value in doc["gauges"].items():
+        require(isinstance(value, (int, float)), where, f"gauge {name!r} must be numeric")
+    for name, series in doc["series"].items():
+        require(isinstance(series, dict), where, f"series {name!r} must be an object")
+        check_uint(series, "samples", where)
+        for key in ("first", "last", "min", "max", "mean"):
+            require(isinstance(series.get(key), (int, float)), where,
+                    f"series {name!r} missing numeric {key!r}")
+    flight = doc.get("flight_recorder")
+    require(isinstance(flight, dict), where, "missing flight_recorder section")
+    recorded = check_uint(flight, "recorded", where)
+    retained = check_uint(flight, "retained", where)
+    overwritten = check_uint(flight, "overwritten", where)
+    require(recorded == retained + overwritten, where,
+            f"recorded ({recorded}) != retained ({retained}) + overwritten ({overwritten})")
+    return (f"scidmz.telemetry.v1, {len(doc['counters'])} counters, "
+            f"{len(doc['series'])} series")
+
+
+def validate_table(doc, where):
+    require(doc.get("schema") == "scidmz.bench.table.v1", where, "wrong schema")
+    check_str(doc, "bench", where)
+    check_str(doc, "title", where)
+    check_str(doc, "paper_ref", where)
+    columns = doc.get("columns")
+    require(isinstance(columns, list) and columns, where, "columns must be non-empty")
+    rows = doc.get("rows")
+    require(isinstance(rows, list), where, "rows must be a list")
+    for i, row in enumerate(rows):
+        require(isinstance(row, list) and len(row) == len(columns), where,
+                f"row {i} has {len(row)} cells, expected {len(columns)}")
+        for cell in row:
+            require(isinstance(cell, (int, float, str)), where,
+                    f"row {i} cell {cell!r} is not a number or string")
+    require(isinstance(doc.get("notes"), list), where, "notes must be a list")
+    return f"scidmz.bench.table.v1, bench {doc['bench']!r}, {len(rows)} rows"
+
+
+def validate_bench_report(doc, where):
+    check_str(doc, "benchmark", where)
+    runs = doc.get("runs")
+    require(isinstance(runs, list) and runs, where, "runs must be non-empty")
+    cells_with_telemetry = 0
+    for run in runs:
+        check_str(run, "name", where)
+        cell_stats = run.get("cell_stats")
+        require(isinstance(cell_stats, list), where, "missing cell_stats")
+        require(len(cell_stats) == run.get("cells"), where,
+                f"cell_stats length {len(cell_stats)} != cells {run.get('cells')}")
+        for cell in cell_stats:
+            if "telemetry" in cell:
+                validate_snapshot(cell["telemetry"], where)
+                cells_with_telemetry += 1
+    return (f"BENCH_sim.json, benchmark {doc['benchmark']!r}, {len(runs)} runs, "
+            f"{cells_with_telemetry} instrumented cells")
+
+
+def validate_file(path):
+    if path.endswith(".jsonl"):
+        return validate_trace(path)
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    require(isinstance(doc, dict), path, "top level is not a JSON object")
+    schema = doc.get("schema")
+    if schema == "scidmz.telemetry.v1":
+        return validate_snapshot(doc, path)
+    if schema == "scidmz.bench.table.v1":
+        return validate_table(doc, path)
+    if "benchmark" in doc and "runs" in doc:
+        return validate_bench_report(doc, path)
+    fail(path, f"unrecognized document (schema={schema!r})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            summary = validate_file(path)
+        except ValidationError as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        except OSError as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            return 1
+        print(f"OK   {path}: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
