@@ -1,131 +1,5 @@
-// Section 5 ablation: egress buffering vs fan-in. N senders on fast ports
-// converge on one slower egress port; we sweep the switch's per-port
-// buffer and report loss and aggregate goodput. Deep buffers absorb the
-// coincident bursts; cheap-switch buffers drop them and TCP collapses.
-// The senders x buffer grid runs as parallel sweep cells.
-#include <memory>
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run ablation_buffer_fanin`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-struct Outcome {
-  double aggregateMbps = 0;
-  double dropPct = 0;
-};
-
-Outcome run(int senders, sim::DataSize buffer, sim::SweepCell& cell) {
-  Scenario s;
-  auto profile = net::SwitchProfile::scienceDmz();
-  profile.egressBuffer = buffer;
-  auto& sw = s.topo.addSwitch("agg", profile);
-  auto& sink = s.topo.addHost("sink", net::Address(10, 0, 0, 99));
-  net::LinkParams out;
-  out.rate = 10_Gbps;
-  out.delay = 5_ms;  // the WAN continues beyond the aggregation point
-  out.mtu = 9000_B;
-  s.topo.connect(sw, sink, out);
-
-  std::vector<net::Host*> hosts;
-  net::LinkParams in;
-  in.rate = 10_Gbps;  // senders are as fast as the shared egress: classic fan-in
-  in.delay = 20_us;
-  in.mtu = 9000_B;
-  for (int i = 0; i < senders; ++i) {
-    auto& h = s.topo.addHost("h" + std::to_string(i),
-                             net::Address(10, 0, 1, static_cast<std::uint8_t>(i + 1)));
-    s.topo.connect(h, sw, in);
-    hosts.push_back(&h);
-  }
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kCubic;
-  cfg.sndBuf = 16_MB;
-  cfg.rcvBuf = 16_MB;
-
-  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
-  std::vector<tcp::TcpConnection*> servers(hosts.size(), nullptr);
-  for (std::size_t i = 0; i < hosts.size(); ++i) {
-    const auto port = static_cast<std::uint16_t>(6000 + i);
-    auto listener = std::make_unique<tcp::TcpListener>(sink, port, cfg);
-    listener->onAccept = [&servers, i](tcp::TcpConnection& c) { servers[i] = &c; };
-    auto client = std::make_unique<tcp::TcpConnection>(*hosts[i], sink.address(), port, cfg);
-    auto* raw = client.get();
-    client->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
-    client->start();
-    listeners.push_back(std::move(listener));
-    clients.push_back(std::move(client));
-  }
-
-  s.simulator.runFor(3_s);
-  sim::DataSize base = sim::DataSize::zero();
-  for (auto* srv : servers) {
-    if (srv != nullptr) base += srv->deliveredBytes();
-  }
-  s.simulator.runFor(6_s);
-  sim::DataSize now = sim::DataSize::zero();
-  for (auto* srv : servers) {
-    if (srv != nullptr) now += srv->deliveredBytes();
-  }
-
-  Outcome o;
-  o.aggregateMbps = static_cast<double>((now - base).bitCount()) / 6.0 / 1e6;
-  // Drops on the congested egress port (interface 0 = toward the sink).
-  const auto& q = sw.interface(0).queue().stats();
-  o.dropPct = q.dropFraction() * 100.0;
-  bench::finishCell(s, cell);
-  return o;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("ablation_buffer_fanin: egress buffer sweep under fan-in",
-                "Section 5 (fan-in and buffer sizing), Dart et al. SC13");
-
-  const std::vector<int> senderCounts{2, 4, 8};
-  const std::vector<sim::DataSize> buffers{sim::DataSize::kibibytes(128),
-                                           sim::DataSize::mebibytes(1), sim::DataSize::mebibytes(8),
-                                           sim::DataSize::mebibytes(32)};
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<Outcome>(
-      senderCounts.size() * buffers.size(),
-      [&](sim::SweepCell& cell) {
-        return run(senderCounts[cell.index / buffers.size()],
-                   buffers[cell.index % buffers.size()], cell);
-      },
-      "fanin_grid");
-
-  bench::JsonTable table("ablation_buffer_fanin", "egress buffer sweep under fan-in",
-                         "Section 5 (fan-in and buffer sizing), Dart et al. SC13",
-                         {"senders", "egress_buffer", "aggregate_mbps", "drop_pct"});
-
-  bench::row("%-10s %-14s %-18s %-10s", "senders", "egress_buffer", "aggregate_mbps",
-             "drop_pct");
-  std::size_t next = 0;
-  for (const int senders : senderCounts) {
-    for (const auto& buffer : buffers) {
-      const auto& o = results[next++];
-      bench::row("%-10d %-14s %-18.1f %-10.3f", senders, sim::toString(buffer).c_str(),
-                 o.aggregateMbps, o.dropPct);
-      table.addRow({senders, sim::toString(buffer), o.aggregateMbps, o.dropPct});
-    }
-    bench::row("%s", "");
-  }
-  bench::row("shallow buffers shave multiple Gbps off the aggregate as coincident");
-  bench::row("bursts drop and flows stall in recovery; science-DMZ-class buffers");
-  bench::row("carry the same fan-in at line rate.");
-  table.addNote("shallow buffers shave multiple Gbps off the aggregate as coincident bursts"
-                " drop and flows stall in recovery; science-DMZ-class buffers carry the same"
-                " fan-in at line rate");
-  table.write();
-  bench::writeSweepReport(sweep, "ablation_buffer_fanin");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("ablation_buffer_fanin"); }

@@ -1,142 +1,5 @@
-// Section 5 ablation: firewall appliance vs router ACLs in the science
-// path. The firewall's aggregated lower-speed engines and small input
-// buffer drop line-rate TCP bursts; ACL filtering in the forwarding plane
-// is free. We also show the converse: the business-traffic profile (many
-// small flows) that the firewall handles perfectly well.
-#include <memory>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run ablation_firewall_vs_acl`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "apps/background_traffic.hpp"
-#include "net/firewall.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-struct PathResult {
-  double mbps = 0;
-  std::uint64_t middleboxDrops = 0;
-};
-
-/// One 10G science flow through the chosen middlebox at the given RTT.
-PathResult scienceFlow(bool useFirewall, int rttMs) {
-  Scenario s;
-  auto& remote = s.topo.addHost("remote", net::Address(198, 128, 1, 1));
-  auto& dtn = s.topo.addHost("dtn", net::Address(10, 10, 1, 10));
-  net::LinkParams wan;
-  wan.rate = 10_Gbps;
-  wan.delay = sim::Duration::microseconds(rttMs * 500);
-  wan.mtu = 9000_B;
-
-  net::FirewallDevice* fw = nullptr;
-  if (useFirewall) {
-    // Sequence checking off: this ablation isolates the engine/buffer
-    // pathology (the header-rewrite pathology is usecase_pennstate).
-    auto profile = net::FirewallProfile::enterprise10G();
-    profile.tcpSequenceChecking = false;
-    fw = &s.topo.addFirewall("fw", profile);
-    s.topo.connect(remote, *fw, wan);
-    s.topo.connect(*fw, dtn, wan);
-  } else {
-    auto& sw = s.topo.addSwitch("dmz-switch");
-    net::AclTable acl{net::AclAction::kDeny};
-    net::AclRule permit;
-    permit.action = net::AclAction::kPermit;  // the compiled DMZ policy shape
-    acl.append(permit);
-    sw.setAcl(acl);
-    s.topo.connect(remote, sw, wan);
-    s.topo.connect(sw, dtn, wan);
-  }
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kHtcp;
-  cfg.sndBuf = 256_MB;
-  cfg.rcvBuf = 256_MB;
-  SteadyFlow flow{s, remote, dtn, cfg};
-  PathResult out;
-  out.mbps = flow.measure(5_s, 15_s).toMbps();
-  if (fw != nullptr) out.middleboxDrops = fw->firewallStats().dropsInputBuffer;
-  return out;
-}
-
-/// The business profile: hundreds of short flows through the firewall.
-void businessProfile(bench::JsonTable& table) {
-  Scenario s;
-  auto& fw = s.topo.addFirewall("fw", net::FirewallProfile::enterprise10G());
-  auto& outside = s.topo.addSwitch("outside");
-  auto& inside = s.topo.addSwitch("inside");
-  net::LinkParams lp;
-  lp.rate = 10_Gbps;
-  lp.delay = 5_ms;
-  s.topo.connect(outside, fw, lp);
-  s.topo.connect(fw, inside, lp);
-  std::vector<net::Host*> clients;
-  std::vector<net::Host*> servers;
-  net::LinkParams edge;
-  edge.rate = 1_Gbps;
-  for (int i = 0; i < 4; ++i) {
-    auto& c = s.topo.addHost("c" + std::to_string(i),
-                             net::Address(198, 0, 1, static_cast<std::uint8_t>(i + 1)));
-    s.topo.connect(c, outside, edge);
-    clients.push_back(&c);
-    auto& v = s.topo.addHost("s" + std::to_string(i),
-                             net::Address(10, 20, 1, static_cast<std::uint8_t>(i + 1)));
-    s.topo.connect(v, inside, edge);
-    servers.push_back(&v);
-  }
-  s.topo.computeRoutes();
-
-  apps::BackgroundProfile profile;
-  profile.flowsPerSecond = 150;
-  apps::BackgroundTraffic traffic{s.ctx, clients, servers, 20000, profile, s.rng.fork(3)};
-  traffic.start();
-  s.simulator.runFor(30_s);
-  traffic.stop();
-  s.simulator.runFor(10_s);
-
-  const auto& st = fw.firewallStats();
-  const double dropFrac =
-      static_cast<double>(st.dropsInputBuffer) /
-      static_cast<double>(std::max<std::uint64_t>(st.inspected + st.dropsInputBuffer, 1));
-  bench::row("business mix through the SAME firewall: %llu flows, %.4f%% buffer drops",
-             static_cast<unsigned long long>(traffic.stats().flowsStarted), dropFrac * 100.0);
-  table.addNote(bench::formatRow(
-      "business mix through the SAME firewall: %llu flows, %.4f%% buffer drops",
-      static_cast<unsigned long long>(traffic.stats().flowsStarted), dropFrac * 100.0));
-}
-
-}  // namespace
-
-int main() {
-  bench::header("ablation_firewall_vs_acl: the science path's middlebox choice",
-                "Section 5 (firewall internals, ACL alternative), Dart et al. SC13");
-
-  bench::JsonTable table(
-      "ablation_firewall_vs_acl", "the science path's middlebox choice",
-      "Section 5 (firewall internals, ACL alternative), Dart et al. SC13",
-      {"rtt_ms", "firewall_path_mbps", "acl_switch_path_mbps", "firewall_drops"});
-
-  bench::row("%-8s %-22s %-22s %-16s", "rtt_ms", "firewall_path_mbps", "acl_switch_path_mbps",
-             "firewall_drops");
-  for (const int rtt : {5, 20, 60}) {
-    const auto viaFw = scienceFlow(true, rtt);
-    const auto viaAcl = scienceFlow(false, rtt);
-    bench::row("%-8d %-22.1f %-22.1f %-16llu", rtt, viaFw.mbps, viaAcl.mbps,
-               static_cast<unsigned long long>(viaFw.middleboxDrops));
-    table.addRow({rtt, viaFw.mbps, viaAcl.mbps,
-                  static_cast<unsigned long long>(viaFw.middleboxDrops)});
-  }
-  bench::row("%s", "");
-  businessProfile(table);
-  bench::row("%s", "");
-  bench::row("the firewall is fine for what it was built for (many small flows) and");
-  bench::row("ruinous for single line-rate science flows; ACLs filter at line rate.");
-  table.addNote("the firewall is fine for what it was built for (many small flows) and"
-                " ruinous for single line-rate science flows; ACLs filter at line rate");
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("ablation_firewall_vs_acl"); }

@@ -1,104 +1,5 @@
-// Ablation: sender pacing (the DTN tuning guides' fq pacing) against the
-// burst behaviour Section 5 describes. A 10G host feeds a 1G egress
-// through a switch whose buffer we sweep; bursty vs paced senders.
-// The (buffer, paced) grid runs as parallel sweep cells.
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run ablation_pacing`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "net/switch.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-struct Outcome {
-  double mbps = 0;
-  std::uint64_t retx = 0;
-};
-
-Outcome run(bool paced, sim::DataSize buffer, sim::SweepCell& cell) {
-  Scenario s;
-  net::SwitchProfile profile;
-  profile.egressBuffer = buffer;
-  auto& sw = s.topo.addSwitch("agg", profile);
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams fast;
-  fast.rate = 10_Gbps;
-  fast.delay = 10_ms;
-  fast.mtu = 9000_B;
-  net::LinkParams slow;
-  slow.rate = 1_Gbps;
-  slow.delay = 10_ms;
-  slow.mtu = 9000_B;
-  s.topo.connect(a, sw, fast);
-  s.topo.connect(sw, b, slow);
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kHtcp;
-  cfg.sndBuf = 8_MB;
-  cfg.rcvBuf = 8_MB;
-  cfg.pacing = paced;
-  tcp::TcpListener listener{b, 5001, cfg};
-  tcp::TcpConnection client{a, b.address(), 5001, cfg};
-  tcp::TcpConnection* server = nullptr;
-  listener.onAccept = [&server](tcp::TcpConnection& c) { server = &c; };
-  client.onEstablished = [&client] { client.sendData(sim::DataSize::terabytes(1)); };
-  client.start();
-  s.simulator.runFor(20_s);
-
-  Outcome o;
-  o.mbps = server ? static_cast<double>(server->deliveredBytes().bitCount()) / 20.0 / 1e6 : 0.0;
-  o.retx = client.stats().retransmits;
-  bench::finishCell(s, cell);
-  return o;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("ablation_pacing: bursty vs paced senders into a slower egress",
-                "Section 5 (TCP burst behaviour) + DTN tuning guidance, Dart et al. SC13");
-
-  const std::vector<sim::DataSize> buffers{sim::DataSize::kibibytes(256),
-                                           sim::DataSize::kibibytes(512),
-                                           sim::DataSize::mebibytes(2), sim::DataSize::mebibytes(8)};
-  // Cells in table order: (bursty, paced) per buffer size.
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<Outcome>(
-      buffers.size() * 2,
-      [&buffers](sim::SweepCell& cell) {
-        return run(cell.index % 2 == 1, buffers[cell.index / 2], cell);
-      },
-      "buffer_grid");
-
-  bench::JsonTable table(
-      "ablation_pacing", "bursty vs paced senders into a slower egress",
-      "Section 5 (TCP burst behaviour) + DTN tuning guidance, Dart et al. SC13",
-      {"egress_buffer", "bursty_mbps", "bursty_retx", "paced_mbps", "paced_retx"});
-
-  bench::row("%-14s %-14s %-10s %-14s %-10s", "egress_buffer", "bursty_mbps", "retx",
-             "paced_mbps", "retx");
-  for (std::size_t i = 0; i < buffers.size(); ++i) {
-    const auto& bursty = results[i * 2];
-    const auto& paced = results[i * 2 + 1];
-    bench::row("%-14s %-14.1f %-10llu %-14.1f %-10llu", sim::toString(buffers[i]).c_str(),
-               bursty.mbps, static_cast<unsigned long long>(bursty.retx), paced.mbps,
-               static_cast<unsigned long long>(paced.retx));
-    table.addRow({sim::toString(buffers[i]), bursty.mbps,
-                  static_cast<unsigned long long>(bursty.retx), paced.mbps,
-                  static_cast<unsigned long long>(paced.retx)});
-  }
-  bench::row("%s", "");
-  bench::row("line-rate bursts need the egress buffer to hold them; pacing shrinks");
-  bench::row("the required buffer — the host-side complement to the deep-buffered");
-  bench::row("switch the location pattern calls for.");
-  table.addNote("line-rate bursts need the egress buffer to hold them; pacing shrinks the"
-                " required buffer — the host-side complement to the deep-buffered switch");
-  table.write();
-  bench::writeSweepReport(sweep, "ablation_pacing");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("ablation_pacing"); }

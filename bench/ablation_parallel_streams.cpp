@@ -1,77 +1,5 @@
-// Section 3.2 ablation: why DTN tooling (GridFTP/FDT) uses parallel
-// streams and jumbo frames. Aggregate goodput of an N-stream transfer over
-// a lossy high-BDP path, for N in {1..16} and MTU in {1500, 9000}.
-// The streams x MTU grid runs as parallel sweep cells.
-#include <memory>
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run ablation_parallel_streams`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "apps/parallel_transfer.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-double run(int streams, sim::DataSize mtu, sim::SweepCell& cell) {
-  Scenario s;
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams link;
-  link.rate = 10_Gbps;
-  link.delay = 25_ms;  // 50ms RTT: a coast-to-coast science path
-  link.mtu = mtu;
-  auto& wire = s.topo.connect(a, b, link);
-  wire.setLossModel(0, std::make_unique<net::RandomLoss>(1e-4, s.rng.fork(4)));
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kReno;  // the worst case streams rescue
-  cfg.sndBuf = 32_MB;
-  cfg.rcvBuf = 32_MB;
-  apps::ParallelTransfer transfer{a, b, 2811, 400_MB, streams, cfg};
-  transfer.start();
-  s.simulator.runFor(1200_s);
-  bench::finishCell(s, cell);
-  if (!transfer.finished()) return 0.0;
-  return static_cast<double>((400_MB).bitCount()) / transfer.elapsed().toSeconds() / 1e6;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("ablation_parallel_streams: streams x MTU on a lossy 50ms path",
-                "Section 3.2 (DTN tooling) + Section 2.1 (MSS in Eq. 1), Dart et al. SC13");
-
-  const std::vector<int> streamCounts{1, 2, 4, 8, 16};
-  // Cells in table order: (1500 MTU, 9000 MTU) per stream count.
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<double>(
-      streamCounts.size() * 2,
-      [&streamCounts](sim::SweepCell& cell) {
-        return run(streamCounts[cell.index / 2], cell.index % 2 == 0 ? 1500_B : 9000_B, cell);
-      },
-      "streams_grid");
-
-  bench::JsonTable table(
-      "ablation_parallel_streams", "streams x MTU on a lossy 50ms path",
-      "Section 3.2 (DTN tooling) + Section 2.1 (MSS in Eq. 1), Dart et al. SC13",
-      {"streams", "mbps_mtu1500", "mbps_mtu9000"});
-
-  bench::row("%-10s %-16s %-16s", "streams", "mbps_mtu1500", "mbps_mtu9000");
-  for (std::size_t i = 0; i < streamCounts.size(); ++i) {
-    bench::row("%-10d %-16.1f %-16.1f", streamCounts[i], results[i * 2], results[i * 2 + 1]);
-    table.addRow({streamCounts[i], results[i * 2], results[i * 2 + 1]});
-  }
-  bench::row("%s", "");
-  bench::row("both knobs act through the Mathis equation: N streams multiply the");
-  bench::row("aggregate window N-fold; jumbo frames multiply MSS (and thus the");
-  bench::row("loss-limited rate) 6-fold. DTN defaults combine the two.");
-  table.addNote("both knobs act through the Mathis equation: N streams multiply the aggregate"
-                " window N-fold; jumbo frames multiply MSS (and thus the loss-limited rate)"
-                " 6-fold");
-  table.write();
-  bench::writeSweepReport(sweep, "ablation_parallel_streams");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("ablation_parallel_streams"); }

@@ -1,85 +1,5 @@
-// Figure 5: the big-data site (LHC-scale). A transfer cluster behind
-// redundant borders serves a multi-stream campaign while the enterprise
-// network rides the same front-end behind its own firewall. We verify the
-// science flows never touch the firewall, measure cluster throughput, and
-// show the ACL policy doing the firewall's filtering job at line rate.
-#include "../bench/bench_util.hpp"
-#include "core/site_builder.hpp"
-#include "core/validator.hpp"
-#include "dtn/dtn_cluster.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run arch_bigdata_cluster`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-int main() {
-  bench::header("arch_bigdata_cluster: LHC-scale data cluster front-end",
-                "Figure 5 + Section 4.3, Dart et al. SC13");
-
-  Scenario s;
-  core::SiteConfig config;
-  config.dtnCount = 6;
-  config.wan.rate = 10_Gbps;
-  config.wan.delay = 20_ms;
-  auto site = core::buildBigDataSite(s.topo, config);
-
-  const auto findings = core::validate(*site);
-  bench::row("validator: %zu critical findings on the science path",
-             findings.criticalCount());
-
-  // Campaign: 18 files spread across the 6-node cluster.
-  dtn::DtnCluster remote{"tier0"};
-  remote.addNode(*site->remoteDtn);
-  dtn::DtnCluster cluster{"tier1"};
-  for (auto* node : site->dtns) cluster.addNode(*node);
-  dtn::TransferCampaign campaign{remote, cluster};
-  for (int i = 0; i < 18; ++i) {
-    campaign.enqueue({"aod-" + std::to_string(i) + ".root", 400_MB});
-  }
-  double mbps = 0;
-  double secs = 0;
-  campaign.onComplete = [&](const dtn::TransferCampaign::Report& r) {
-    mbps = r.aggregateRate().toMbps();
-    secs = r.elapsed.toSeconds();
-  };
-  campaign.start();
-  s.simulator.runFor(3600_s);
-
-  bench::row("campaign: 18 x 400 MB in %.1f s  ->  %.1f Mbps aggregate", secs, mbps);
-  bench::row("firewall saw %llu science packets (must be 0: flows bypass it)",
-             static_cast<unsigned long long>(site->enterpriseFirewall->firewallStats().inspected));
-  bench::row("data-switch ACL drops (unsanctioned traffic): %llu",
-             static_cast<unsigned long long>(site->dmzSwitch->stats().dropsAcl));
-
-  // Demonstrate the ACL's filtering role: an unsanctioned probe toward a
-  // cluster node is dropped in the forwarding plane.
-  tcp::TcpConfig cfg;
-  tcp::TcpListener sshListener{site->primaryDtn()->host(), 22, cfg};
-  tcp::TcpConnection ssh{site->remoteDtn->host(), site->primaryDtn()->host().address(), 22, cfg};
-  bool sshConnected = false;
-  ssh.onEstablished = [&sshConnected] { sshConnected = true; };
-  ssh.start();
-  s.simulator.runFor(10_s);
-  bench::row("unsanctioned ssh to a transfer node: %s; ACL drops now: %llu",
-             sshConnected ? "CONNECTED (bug)" : "blocked in the switching plane",
-             static_cast<unsigned long long>(site->dmzSwitch->stats().dropsAcl));
-
-  bench::JsonTable table(
-      "arch_bigdata_cluster", "LHC-scale data cluster front-end",
-      "Figure 5 + Section 4.3, Dart et al. SC13",
-      {"metric", "value"});
-  table.addRow({"validator_critical_findings",
-                static_cast<unsigned long long>(findings.criticalCount())});
-  table.addRow({"campaign_elapsed_s", secs});
-  table.addRow({"campaign_aggregate_mbps", mbps});
-  table.addRow({"firewall_inspected_science_packets",
-                static_cast<unsigned long long>(
-                    site->enterpriseFirewall->firewallStats().inspected)});
-  table.addRow({"acl_drops",
-                static_cast<unsigned long long>(site->dmzSwitch->stats().dropsAcl)});
-  table.addRow({"unsanctioned_ssh", sshConnected ? "connected" : "blocked"});
-  table.addNote("science flows bypass the enterprise firewall entirely; the data-switch ACL"
-                " filters unsanctioned traffic at line rate");
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("arch_bigdata_cluster"); }

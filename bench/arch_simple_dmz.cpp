@@ -1,91 +1,5 @@
-// Figure 3: the simple Science DMZ reference design vs the general-purpose
-// campus baseline. For both architectures: the validator's verdict, the
-// analytic path assessment, and a measured DTN transfer.
-#include "../bench/bench_util.hpp"
-#include "core/report.hpp"
-#include "core/site_builder.hpp"
-#include "dtn/dtn_node.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run arch_simple_dmz`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-struct Outcome {
-  std::size_t criticalFindings = 0;
-  bool crossesFirewall = false;
-  double predictedMbps = 0;
-  double measuredMbps = 0;
-};
-
-Outcome evaluate(bool dmz) {
-  Scenario s;
-  core::SiteConfig config;
-  if (!dmz) {
-    config.dtnProfile = dtn::DtnProfile::untunedGeneralPurpose();
-    config.remoteProfile = dtn::DtnProfile::untunedGeneralPurpose();
-  }
-  auto site = dmz ? core::buildSimpleScienceDmz(s.topo, config)
-                  : core::buildGeneralPurposeCampus(s.topo, config);
-
-  Outcome out;
-  out.criticalFindings = core::validate(*site).criticalCount();
-
-  core::PathAssumptions assumptions;
-  assumptions.endpoint = site->primaryDtn()->profile().tcp;
-  assumptions.windowScalingBroken = !dmz;  // the firewall strips RFC1323
-  const auto assessment = core::assessPath(s.topo, site->remoteDtn->host().address(),
-                                           site->primaryDtn()->host().address(), assumptions);
-  if (assessment) {
-    out.crossesFirewall = assessment->crossesFirewall;
-    out.predictedMbps = assessment->expectedThroughput.toMbps();
-  }
-
-  dtn::DtnTransfer transfer{*site->remoteDtn, *site->primaryDtn(), "sample.dat",
-                            dmz ? 2_GB : 100_MB, 50000};
-  transfer.start();
-  s.simulator.runFor(3600_s);
-  if (transfer.finished()) out.measuredMbps = transfer.result().averageRate.toMbps();
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("arch_simple_dmz: Figure 3 design vs general-purpose campus",
-                "Figure 3 + Section 4.1, Dart et al. SC13");
-
-  const auto baseline = evaluate(false);
-  const auto dmz = evaluate(true);
-
-  bench::JsonTable table(
-      "arch_simple_dmz", "Figure 3 design vs general-purpose campus",
-      "Figure 3 + Section 4.1, Dart et al. SC13",
-      {"architecture", "criticals", "firewall", "predicted_mbps", "measured_mbps"});
-
-  bench::row("%-26s %-10s %-10s %-16s %-14s", "architecture", "criticals", "firewall",
-             "predicted_mbps", "measured_mbps");
-  bench::row("%-26s %-10zu %-10s %-16.1f %-14.1f", "general-purpose campus",
-             baseline.criticalFindings, baseline.crossesFirewall ? "on-path" : "off-path",
-             baseline.predictedMbps, baseline.measuredMbps);
-  bench::row("%-26s %-10zu %-10s %-16.1f %-14.1f", "simple science dmz", dmz.criticalFindings,
-             dmz.crossesFirewall ? "on-path" : "off-path", dmz.predictedMbps, dmz.measuredMbps);
-  table.addRow({"general-purpose campus",
-                static_cast<unsigned long long>(baseline.criticalFindings),
-                baseline.crossesFirewall ? "on-path" : "off-path", baseline.predictedMbps,
-                baseline.measuredMbps});
-  table.addRow({"simple science dmz", static_cast<unsigned long long>(dmz.criticalFindings),
-                dmz.crossesFirewall ? "on-path" : "off-path", dmz.predictedMbps,
-                dmz.measuredMbps});
-  bench::row("%s", "");
-  bench::row("improvement: %.0fx measured (validator predicted the loser: %zu vs %zu criticals)",
-             dmz.measuredMbps / std::max(baseline.measuredMbps, 0.001),
-             baseline.criticalFindings, dmz.criticalFindings);
-  table.addNote(bench::formatRow(
-      "improvement: %.0fx measured (validator predicted the loser: %zu vs %zu criticals)",
-      dmz.measuredMbps / std::max(baseline.measuredMbps, 0.001), baseline.criticalFindings,
-      dmz.criticalFindings));
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("arch_simple_dmz"); }

@@ -1,92 +1,5 @@
-// Figure 4: the supercomputer-center design. A campaign of restart files
-// streams from a remote experiment through the DTN pool onto the shared
-// parallel filesystem; we report ingestion throughput as the pool scales,
-// and the no-double-copy latency (file committed -> visible to compute,
-// which is zero by construction of the shared filesystem).
-#include "../bench/bench_util.hpp"
-#include "core/site_builder.hpp"
-#include "dtn/dtn_cluster.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run arch_supercomputer`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-struct Outcome {
-  double aggregateMbps = 0;
-  double elapsedSecs = 0;
-  std::size_t filesVisible = 0;
-};
-
-Outcome ingest(int dtnCount, int files, sim::DataSize fileSize) {
-  Scenario s;
-  core::SiteConfig config;
-  config.dtnCount = dtnCount;
-  config.wan.rate = 10_Gbps;
-  config.wan.delay = 20_ms;
-  // The remote source's archive reads slightly below its NIC rate so the
-  // disk pump cannot pile unbounded backlog into the host queue when
-  // several lanes share the single source.
-  config.remoteStorage.readRate = sim::DataRate::megabitsPerSecond(9200);
-  config.remoteStorage.perStreamCap = sim::DataRate::megabitsPerSecond(8000);
-  auto center = core::buildSupercomputerCenter(s.topo, config);
-
-  dtn::DtnCluster remote{"experiment"};
-  remote.addNode(*center->remoteDtn);
-  dtn::DtnCluster pool{"center"};
-  for (auto* node : center->dtns) pool.addNode(*node);
-
-  dtn::TransferCampaign campaign{remote, pool};
-  for (int i = 0; i < files; ++i) {
-    campaign.enqueue({"shot-" + std::to_string(i) + ".h5", fileSize});
-  }
-  Outcome out;
-  campaign.onComplete = [&out](const dtn::TransferCampaign::Report& r) {
-    out.aggregateMbps = r.aggregateRate().toMbps();
-    out.elapsedSecs = r.elapsed.toSeconds();
-  };
-  campaign.start();
-  s.simulator.runFor(3600_s);
-
-  for (int i = 0; i < files; ++i) {
-    if (center->parallelFs->available("shot-" + std::to_string(i) + ".h5",
-                                      s.simulator.now())) {
-      ++out.filesVisible;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("arch_supercomputer: DTN pool ingestion into a shared parallel filesystem",
-                "Figure 4 + Sections 4.2 / 6.4, Dart et al. SC13");
-
-  bench::JsonTable table(
-      "arch_supercomputer", "DTN pool ingestion into a shared parallel filesystem",
-      "Figure 4 + Sections 4.2 / 6.4, Dart et al. SC13",
-      {"dtn_pool", "files", "aggregate_mbps", "elapsed_s", "files_visible_without_copy"});
-
-  bench::row("%-10s %-8s %-16s %-12s %-22s", "dtn_pool", "files", "aggregate_mbps",
-             "elapsed_s", "visible_without_copy");
-  for (const int pool : {1, 2, 4}) {
-    const auto out = ingest(pool, 8, 500_MB);
-    bench::row("%-10d %-8d %-16.1f %-12.1f %zu/8", pool, 8, out.aggregateMbps, out.elapsedSecs,
-               out.filesVisible);
-    table.addRow({pool, 8, out.aggregateMbps, out.elapsedSecs,
-                  static_cast<unsigned long long>(out.filesVisible)});
-  }
-  bench::row("%s", "");
-  bench::row("note: every ingested file is visible on the shared filesystem the");
-  bench::row("moment the DTN commits it; login nodes never copy data (Section 4.2).");
-  bench::row("remote single DTN is the source; pool scaling amortizes per-file");
-  bench::row("ramp-up until the sender or the WAN becomes the bottleneck.");
-  table.addNote("every ingested file is visible on the shared filesystem the moment the DTN"
-                " commits it; login nodes never copy data (Section 4.2)");
-  table.addNote("pool scaling amortizes per-file ramp-up until the sender or the WAN becomes"
-                " the bottleneck");
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("arch_supercomputer"); }

@@ -1,73 +1,5 @@
-// Equation 2: bandwidth-delay-product window sizing, analytically and
-// validated by simulation. For each (rate, RTT): the required window, the
-// throughput with the 64 KB default, and with properly-sized buffers.
-#include "../bench/bench_util.hpp"
-#include "tcp/mathis.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run eqn2_window_sizing`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-double measure(sim::DataRate rate, sim::Duration rtt, sim::DataSize buffers) {
-  Scenario s;
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams link;
-  link.rate = rate;
-  link.delay = sim::Duration::nanoseconds(rtt.ns() / 2);
-  link.mtu = 1500_B;
-  s.topo.connect(a, b, link);
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kCubic;
-  cfg.sndBuf = buffers;
-  cfg.rcvBuf = buffers;
-  SteadyFlow flow{s, a, b, cfg};
-  return flow.measure(3_s, 5_s).toMbps();
-}
-
-}  // namespace
-
-int main() {
-  bench::header("eqn2_window_sizing: BDP window requirement, analytic + simulated",
-                "Equation 2 + Section 6.2, Dart et al. SC13");
-
-  struct Case {
-    sim::DataRate rate;
-    sim::Duration rtt;
-  };
-  const Case cases[] = {
-      {100_Mbps, 10_ms}, {1_Gbps, 10_ms}, {1_Gbps, 50_ms}, {10_Gbps, 10_ms}, {10_Gbps, 100_ms}};
-
-  bench::JsonTable table(
-      "eqn2_window_sizing", "BDP window requirement, analytic + simulated",
-      "Equation 2 + Section 6.2, Dart et al. SC13",
-      {"rate", "rtt_ms", "required_window_bytes", "mbps_64KB_buf", "mbps_tuned_buf"});
-
-  bench::row("%-12s %-8s %-16s %-18s %-18s", "rate", "rtt_ms", "required_window",
-             "mbps_64KB_buf", "mbps_tuned_buf");
-  for (const auto& c : cases) {
-    const auto window = tcp::bandwidthDelayWindow(c.rate, c.rtt);
-    const auto tuned = sim::DataSize::bytes(window.byteCount() * 3);
-    const double small = measure(c.rate, c.rtt, 64_KiB);
-    const double big = measure(c.rate, c.rtt, tuned);
-    bench::row("%-12s %-8.0f %-16s %-18.1f %-18.1f", sim::toString(c.rate).c_str(),
-               c.rtt.toMillis(), sim::toString(window).c_str(), small, big);
-    table.addRow({sim::toString(c.rate), c.rtt.toMillis(),
-                  static_cast<unsigned long long>(window.byteCount()), small, big});
-  }
-  bench::row("%s", "");
-  bench::row("paper example: 1 Gbps x 10 ms needs %s; the 64KB default is ~20x too small,",
-             sim::toString(tcp::bandwidthDelayWindow(1_Gbps, 10_ms)).c_str());
-  bench::row("capping throughput near 50 Mbps regardless of link speed.");
-  table.addNote(bench::formatRow(
-      "paper example: 1 Gbps x 10 ms needs %s; the 64KB default is ~20x too small, capping"
-      " throughput near 50 Mbps regardless of link speed",
-      sim::toString(tcp::bandwidthDelayWindow(1_Gbps, 10_ms)).c_str()));
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("eqn2_window_sizing"); }

@@ -1,134 +1,5 @@
-// Figure 1: TCP throughput vs round-trip time under packet loss, between
-// 10 Gbps hosts with 9000-byte MTUs. For each (RTT, loss) cell we print
-// the Mathis-equation prediction and the measured steady-state goodput of
-// simulated TCP-Reno and TCP-Hamilton (H-TCP) — the three curve families
-// of the paper's figure. The loss-free row is the figure's topmost line.
-//
-// Expected shape: loss-free flat near 10 Gbps at every RTT; lossy curves
-// fall as 1/RTT and 1/sqrt(p); H-TCP sits above Reno at high BDP.
-//
-// The grid's cells are independent scenarios, so they run on the parallel
-// sweep runner (SCIDMZ_SWEEP_THREADS workers); the table is printed from
-// submission-ordered results and is byte-identical to a serial run.
-#include <algorithm>
-#include <cmath>
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run fig1_tcp_loss_rtt`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "tcp/mathis.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-struct CellSpec {
-  int rttMs = 0;
-  double loss = 0;
-  tcp::CcAlgorithm algo = tcp::CcAlgorithm::kReno;
-};
-
-struct CellResult {
-  double mbps = 0;
-  bool established = true;
-};
-
-double rtt_msToSeconds(int rttMs) { return static_cast<double>(rttMs) * 1e-3; }
-
-CellResult measureCell(const CellSpec& spec, sim::SweepCell& cell) {
-  Scenario s;
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams link;
-  link.rate = 10_Gbps;
-  link.delay = sim::Duration::microseconds(spec.rttMs * 500);
-  link.mtu = 9000_B;
-  auto& wire = s.topo.connect(a, b, link);
-  if (spec.loss > 0) {
-    wire.setLossModel(0, std::make_unique<net::RandomLoss>(spec.loss, s.rng.fork(1)));
-  }
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = spec.algo;
-  cfg.sndBuf = 256_MB;  // above the 125 MB BDP of the 100ms cell
-  cfg.rcvBuf = 256_MB;
-  SteadyFlow flow{s, a, b, cfg};
-  // Measurement horizon scaled to the congestion-avoidance sawtooth: one
-  // cycle lasts ~(W/2) RTTs with W ~ 1.6/sqrt(p) segments; we want several
-  // cycles, bounded so the whole grid stays minutes, not hours. Low-loss
-  // high-RTT cells remain biased above Mathis for exactly the reason real
-  // 10G test campaigns struggle there: equilibrium takes minutes to reach.
-  double windowSecs = 10.0;
-  if (spec.loss > 0) {
-    const double rttSecs = rtt_msToSeconds(spec.rttMs);
-    windowSecs = std::clamp(8.2 * rttSecs / std::sqrt(spec.loss), 15.0, 90.0);
-  }
-  const auto warmup = sim::Duration::fromSeconds(std::clamp(windowSecs / 3.0, 5.0, 20.0));
-  CellResult result;
-  result.mbps = flow.measure(warmup, sim::Duration::fromSeconds(windowSecs)).toMbps();
-  result.established = flow.established();
-  bench::finishCell(s, cell);
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("fig1_tcp_loss_rtt: throughput vs RTT under loss (10G hosts, 9K MTU)",
-                "Figure 1 + Section 2.1 (Mathis equation), Dart et al. SC13");
-
-  const std::vector<int> rtts{1, 10, 20, 50, 100};
-  const std::vector<double> losses{0.0, 1e-5, 1.0 / 22000.0, 2e-4, 1e-3};
-
-  // One sweep cell per (loss, rtt, algorithm), in table order.
-  std::vector<CellSpec> specs;
-  for (const double loss : losses) {
-    for (const int rtt : rtts) {
-      specs.push_back(CellSpec{rtt, loss, tcp::CcAlgorithm::kReno});
-      specs.push_back(CellSpec{rtt, loss, tcp::CcAlgorithm::kHtcp});
-    }
-  }
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<CellResult>(
-      specs.size(), [&specs](sim::SweepCell& cell) { return measureCell(specs[cell.index], cell); },
-      "grid");
-
-  bench::JsonTable table("fig1_tcp_loss_rtt",
-                         "throughput vs RTT under loss (10G hosts, 9K MTU)",
-                         "Figure 1 + Section 2.1 (Mathis equation), Dart et al. SC13",
-                         {"rtt_ms", "loss", "mathis_mbps", "reno_mbps", "htcp_mbps"});
-
-  bench::row("%-10s %-12s %-14s %-14s %-14s", "rtt_ms", "loss", "mathis_mbps", "reno_mbps",
-             "htcp_mbps");
-  std::size_t next = 0;
-  for (const double loss : losses) {
-    for (const int rtt : rtts) {
-      const auto predicted =
-          loss > 0 ? tcp::mathisThroughput(8960_B, sim::Duration::milliseconds(rtt), loss)
-                   : 10_Gbps;
-      const double capped = std::min(predicted.toMbps(), (10_Gbps).toMbps());
-      const CellResult reno = results[next++];
-      const CellResult htcp = results[next++];
-      bench::row("%-10d %-12.2e %-14.1f %-14s %-14s", rtt, loss, capped,
-                 bench::mbpsCell(reno.mbps, reno.established).c_str(),
-                 bench::mbpsCell(htcp.mbps, htcp.established).c_str());
-      table.addRow({rtt, loss, capped, bench::mbpsCell(reno.mbps, reno.established),
-                    bench::mbpsCell(htcp.mbps, htcp.established)});
-    }
-    bench::row("%s", "");
-  }
-
-  bench::row("shape checks:");
-  bench::row("  - loss-free row flat near 10000 Mbps at all RTTs");
-  bench::row("  - each lossy family falls ~1/RTT; families drop ~1/sqrt(loss)");
-  bench::row("  - htcp >= reno at high RTT x loss (the paper's measured gap)");
-  table.addNote("loss-free row flat near 10000 Mbps at all RTTs");
-  table.addNote("each lossy family falls ~1/RTT; families drop ~1/sqrt(loss)");
-  table.addNote("htcp >= reno at high RTT x loss (the paper's measured gap)");
-  table.write();
-  bench::writeSweepReport(sweep, "fig1_tcp_loss_rtt");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("fig1_tcp_loss_rtt"); }

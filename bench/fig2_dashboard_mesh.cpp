@@ -1,144 +1,5 @@
-// Figure 2: the perfSONAR mesh dashboard. Four sites run continuous OWAMP
-// loss probes and round-robin BWCTL throughput tests; one site's uplink
-// has the Section 2 failing line card (1 / 22,000 loss). We render the
-// dashboard grid — the degraded row/column pattern of the paper's figure —
-// then repair the card and render again.
-//
-// The scenario runs as a single sweep cell (the runner still provides the
-// wall-clock/events bookkeeping and BENCH_sim.json output): the cell defers
-// its rows into a string list so nothing prints from a worker thread.
-#include <memory>
-#include <string>
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run fig2_dashboard_mesh`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "perfsonar/alerts.hpp"
-#include "perfsonar/dashboard.hpp"
-#include "perfsonar/mesh.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-struct MeshResult {
-  std::vector<std::string> lines;
-  int degradedWithCard = 0;
-  int degradedAfterRepair = 0;
-  std::size_t alertsRaised = 0;
-};
-
-MeshResult runMesh(sim::SweepCell& cell) {
-  MeshResult result;
-  std::vector<std::string>& out = result.lines;
-
-  Scenario s;
-  // Star of four sites around a WAN core; 10G, 10ms spokes.
-  auto& core = s.topo.addRouter("esnet-core");
-  const char* names[] = {"lbl", "anl", "ornl", "slac"};
-  std::vector<perfsonar::MeshSite> sites;
-  net::Link* lblUplink = nullptr;
-  for (int i = 0; i < 4; ++i) {
-    auto& host = s.topo.addHost(std::string{"ps-"} + names[i],
-                                net::Address(198, 129, 0, static_cast<std::uint8_t>(i + 1)));
-    net::LinkParams spoke;
-    spoke.rate = 10_Gbps;
-    spoke.delay = 10_ms;
-    spoke.mtu = 9000_B;
-    auto& link = s.topo.connect(host, core, spoke);
-    if (i == 0) lblUplink = &link;
-    sites.push_back(perfsonar::MeshSite{names[i], &host});
-  }
-  s.topo.computeRoutes();
-
-  perfsonar::MeasurementArchive archive;
-  perfsonar::MeshRunner::Options options;
-  options.lossReportInterval = 10_s;
-  // Short tests with idle gaps: enough to rate every one of the 12 ordered
-  // pairs while keeping the simulated byte volume (and wall time) modest.
-  options.throughputTestGap = 3_s;
-  options.throughputTestDuration = 2_s;
-  options.owamp.interval = 10_ms;
-  perfsonar::MeshRunner mesh{s.ctx, sites, archive, options};
-
-  // Science-path policy: any sustained probe loss is a failure, and a
-  // path dropping below 60% of its own baseline is investigated.
-  perfsonar::SoftFailureOptions detectorOptions;
-  detectorOptions.lossThreshold = 5e-4;
-  detectorOptions.throughputDropFraction = 0.6;
-  perfsonar::SoftFailureDetector detector{archive, detectorOptions};
-  std::size_t alertCount = 0;
-  detector.onAlert = [&alertCount, &out](const perfsonar::Alert& a) {
-    ++alertCount;
-    out.push_back(bench::formatRow("  alert @%s: %s -> %s (%s)", sim::toString(a.at).c_str(),
-                                   a.src.c_str(), a.dst.c_str(), a.metric.c_str()));
-  };
-
-  // Healthy baseline first (regression detection needs one), then the card
-  // starts dropping 1/22000 of everything LBL transmits.
-  mesh.start();
-  for (int i = 0; i < 8; ++i) {
-    s.simulator.runFor(10_s);
-    detector.evaluate(s.simulator.now());
-  }
-  out.push_back("t=80s: lbl's uplink line card begins dropping 1/22000 packets");
-  lblUplink->setLossModel(0, std::make_unique<net::RandomLoss>(1.0 / 22000.0, s.rng.fork(2)));
-  for (int i = 0; i < 15; ++i) {
-    s.simulator.runFor(10_s);
-    detector.evaluate(s.simulator.now());
-  }
-
-  // 2s tests only reach ~5-7 Gbps through slow start on a clean 40ms-RTT
-  // path; rate against that expectation rather than full line rate.
-  perfsonar::Dashboard dashboard{archive, mesh.siteNames(), 5000.0};
-  out.push_back("");
-  out.push_back("dashboard with the failing line card on lbl's uplink:");
-  out.push_back(dashboard.render());
-  result.degradedWithCard = dashboard.countAtRating(perfsonar::CellRating::kBad) +
-                            dashboard.countAtRating(perfsonar::CellRating::kDegraded);
-  out.push_back(bench::formatRow("degraded/bad cells: %d (expect the lbl-sourced row impaired)",
-                                 result.degradedWithCard));
-  out.push_back(bench::formatRow("alerts raised: %zu", alertCount));
-  result.alertsRaised = alertCount;
-
-  out.push_back("");
-  out.push_back("repairing the line card and re-measuring...");
-  lblUplink->repair();
-  s.simulator.runFor(120_s);
-  out.push_back(dashboard.render());
-  result.degradedAfterRepair = dashboard.countAtRating(perfsonar::CellRating::kBad) +
-                               dashboard.countAtRating(perfsonar::CellRating::kDegraded);
-  out.push_back(bench::formatRow("degraded/bad cells after repair: %d",
-                                 result.degradedAfterRepair));
-  mesh.stop();
-  bench::finishCell(s, cell);
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("fig2_dashboard_mesh: perfSONAR mesh dashboard with a soft failure",
-                "Figure 2 + Section 3.3, Dart et al. SC13");
-
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<MeshResult>(
-      1, [](sim::SweepCell& cell) { return runMesh(cell); }, "mesh");
-  const MeshResult& mesh = results[0];
-  for (const auto& line : mesh.lines) bench::row("%s", line.c_str());
-
-  bench::JsonTable table("fig2_dashboard_mesh",
-                         "perfSONAR mesh dashboard with a soft failure",
-                         "Figure 2 + Section 3.3, Dart et al. SC13",
-                         {"phase", "degraded_bad_cells", "alerts_raised"});
-  table.addRow({"with_failing_card", mesh.degradedWithCard,
-                static_cast<unsigned long long>(mesh.alertsRaised)});
-  table.addRow({"after_repair", mesh.degradedAfterRepair,
-                static_cast<unsigned long long>(mesh.alertsRaised)});
-  table.addNote("1/22000 loss on lbl's uplink impairs the lbl-sourced dashboard row;"
-                " repair clears it");
-  table.write();
-  bench::writeSweepReport(sweep, "fig2_dashboard_mesh");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("fig2_dashboard_mesh"); }

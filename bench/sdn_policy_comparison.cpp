@@ -1,111 +1,5 @@
-// Section 7.3: SDN security policy for large flows. Three policies for the
-// same 10G science flow through an enterprise edge:
-//   always-firewall     — every packet through the inspection engines,
-//   ids-then-bypass     — OpenFlow controller bypasses vetted flows,
-//   acl-only            — Science DMZ style, no firewall at all.
-// The three policies are independent scenarios and run as sweep cells.
-#include <memory>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run sdn_policy_comparison`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "vc/openflow.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-struct PolicyRow {
-  double mbps = 0;
-  bool established = true;
-  std::uint64_t inspected = 0;
-  std::uint64_t drops = 0;
-};
-
-PolicyRow run(int mode, sim::SweepCell& cell) {  // 0 = firewall, 1 = ids-bypass, 2 = acl-only
-  Scenario s;
-  auto& remote = s.topo.addHost("remote", net::Address(198, 128, 1, 1));
-  auto& dtn = s.topo.addHost("dtn", net::Address(10, 10, 1, 10));
-  net::LinkParams wan;
-  wan.rate = 10_Gbps;
-  wan.delay = 10_ms;
-  wan.mtu = 9000_B;
-
-  net::FirewallDevice* fw = nullptr;
-  std::unique_ptr<net::IntrusionDetectionSystem> ids;
-  std::unique_ptr<vc::BypassController> controller;
-  if (mode == 2) {
-    auto& sw = s.topo.addSwitch("dmz-switch");
-    s.topo.connect(remote, sw, wan);
-    s.topo.connect(sw, dtn, wan);
-  } else {
-    // Sequence checking off: a bypass installed after the handshake cannot
-    // restore window scaling the firewall already stripped from the SYN,
-    // so we isolate the data-path (engine/buffer) cost here.
-    auto profile = net::FirewallProfile::enterprise10G();
-    profile.tcpSequenceChecking = false;
-    fw = &s.topo.addFirewall("edge-fw", profile);
-    s.topo.connect(remote, *fw, wan);
-    s.topo.connect(*fw, dtn, wan);
-    if (mode == 1) {
-      ids = std::make_unique<net::IntrusionDetectionSystem>();
-      ids->setVettingPacketCount(5);
-      controller = std::make_unique<vc::BypassController>(*fw, *ids);
-    }
-  }
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kHtcp;
-  cfg.sndBuf = 128_MB;
-  cfg.rcvBuf = 128_MB;
-  SteadyFlow flow{s, remote, dtn, cfg};
-  PolicyRow row;
-  row.mbps = flow.measure(5_s, 15_s).toMbps();
-  row.established = flow.established();
-  if (fw != nullptr) {
-    row.inspected = fw->firewallStats().inspected;
-    row.drops = fw->firewallStats().dropsInputBuffer;
-  }
-  bench::finishCell(s, cell);
-  return row;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("sdn_policy_comparison: security policy vs science-flow throughput",
-                "Section 7.3 (OpenFlow IDS-then-bypass), Dart et al. SC13");
-
-  const char* names[] = {"always-firewall", "ids-then-bypass (sdn)", "acl-only (science dmz)"};
-  sim::SweepRunner sweep;
-  const auto results = sweep.run<PolicyRow>(
-      3, [](sim::SweepCell& cell) { return run(static_cast<int>(cell.index), cell); },
-      "policies");
-
-  bench::JsonTable table("sdn_policy_comparison",
-                         "security policy vs science-flow throughput",
-                         "Section 7.3 (OpenFlow IDS-then-bypass), Dart et al. SC13",
-                         {"policy", "mbps", "pkts_inspected", "fw_drops"});
-
-  bench::row("%-26s %-12s %-18s %-14s", "policy", "mbps", "pkts_inspected", "fw_drops");
-  for (int mode = 0; mode < 3; ++mode) {
-    const auto& row = results[static_cast<std::size_t>(mode)];
-    bench::row("%-26s %-12s %-18llu %-14llu", names[mode],
-               bench::mbpsCell(row.mbps, row.established).c_str(),
-               static_cast<unsigned long long>(row.inspected),
-               static_cast<unsigned long long>(row.drops));
-    table.addRow({names[mode], bench::mbpsCell(row.mbps, row.established),
-                  static_cast<unsigned long long>(row.inspected),
-                  static_cast<unsigned long long>(row.drops)});
-  }
-  bench::row("%s", "");
-  bench::row("the SDN policy recovers (nearly) the ACL-only rate while still passing");
-  bench::row("connection setup through the IDS — the paper's proposed middle ground.");
-  table.addNote("the SDN policy recovers (nearly) the ACL-only rate while still passing"
-                " connection setup through the IDS — the paper's proposed middle ground");
-  table.write();
-  bench::writeSweepReport(sweep, "sdn_policy_comparison");
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("sdn_policy_comparison"); }

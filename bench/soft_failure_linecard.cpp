@@ -1,162 +1,5 @@
-// Section 2's anecdote, quantified: a 10G router line card drops 1 of
-// every 22,000 packets — a local throughput loss of well under 1 Mbps —
-// yet end-to-end TCP collapses, and the damage grows with latency. We
-// print the device-local view (what an SNMP counter would have to notice)
-// against the end-to-end view at several RTTs.
-//
-// The second section is the telemetry-era ending to the same story: rerun
-// the broken path with the instrumentation layer enabled and localize the
-// lossy hop from recorded probes alone — no packet captures, no manual
-// link-by-link bisection. The flight-recorder trace and the telemetry
-// snapshot are written as artifacts (soft_failure_linecard.trace.jsonl,
-// soft_failure_linecard.telemetry.json) for the CI schema check.
-#include <cstdlib>
-#include <fstream>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run soft_failure_linecard`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "telemetry/diagnosis.hpp"
-#include "tcp/mathis.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-struct Cell {
-  double cleanMbps = 0;
-  double brokenMbps = 0;
-  double localLossMbps = 0;
-};
-
-tcp::TcpConfig flowConfig() {
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kHtcp;
-  cfg.sndBuf = 256_MB;
-  cfg.rcvBuf = 256_MB;
-  return cfg;
-}
-
-/// a --10G--> line-card-router --10G--> b, the broken direction optionally
-/// dropping 1 in 22000 packets toward b.
-net::Link& buildPath(Scenario& s, int rttMs, bool broken) {
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& r = s.topo.addRouter("line-card-router");
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams wan;
-  wan.rate = 10_Gbps;
-  wan.delay = sim::Duration::microseconds(rttMs * 250);
-  wan.mtu = 9000_B;
-  s.topo.connect(a, r, wan);
-  auto& badLink = s.topo.connect(r, b, wan);
-  if (broken) badLink.setLossModel(0, std::make_unique<net::PeriodicLoss>(22000));
-  s.topo.computeRoutes();
-  return badLink;
-}
-
-net::Host& hostAt(Scenario& s, net::Address address) { return *s.topo.findHost(address); }
-
-Cell measure(int rttMs) {
-  Cell cell;
-  for (const bool broken : {false, true}) {
-    Scenario s;
-    auto& badLink = buildPath(s, rttMs, broken);
-    SteadyFlow flow{s, hostAt(s, net::Address(10, 0, 0, 1)), hostAt(s, net::Address(10, 0, 0, 2)),
-                    flowConfig()};
-    const double mbps = flow.measure(5_s, 20_s).toMbps();
-    if (broken) {
-      cell.brokenMbps = mbps;
-      // The device-local view: bits actually dropped per second.
-      const auto& stats = badLink.stats(0);
-      const double lostBits = static_cast<double>(stats.lost) * 9000.0 * 8.0;
-      cell.localLossMbps = lostBits / 25.0 / 1e6;  // over the 25s run
-    } else {
-      cell.cleanMbps = mbps;
-    }
-  }
-  return cell;
-}
-
-/// Rerun the broken 40 ms path with telemetry armed and name the failing
-/// hop from the recorded counters alone.
-void diagnoseFromTelemetry() {
-  Scenario s;
-  s.ctx.telemetry().enable();
-  buildPath(s, /*rttMs=*/40, /*broken=*/true);
-  SteadyFlow flow{s, hostAt(s, net::Address(10, 0, 0, 1)), hostAt(s, net::Address(10, 0, 0, 2)),
-                  flowConfig()};
-  const double brokenMbps = flow.measure(5_s, 20_s).toMbps();
-
-  const auto snapshot = s.ctx.telemetry().snapshot();
-  const auto diagnosis = telemetry::localizeLoss(snapshot);
-
-  bench::row("%s", "");
-  bench::row("telemetry diagnosis (40 ms RTT, broken path at %.1f Mbps, probes only):",
-             brokenMbps);
-  bench::row("  %-44s %s", "loss/drop counter", "count");
-  for (const auto& suspect : diagnosis.suspects) {
-    bench::row("  %-44s %llu", suspect.point.c_str(),
-               static_cast<unsigned long long>(suspect.count));
-  }
-  if (const auto* culprit = diagnosis.culprit()) {
-    bench::row("  => failing hop: %s", culprit->point.c_str());
-  } else {
-    bench::row("  => no loss recorded (unexpected on the broken path)");
-  }
-  for (const auto& series : snapshot.series) {
-    // The sender's cwnd probe corroborates the diagnosis: sawtooth collapse.
-    if (series.name.size() > 11 &&
-        series.name.compare(series.name.size() - 11, 11, "/cwnd_bytes") == 0 &&
-        series.sampleCount > 0 && series.max > series.min) {
-      bench::row("  sender cwnd over the run: min %.0f B, max %.0f B (%zu samples)", series.min,
-                 series.max, series.sampleCount);
-      break;
-    }
-  }
-
-  // Artifacts for CI: the packet-level trace (scidmz.trace.v1 JSONL) and
-  // the summary snapshot (scidmz.telemetry.v1). SCIDMZ_TRACE_JSONL
-  // overrides the trace path; set it empty to skip the files.
-  const char* env = std::getenv("SCIDMZ_TRACE_JSONL");
-  const std::string tracePath = env != nullptr ? env : "soft_failure_linecard.trace.jsonl";
-  if (!tracePath.empty()) {
-    if (!s.ctx.telemetry().writeTrace(tracePath)) {
-      std::fprintf(stderr, "[telemetry] could not write %s\n", tracePath.c_str());
-    }
-    std::ofstream snap("soft_failure_linecard.telemetry.json", std::ios::binary);
-    if (snap) snap << snapshot.toJson() << "\n";
-  }
-}
-
-}  // namespace
-
-int main() {
-  bench::header("soft_failure_linecard: 1/22000 loss, local vs end-to-end damage",
-                "Section 2 failing-line-card anecdote, Dart et al. SC13");
-
-  bench::JsonTable table(
-      "soft_failure_linecard", "1/22000 loss, local vs end-to-end damage",
-      "Section 2 failing-line-card anecdote, Dart et al. SC13",
-      {"rtt_ms", "clean_mbps", "with_card_mbps", "local_drop_mbps", "collapse_factor"});
-
-  bench::row("%-8s %-14s %-16s %-20s %-12s", "rtt_ms", "clean_mbps", "with_card_mbps",
-             "local_drop_mbps", "collapse");
-  for (const int rtt : {2, 10, 40, 80}) {
-    const auto cell = measure(rtt);
-    const double collapse = cell.cleanMbps / std::max(cell.brokenMbps, 1.0);
-    bench::row("%-8d %-14.1f %-16.1f %-20.3f %.0fx", rtt, cell.cleanMbps, cell.brokenMbps,
-               cell.localLossMbps, collapse);
-    table.addRow({rtt, cell.cleanMbps, cell.brokenMbps, cell.localLossMbps, collapse});
-  }
-  bench::row("%s", "");
-  bench::row("paper's point: the card itself loses <1 Mbps of traffic, invisible to");
-  bench::row("error counters, while end-to-end TCP loses orders of magnitude more;");
-  bench::row("only active measurement (owamp) sees it. (cf. bench/fig2_dashboard_mesh)");
-  table.addNote("the card itself loses <1 Mbps of traffic, invisible to error counters,"
-                " while end-to-end TCP loses orders of magnitude more");
-  table.write();
-
-  diagnoseFromTelemetry();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("soft_failure_linecard"); }

@@ -1,44 +1,5 @@
-// Section 6.1 / Figures 6-7: University of Colorado fan-in incident.
-// Physics hosts on 1G ports pull LHC data through an aggregation switch
-// whose cut-through fallback is defective. Rows: host count x fix state.
-#include "../bench/bench_util.hpp"
-#include "usecase/colorado.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run usecase_colorado_fanin`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-using namespace scidmz::usecase;
-
-int main() {
-  bench::header("usecase_colorado_fanin: RCNet aggregation switch defect",
-                "Section 6.1 + Figures 6-7, Dart et al. SC13");
-
-  bench::JsonTable table(
-      "usecase_colorado_fanin", "RCNet aggregation switch defect",
-      "Section 6.1 + Figures 6-7, Dart et al. SC13",
-      {"hosts", "fix", "latched_sf", "switch_drops", "worst_mbps", "aggregate_mbps"});
-
-  bench::row("%-8s %-10s %-12s %-16s %-14s %-14s", "hosts", "fix", "latched_sf",
-             "switch_drops", "worst_mbps", "aggregate_mbps");
-  for (const int hosts : {2, 5, 8}) {
-    for (const bool fixed : {false, true}) {
-      ColoradoConfig config;
-      config.physicsHosts = hosts;
-      config.vendorFixApplied = fixed;
-      const auto result = runColorado(config);
-      bench::row("%-8d %-10s %-12s %-16llu %-14.1f %-14.1f", hosts, fixed ? "applied" : "no",
-                 result.storeForwardLatched ? "yes" : "no",
-                 static_cast<unsigned long long>(result.switchDrops), result.worstHostMbps(),
-                 result.aggregateMbps);
-      table.addRow({hosts, fixed ? "applied" : "no", result.storeForwardLatched ? "yes" : "no",
-                    static_cast<unsigned long long>(result.switchDrops), result.worstHostMbps(),
-                    result.aggregateMbps});
-    }
-  }
-  bench::row("%s", "");
-  bench::row("paper outcome: before the vendor fix, heavy use collapsed throughput");
-  bench::row("(store-and-forward fallback lost its buffers); after the fix,");
-  bench::row("\"performance returned to near line rate for each member\".");
-  table.addNote("before the vendor fix, heavy use collapsed throughput; after the fix,"
-                " performance returned to near line rate for each member");
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("usecase_colorado_fanin"); }

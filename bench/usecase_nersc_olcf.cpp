@@ -1,37 +1,5 @@
-// Section 6.4: NERSC <-> OLCF DTN deployment — the carbon-14 collaboration
-// whose 33 GB input files took a workday each before the DTNs.
-#include "../bench/bench_util.hpp"
-#include "usecase/nersc_olcf.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run usecase_nersc_olcf`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-
-int main() {
-  bench::header("usecase_nersc_olcf: inter-center mass storage transfers",
-                "Section 6.4, Dart et al. SC13");
-
-  const auto r = usecase::runNerscOlcf();
-  bench::row("%-26s %-12s %-20s %-18s", "path", "rate_MBps", "33GB file", "40TB campaign");
-  bench::row("%-26s %-12.2f %-20s %-18s", "login-node path (before)", r.beforeMBps,
-             (std::to_string(r.fileTimeBefore.toSeconds() / 3600.0).substr(0, 4) + " hours").c_str(),
-             "months");
-  bench::row("%-26s %-12.1f %-20s %.2f days", "DTN to DTN (after)", r.afterMBps,
-             (std::to_string(r.fileTimeAfter.toSeconds() / 60.0).substr(0, 4) + " minutes").c_str(),
-             r.campaignTimeAfter.toSeconds() / 86400.0);
-  bench::row("%s", "");
-  bench::row("speedup: %.0fx    (paper: >workday for one 33 GB file -> 200 MB/s;", r.speedup());
-  bench::row("40 TB in under three days; \"at least a factor of 20\" for many groups)");
-
-  bench::JsonTable table("usecase_nersc_olcf", "inter-center mass storage transfers",
-                         "Section 6.4, Dart et al. SC13",
-                         {"path", "rate_MBps", "file_33gb_hours", "campaign_40tb_days"});
-  table.addRow({"login-node path (before)", r.beforeMBps,
-                r.fileTimeBefore.toSeconds() / 3600.0, "months"});
-  table.addRow({"DTN to DTN (after)", r.afterMBps, r.fileTimeAfter.toSeconds() / 3600.0,
-                r.campaignTimeAfter.toSeconds() / 86400.0});
-  table.addNote(bench::formatRow(
-      "speedup: %.0fx (paper: >workday for one 33 GB file -> 200 MB/s; 40 TB in under"
-      " three days)",
-      r.speedup()));
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("usecase_nersc_olcf"); }

@@ -1,31 +1,5 @@
-// Section 6.3: NOAA reforecast retrieval from NERSC — legacy firewalled
-// FTP path vs the Science DMZ DTN path with Globus-style transfers.
-#include "../bench/bench_util.hpp"
-#include "usecase/noaa.hpp"
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run usecase_noaa_transfer`.
+#include "scenario/run.hpp"
 
-using namespace scidmz;
-
-int main() {
-  bench::header("usecase_noaa_transfer: NERSC -> NOAA reforecast retrieval",
-                "Section 6.3, Dart et al. SC13");
-
-  const auto r = usecase::runNoaa();
-  bench::row("%-28s %-14s %-20s", "path", "rate_MBps", "239.5GB batch time");
-  bench::row("%-28s %-14.2f %s", "firewalled FTP (legacy)", r.legacyMBps,
-             r.legacyMBps > 0 ? "weeks (extrapolated)" : "n/a");
-  bench::row("%-28s %-14.1f %.1f minutes", "science DMZ DTN + Globus", r.dmzMBps,
-             r.dmzBatchTime.toSeconds() / 60.0);
-  bench::row("%s", "");
-  bench::row("speedup: %.0fx    (paper: 1-2 MB/s -> ~395 MB/s, \"nearly 200 times\",", r.speedup());
-  bench::row("273 files / 239.5 GB \"in just over 10 minutes\")");
-
-  bench::JsonTable table("usecase_noaa_transfer", "NERSC -> NOAA reforecast retrieval",
-                         "Section 6.3, Dart et al. SC13",
-                         {"path", "rate_MBps", "batch_minutes"});
-  table.addRow({"firewalled FTP (legacy)", r.legacyMBps, "weeks (extrapolated)"});
-  table.addRow({"science DMZ DTN + Globus", r.dmzMBps, r.dmzBatchTime.toSeconds() / 60.0});
-  table.addNote(bench::formatRow(
-      "speedup: %.0fx (paper: 1-2 MB/s -> ~395 MB/s, nearly 200 times)", r.speedup()));
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("usecase_noaa_transfer"); }

@@ -1,135 +1,5 @@
-// Section 6.2 / Figure 8: Penn State CoE / VTTI firewall incident. The
-// firewall's TCP flow sequence checking strips RFC 1323 window scaling,
-// pinning windows at 64 KB; disabling it multiplies throughput. We print
-// the before/after table plus a Figure 8-style utilization time series
-// (sampled link utilization around the change).
-#include <memory>
-#include <vector>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run usecase_pennstate_firewall`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "usecase/pennstate.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-
-namespace {
-
-/// Figure 8 style: sample CoE-edge utilization while flows run, with the
-/// firewall feature disabled mid-run.
-void utilizationTimeSeries(bench::JsonTable& utilTable) {
-  Scenario s;
-  auto& vtti = s.topo.addHost("vtti", net::Address(198, 82, 0, 1));
-  auto profile = net::FirewallProfile::enterprise10G();
-  profile.tcpSequenceChecking = true;
-  auto& fw = s.topo.addFirewall("coe-fw", profile);
-  auto& server = s.topo.addHost("coe-server", net::Address(10, 30, 1, 1));
-  net::LinkParams outside;
-  outside.rate = 1_Gbps;
-  outside.delay = 5_ms;
-  s.topo.connect(vtti, fw, outside);
-  net::LinkParams inside;
-  inside.rate = 1_Gbps;
-  inside.delay = 10_us;
-  s.topo.connect(fw, server, inside);
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kCubic;
-  cfg.sndBuf = 64_MB;
-  cfg.rcvBuf = 64_MB;
-
-  // Long-lived inbound flow; a fresh connection every 30s (transfers were
-  // ongoing; new connections pick up the fixed behaviour after the change).
-  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
-  auto launchFlow = [&](std::uint16_t port) {
-    auto listener = std::make_unique<tcp::TcpListener>(server, port, cfg);
-    auto client = std::make_unique<tcp::TcpConnection>(vtti, server.address(), port, cfg);
-    auto* raw = client.get();
-    client->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
-    client->start();
-    listeners.push_back(std::move(listener));
-    clients.push_back(std::move(client));
-  };
-
-  launchFlow(5001);
-  bench::row("%s", "");
-  bench::row("figure-8-style SNMP series (edge utilization, 10s samples):");
-  bench::row("%-8s %-12s %-10s", "t_sec", "util_mbps", "note");
-
-  auto sampleDelivered = [&clients]() {
-    sim::DataSize total = sim::DataSize::zero();
-    for (const auto& c : clients) total += c->stats().bytesAcked;
-    return total;
-  };
-
-  sim::DataSize last = sim::DataSize::zero();
-  for (int t = 10; t <= 120; t += 10) {
-    if (t == 60) {
-      fw.setTcpSequenceChecking(false);
-      // Ongoing connections keep their broken negotiation; users restart
-      // their transfers (new connections) as word of the fix spreads.
-      launchFlow(5002);
-    }
-    s.simulator.runFor(10_s);
-    const auto now = sampleDelivered();
-    const double mbps = static_cast<double>((now - last).bitCount()) / 10.0 / 1e6;
-    last = now;
-    bench::row("%-8d %-12.1f %-10s", t, mbps,
-               t == 60 ? "<- sequence checking disabled" : "");
-    utilTable.addRow({t, mbps, t == 60 ? "sequence checking disabled" : ""});
-  }
-}
-
-}  // namespace
-
-int main() {
-  bench::header("usecase_pennstate_firewall: window scaling stripped by the firewall",
-                "Section 6.2 + Figure 8 + Equation 2, Dart et al. SC13");
-
-  usecase::PennStateConfig config;
-  bench::row("equation 2: required window = %s (paper: 1.25 MB, ~20x the 64KB default)",
-             sim::toString(usecase::requiredWindow(config)).c_str());
-
-  bench::JsonTable table(
-      "usecase_pennstate_firewall", "window scaling stripped by the firewall",
-      "Section 6.2 + Figure 8 + Equation 2, Dart et al. SC13",
-      {"direction", "sequence_checking", "mbps", "peak_window_bytes"});
-
-  const auto r = usecase::runPennState(config);
-  bench::row("%s", "");
-  bench::row("%-12s %-22s %-14s %-18s", "direction", "sequence_checking", "mbps",
-             "peak_window_bytes");
-  bench::row("%-12s %-22s %-14.1f %-18llu", "inbound", "on (before)", r.inboundBefore.mbps,
-             static_cast<unsigned long long>(r.inboundBefore.peakWindowBytes));
-  bench::row("%-12s %-22s %-14.1f %-18llu", "outbound", "on (before)", r.outboundBefore.mbps,
-             static_cast<unsigned long long>(r.outboundBefore.peakWindowBytes));
-  bench::row("%-12s %-22s %-14.1f %-18llu", "inbound", "off (after)", r.inboundAfter.mbps,
-             static_cast<unsigned long long>(r.inboundAfter.peakWindowBytes));
-  bench::row("%-12s %-22s %-14.1f %-18llu", "outbound", "off (after)", r.outboundAfter.mbps,
-             static_cast<unsigned long long>(r.outboundAfter.peakWindowBytes));
-  table.addRow({"inbound", "on (before)", r.inboundBefore.mbps,
-                static_cast<unsigned long long>(r.inboundBefore.peakWindowBytes)});
-  table.addRow({"outbound", "on (before)", r.outboundBefore.mbps,
-                static_cast<unsigned long long>(r.outboundBefore.peakWindowBytes)});
-  table.addRow({"inbound", "off (after)", r.inboundAfter.mbps,
-                static_cast<unsigned long long>(r.inboundAfter.peakWindowBytes)});
-  table.addRow({"outbound", "off (after)", r.outboundAfter.mbps,
-                static_cast<unsigned long long>(r.outboundAfter.peakWindowBytes)});
-  bench::row("%s", "");
-  bench::row("speedup: inbound %.1fx, outbound %.1fx (paper: ~5x inbound, ~12x outbound",
-             r.inboundSpeedup(), r.outboundSpeedup());
-  bench::row("from a lower outbound baseline; our symmetric model improves both alike)");
-  table.addNote(bench::formatRow("speedup: inbound %.1fx, outbound %.1fx (paper: ~5x inbound,"
-                                 " ~12x outbound from a lower outbound baseline)",
-                                 r.inboundSpeedup(), r.outboundSpeedup()));
-  table.write();
-
-  bench::JsonTable utilTable("usecase_pennstate_firewall_util",
-                             "figure-8-style SNMP series (edge utilization, 10s samples)",
-                             "Figure 8, Dart et al. SC13", {"t_sec", "util_mbps", "note"});
-  utilizationTimeSeries(utilTable);
-  utilTable.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("usecase_pennstate_firewall"); }

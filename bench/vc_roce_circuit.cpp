@@ -1,133 +1,5 @@
-// Section 7.1: virtual circuits and RDMA transports. OSCARS admission
-// control carves a guaranteed 40G circuit; RoCE on that circuit matches
-// TCP's goodput at ~1/50th the CPU (Kissel et al.: 39.5 Gbps single flow
-// on a 40GE host); the same RoCE stream without a loss-free circuit
-// collapses under go-back-N.
-#include <memory>
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run vc_roce_circuit`.
+#include "scenario/run.hpp"
 
-#include "../bench/bench_util.hpp"
-#include "vc/oscars.hpp"
-#include "vc/roce.hpp"
-
-using namespace scidmz;
-using namespace scidmz::sim::literals;
-using scidmz::bench::Scenario;
-using scidmz::bench::SteadyFlow;
-
-namespace {
-
-struct TransportRow {
-  double gbps = 0;
-  double cpuUnits = 0;
-  double wastedGB = 0;
-};
-
-TransportRow runRoce(double lossRate) {
-  Scenario s;
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams circuit;
-  circuit.rate = 40_Gbps;
-  circuit.delay = 10_ms;
-  circuit.mtu = 9000_B;
-  auto& wire = s.topo.connect(a, b, circuit);
-  if (lossRate > 0) {
-    wire.setLossModel(0, std::make_unique<net::RandomLoss>(lossRate, s.rng.fork(6)));
-  }
-  s.topo.computeRoutes();
-
-  vc::RoceTransfer::Options options;
-  options.rate = 40_Gbps;
-  vc::RoceTransfer transfer{a, b, 10_GB, options};
-  transfer.start();
-  s.simulator.runFor(600_s);
-
-  TransportRow row;
-  row.gbps = transfer.result().goodput.toGbps();
-  row.cpuUnits = transfer.result().cpuUnits;
-  row.wastedGB = transfer.result().bytesWasted.toGB();
-  return row;
-}
-
-TransportRow runTcp() {
-  Scenario s;
-  auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-  auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-  net::LinkParams circuit;
-  circuit.rate = 40_Gbps;
-  circuit.delay = 10_ms;
-  circuit.mtu = 9000_B;
-  s.topo.connect(a, b, circuit);
-  s.topo.computeRoutes();
-
-  tcp::TcpConfig cfg;
-  cfg.algorithm = tcp::CcAlgorithm::kHtcp;
-  cfg.sndBuf = 512_MB;
-  cfg.rcvBuf = 512_MB;
-  SteadyFlow flow{s, a, b, cfg};
-  TransportRow row;
-  const auto rate = flow.measure(3_s, 4_s);
-  row.gbps = rate.toGbps();
-  row.cpuUnits = vc::tcpCpuUnits(rate.bytesIn(4_s));
-  return row;
-}
-
-}  // namespace
-
-int main() {
-  bench::header("vc_roce_circuit: RoCE vs TCP on a guaranteed 40G virtual circuit",
-                "Section 7.1 (OSCARS + RoCE, Kissel et al. numbers), Dart et al. SC13");
-
-  // --- OSCARS carves the circuit ----------------------------------------
-  {
-    Scenario s;
-    auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
-    auto& sw = s.topo.addSwitch("core");
-    auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
-    net::LinkParams lp;
-    lp.rate = 40_Gbps;
-    s.topo.connect(a, sw, lp);
-    s.topo.connect(sw, b, lp);
-    s.topo.computeRoutes();
-    vc::OscarsService oscars{s.topo};
-    const auto start = sim::SimTime::zero();
-    const auto id = oscars.reserve(a.address(), b.address(), 40_Gbps, start,
-                                   start + sim::Duration::seconds(3600));
-    bench::row("oscars: reserved 40G a->b for 1h: %s", id ? "granted" : "DENIED");
-    const auto second = oscars.reserve(a.address(), b.address(), 1_Gbps, start,
-                                       start + sim::Duration::seconds(3600));
-    bench::row("oscars: a second 1G overlapping request: %s (admission control)",
-               second ? "granted (bug)" : "denied, circuit is full");
-  }
-
-  bench::JsonTable table(
-      "vc_roce_circuit", "RoCE vs TCP on a guaranteed 40G virtual circuit",
-      "Section 7.1 (OSCARS + RoCE, Kissel et al. numbers), Dart et al. SC13",
-      {"transport", "gbps", "cpu_units", "wasted_GB"});
-
-  bench::row("%s", "");
-  bench::row("%-30s %-12s %-14s %-12s", "transport", "gbps", "cpu_units", "wasted_GB");
-  const auto tcp = runTcp();
-  bench::row("%-30s %-12.1f %-14.3f %-12s", "tcp (htcp) on circuit", tcp.gbps, tcp.cpuUnits, "-");
-  table.addRow({"tcp (htcp) on circuit", tcp.gbps, tcp.cpuUnits, "-"});
-  const auto roce = runRoce(0.0);
-  bench::row("%-30s %-12.1f %-14.3f %-12.2f", "roce on loss-free circuit", roce.gbps,
-             roce.cpuUnits, roce.wastedGB);
-  table.addRow({"roce on loss-free circuit", roce.gbps, roce.cpuUnits, roce.wastedGB});
-  const auto roceLossy = runRoce(1e-4);
-  bench::row("%-30s %-12.1f %-14.3f %-12.2f", "roce without circuit (1e-4 loss)",
-             roceLossy.gbps, roceLossy.cpuUnits, roceLossy.wastedGB);
-  table.addRow({"roce without circuit (1e-4 loss)", roceLossy.gbps, roceLossy.cpuUnits,
-                roceLossy.wastedGB});
-  bench::row("%s", "");
-  bench::row("cpu per GB moved, tcp/roce: %.0fx (paper: ~50x less CPU;",
-             vc::kTcpCpuUnitsPerGB / vc::kRoceCpuUnitsPerGB);
-  bench::row("39.5 Gbps single flow on a 40GE host). without the circuit, go-back-N");
-  bench::row("wastes the pipe: RoCE requires the loss-free guaranteed-bandwidth path.");
-  table.addNote(bench::formatRow(
-      "cpu per GB moved, tcp/roce: %.0fx (paper: ~50x less CPU); without the circuit,"
-      " go-back-N wastes the pipe",
-      vc::kTcpCpuUnitsPerGB / vc::kRoceCpuUnitsPerGB));
-  table.write();
-  return 0;
-}
+int main() { return scidmz::scenario::runScenarioMain("vc_roce_circuit"); }

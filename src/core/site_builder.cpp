@@ -1,5 +1,6 @@
 #include "core/site_builder.hpp"
 
+#include <stdexcept>
 #include <string>
 
 #include "core/security_policy.hpp"
@@ -61,6 +62,27 @@ net::SwitchDevice& buildEnterprise(net::Topology& topology, Site& site,
   return campusSwitch;
 }
 
+/// Every builder validates its config up front: a zero-rate WAN or an empty
+/// DTN pool builds a topology that deadlocks or divides by zero deep inside
+/// the simulation, far from the mistake.
+void validateSiteConfig(const SiteConfig& config, const char* builder) {
+  const std::string where = std::string(builder) + ": SiteConfig.";
+  if (config.wan.rate.bps() == 0) {
+    throw std::invalid_argument(where +
+                                "wan.rate is zero; set a positive WAN rate "
+                                "(e.g. sim::DataRate::gigabitsPerSecond(10))");
+  }
+  if (config.dtnCount <= 0) {
+    throw std::invalid_argument(where + "dtnCount is " + std::to_string(config.dtnCount) +
+                                "; at least one DTN is required");
+  }
+  if (config.computeNodeCount < 0) {
+    throw std::invalid_argument(where + "computeNodeCount is " +
+                                std::to_string(config.computeNodeCount) +
+                                "; use 0 for no compute nodes");
+  }
+}
+
 void applyDmzPolicy(Site& site) {
   if (site.dmzSwitch == nullptr) return;
   DmzServicePolicy policy;
@@ -75,6 +97,7 @@ void applyDmzPolicy(Site& site) {
 
 std::unique_ptr<Site> buildGeneralPurposeCampus(net::Topology& topology,
                                                 const SiteConfig& config) {
+  validateSiteConfig(config, "buildGeneralPurposeCampus");
   auto site = std::make_unique<Site>(topology, SiteKind::kGeneralPurposeCampus);
   auto& ctx = topology.ctx();
 
@@ -95,6 +118,7 @@ std::unique_ptr<Site> buildGeneralPurposeCampus(net::Topology& topology,
 }
 
 std::unique_ptr<Site> buildSimpleScienceDmz(net::Topology& topology, const SiteConfig& config) {
+  validateSiteConfig(config, "buildSimpleScienceDmz");
   auto site = std::make_unique<Site>(topology, SiteKind::kSimpleScienceDmz);
   auto& ctx = topology.ctx();
 
@@ -123,6 +147,7 @@ std::unique_ptr<Site> buildSimpleScienceDmz(net::Topology& topology, const SiteC
 
 std::unique_ptr<Site> buildSupercomputerCenter(net::Topology& topology,
                                                const SiteConfig& config) {
+  validateSiteConfig(config, "buildSupercomputerCenter");
   auto site = std::make_unique<Site>(topology, SiteKind::kSupercomputerCenter);
   auto& ctx = topology.ctx();
 
@@ -166,6 +191,7 @@ std::unique_ptr<Site> buildSupercomputerCenter(net::Topology& topology,
 }
 
 std::unique_ptr<Site> buildBigDataSite(net::Topology& topology, const SiteConfig& config) {
+  validateSiteConfig(config, "buildBigDataSite");
   auto site = std::make_unique<Site>(topology, SiteKind::kBigDataSite);
   auto& ctx = topology.ctx();
 

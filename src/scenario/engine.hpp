@@ -1,0 +1,53 @@
+// The scenario engine: materialize a ScenarioSpec into a live topology +
+// applications, run it, and return a flat name -> value metric map.
+//
+// Determinism contract: a given spec produces bit-identical metrics on
+// every run at any SCIDMZ_SWEEP_THREADS — device construction touches no
+// simulator state, loss/background rngs are pure forks of the cell seed,
+// and every metric is either an exact integer counter (< 2^53) or a value
+// computed by the simulation itself. Renderers that need a legacy table's
+// derived quantities (Mbps, fractions, speedups) recompute them from these
+// raw metrics with the exact legacy arithmetic.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "sim/sweep.hpp"
+
+namespace scidmz::scenario {
+
+/// Flat results of one scenario cell. Keys are "<prefix>.<metric>":
+/// workload metrics under the workload's label (or "w<index>"), device
+/// counters under "fw."/"sw."/"seg<k>.", analytic passes under
+/// "validate."/"path.", and a labeled workload additionally snapshots the
+/// device counters under "<label>." at its completion instant.
+struct ScenarioResult {
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return metrics.find(name) != metrics.end();
+  }
+  [[nodiscard]] double get(const std::string& name, double fallback = 0.0) const {
+    const auto it = metrics.find(name);
+    return it == metrics.end() ? fallback : it->second;
+  }
+  /// Throwing lookup for metrics a renderer cannot do without.
+  [[nodiscard]] double at(const std::string& name) const {
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      throw std::out_of_range("scenario result has no metric \"" + name + "\"");
+    }
+    return it->second;
+  }
+};
+
+/// Build the spec's topology, run its analysis passes and workloads in
+/// order, and finish the sweep cell (events executed + telemetry snapshot).
+/// Throws SpecError when the spec combines a workload with a topology that
+/// cannot host it (e.g. a campaign on a two-host path).
+ScenarioResult runSpec(const ScenarioSpec& spec, sim::SweepCell& cell);
+
+}  // namespace scidmz::scenario

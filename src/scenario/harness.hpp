@@ -1,0 +1,84 @@
+// Simulation bootstrap shared by the scenario engine and the catalog
+// renderers: one Scenario owns the simulator/rng/logger/context/topology
+// for a single cell, SteadyFlow measures one bulk TCP flow's steady-state
+// goodput, and finishCell() does the standard end-of-cell sweep
+// bookkeeping. (Moved here from bench/bench_util.hpp so benches, the
+// scenario engine, and scidmz_run share one harness.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/topology.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "tcp/connection.hpp"
+
+namespace scidmz::scenario {
+
+struct Scenario {
+  Scenario() = default;
+  explicit Scenario(std::uint64_t seed) : rng(seed) {}
+
+  sim::Simulator simulator;
+  sim::Rng rng{20130101};
+  sim::Logger logger;
+  net::Context ctx{simulator, rng, logger};
+  net::Topology topo{ctx};
+};
+
+/// Standard end-of-cell bookkeeping: record events executed and, when the
+/// scenario instrumented itself (SCIDMZ_TELEMETRY=1 or an explicit
+/// enable()), attach the telemetry snapshot so writeSweepReport() merges it
+/// into the cell's BENCH_sim.json entry.
+inline void finishCell(Scenario& s, sim::SweepCell& cell) {
+  cell.eventsExecuted = s.simulator.eventsExecuted();
+  if (s.ctx.telemetry().enabled()) {
+    cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
+  }
+}
+
+/// Steady-state goodput of one bulk TCP flow between two hosts: start an
+/// effectively infinite transfer, discard `warmup`, measure `window`.
+struct SteadyFlow {
+  SteadyFlow(Scenario& s, net::Host& src, net::Host& dst, tcp::TcpConfig config,
+             std::uint16_t port = 5001)
+      : scenario(s) {
+    listener = std::make_unique<tcp::TcpListener>(dst, port, config);
+    listener->onAccept = [this](tcp::TcpConnection& c) { server = &c; };
+    client = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+    client->onEstablished = [this] { client->sendData(sim::DataSize::terabytes(100)); };
+    client->start();
+  }
+
+  /// Receiver-side goodput over `window` after discarding `warmup`. The
+  /// connection is pinned at the start of the window: if the listener has
+  /// not accepted by then the measurement is meaningless, so this returns
+  /// zero and flips established() false rather than silently measuring a
+  /// flow that only appeared (or never appeared) mid-window off a zero base.
+  [[nodiscard]] sim::DataRate measure(sim::Duration warmup, sim::Duration window) {
+    scenario.simulator.runFor(warmup);
+    tcp::TcpConnection* measured = server;
+    established_ = measured != nullptr;
+    const auto base = measured != nullptr ? measured->deliveredBytes() : sim::DataSize::zero();
+    scenario.simulator.runFor(window);
+    if (measured == nullptr) return sim::DataRate::zero();
+    const auto delta = measured->deliveredBytes() - base;
+    return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
+        static_cast<double>(delta.bitCount()) / window.toSeconds()));
+  }
+
+  /// False when the flow had not established by the start of the last
+  /// measure() window — surface as "n/e" in bench tables via mbpsCell().
+  [[nodiscard]] bool established() const { return established_; }
+
+  Scenario& scenario;
+  std::unique_ptr<tcp::TcpListener> listener;
+  std::unique_ptr<tcp::TcpConnection> client;
+  tcp::TcpConnection* server = nullptr;
+  bool established_ = true;
+};
+
+}  // namespace scidmz::scenario

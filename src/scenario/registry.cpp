@@ -1,0 +1,25 @@
+#include "scenario/registry.hpp"
+
+namespace scidmz::scenario {
+
+const ScenarioEntry* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    registerFigureScenarios(r);
+    registerArchScenarios(r);
+    registerUsecaseScenarios(r);
+    registerAblationScenarios(r);
+    registerVcScenarios(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace scidmz::scenario

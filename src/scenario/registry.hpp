@@ -1,0 +1,60 @@
+// The scenario catalog: every paper figure, reference architecture,
+// Section 6 use case, and ablation registers its ScenarioSpec(s) plus a
+// renderer that turns the raw per-cell metrics back into the bench's
+// table. Benches become thin wrappers over runScenarioMain(name), and
+// scidmz_run drives the same entries from the command line.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+
+namespace scidmz::scenario {
+
+/// One sweep cell's spec and the metrics the engine produced for it.
+struct CellOutcome {
+  const ScenarioSpec* spec = nullptr;
+  ScenarioResult result;
+};
+
+struct ScenarioEntry {
+  std::string name;       ///< bench/binary name, e.g. "fig1_tcp_loss_rtt"
+  std::string family;     ///< "figure" | "arch" | "usecase" | "ablation" | "vc"
+  std::string title;      ///< header/table title (header prints "name: title")
+  std::string paperRef;
+  std::string sweepName;  ///< SweepRunner sweep label
+  /// The cells, in sweep/table order. Empty for native entries.
+  std::function<std::vector<ScenarioSpec>()> specs;
+  /// Print the tables/notes from the sweep results. Runs after all cells
+  /// complete, on the main thread, in legacy output order.
+  std::function<void(const ScenarioEntry&, const std::vector<CellOutcome>&)> render;
+  /// A fully self-driven entry (fig2's perfSONAR mesh): builds, runs, and
+  /// prints on its own. Mutually exclusive with specs/render.
+  std::function<void()> native;
+};
+
+class ScenarioRegistry {
+ public:
+  void add(ScenarioEntry entry) { entries_.push_back(std::move(entry)); }
+  [[nodiscard]] const ScenarioEntry* find(const std::string& name) const;
+  [[nodiscard]] const std::vector<ScenarioEntry>& entries() const { return entries_; }
+
+  /// The built-in catalog, in paper order (figures, architectures, use
+  /// cases, ablations, virtual circuits).
+  static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<ScenarioEntry> entries_;
+};
+
+// One registration hook per catalog translation unit.
+void registerFigureScenarios(ScenarioRegistry& registry);
+void registerArchScenarios(ScenarioRegistry& registry);
+void registerUsecaseScenarios(ScenarioRegistry& registry);
+void registerAblationScenarios(ScenarioRegistry& registry);
+void registerVcScenarios(ScenarioRegistry& registry);
+
+}  // namespace scidmz::scenario

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "../net/test_util.hpp"
 
 namespace scidmz::core {
@@ -114,6 +117,49 @@ TEST(SiteBuilder, DmzAclAllowsGridFtpBlocksSsh) {
   net::Packet ssh = gridftp;
   ssh.flow.dstPort = 22;
   EXPECT_FALSE(acl.permits(ssh));
+}
+
+
+TEST(SiteBuilder, RejectsNonPositiveDtnCount) {
+  Scenario s;
+  SiteConfig config;
+  config.dtnCount = 0;
+  try {
+    buildSupercomputerCenter(s.topo, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dtnCount is 0"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("buildSupercomputerCenter"), std::string::npos)
+        << e.what();
+  }
+  config.dtnCount = -3;
+  EXPECT_THROW(buildBigDataSite(s.topo, config), std::invalid_argument);
+}
+
+TEST(SiteBuilder, RejectsNegativeComputeNodeCount) {
+  Scenario s;
+  SiteConfig config;
+  config.computeNodeCount = -1;
+  try {
+    buildSupercomputerCenter(s.topo, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("computeNodeCount is -1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SiteBuilder, RejectsZeroWanRate) {
+  Scenario s;
+  SiteConfig config;
+  config.wan.rate = sim::DataRate::bitsPerSecond(0);
+  try {
+    buildSimpleScienceDmz(s.topo, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("wan.rate is zero"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(buildGeneralPurposeCampus(s.topo, config), std::invalid_argument);
 }
 
 }  // namespace

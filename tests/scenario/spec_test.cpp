@@ -1,0 +1,136 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/json.hpp"
+#include "scenario/registry.hpp"
+
+namespace scidmz::scenario {
+namespace {
+
+/// Every spec the catalog registers survives parse(serialize(parse(x)))
+/// with byte-identical output — the property `scidmz_run --dump` and
+/// ad-hoc `--spec` files rely on.
+TEST(ScenarioSpec, CatalogRoundTripsByteIdentical) {
+  std::size_t cells = 0;
+  for (const auto& entry : ScenarioRegistry::builtin().entries()) {
+    if (!entry.specs) continue;  // native entries have no spec form
+    for (const auto& spec : entry.specs()) {
+      const std::string once = spec.toJson().dump();
+      const auto reparsed = ScenarioSpec::parse(once);
+      EXPECT_EQ(reparsed.toJson().dump(), once) << entry.name << " / " << spec.name;
+      ++cells;
+    }
+  }
+  EXPECT_GT(cells, 100u);  // the catalog is not accidentally empty
+}
+
+TEST(ScenarioSpec, PrettyFormAlsoRoundTrips) {
+  const auto specs = ScenarioRegistry::builtin().find("fig1_tcp_loss_rtt")->specs();
+  ASSERT_FALSE(specs.empty());
+  const std::string compact = specs[0].toJson().dump();
+  EXPECT_EQ(ScenarioSpec::parse(specs[0].toJson().pretty()).toJson().dump(), compact);
+}
+
+TEST(ScenarioSpec, DefaultSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "defaults";
+  const std::string once = spec.toJson().dump();
+  EXPECT_EQ(ScenarioSpec::parse(once).toJson().dump(), once);
+}
+
+TEST(ScenarioSpec, UnknownKeyErrorNamesTheKey) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  Json doc = spec.toJson();
+  doc["topology"]["path"]["link"].set("rateMbps", 100);
+  try {
+    ScenarioSpec::fromJson(doc);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key \"rateMbps\""), std::string::npos) << what;
+    EXPECT_NE(what.find("topology.path.link"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, BadEnumErrorNamesValueAndKey) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  WorkloadSpec w;
+  spec.workloads.push_back(w);
+  Json doc = spec.toJson();
+  // Array elements are const through the public API; rebuild the workload
+  // entry with the bad enum instead.
+  Json bad = doc["workloads"].at(0);
+  bad["tcp"].set("cc", "vegas");
+  doc.set("workloads", Json::array());
+  doc["workloads"].push(std::move(bad));
+  try {
+    ScenarioSpec::fromJson(doc);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown value \"vegas\""), std::string::npos) << what;
+    EXPECT_NE(what.find("cc"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, WrongSchemaIsRejected) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  Json doc = spec.toJson();
+  doc.set("schema", "scidmz.scenario.v0");
+  try {
+    ScenarioSpec::fromJson(doc);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("scidmz.scenario.v0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSpec, MissingKeyErrorNamesTheKey) {
+  EXPECT_THROW(ScenarioSpec::parse("{\"schema\":\"scidmz.scenario.v1\"}"), SpecError);
+  try {
+    ScenarioSpec::parse("{\"schema\":\"scidmz.scenario.v1\"}");
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing key \"name\""), std::string::npos) << e.what();
+  }
+}
+
+// --- the JSON layer under the spec ----------------------------------------
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  EXPECT_THROW(Json::parse("{} x"), JsonError);
+  EXPECT_THROW(Json::parse(""), JsonError);
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    Json::parse("{\n  \"a\": nope\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, DumpIsDeterministicAndOrdered) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2.5);
+  obj.set("m", "text");
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2.5,\"m\":\"text\"}");  // insertion order kept
+  EXPECT_EQ(Json::parse(obj.dump()).dump(), obj.dump());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  Json obj = Json::object();
+  obj.set("s", std::string("tab\t quote\" back\\ nl\n"));
+  EXPECT_EQ(Json::parse(obj.dump()).dump(), obj.dump());
+  EXPECT_EQ(Json::parse(obj.dump())["s"].asString(), "tab\t quote\" back\\ nl\n");
+}
+
+}  // namespace
+}  // namespace scidmz::scenario

@@ -1,0 +1,266 @@
+// scidmz_run — one driver for the whole scenario catalog.
+//
+//   scidmz_run --list                     # catalog: name, family, cells, title
+//   scidmz_run --run fig1_tcp_loss_rtt    # run a catalog entry (repeatable)
+//   scidmz_run --spec myspec.json         # run an ad-hoc scidmz.scenario.v1 spec
+//   scidmz_run --spec s.json --sweep topology.path.link.rateMbps=1000,10000
+//   scidmz_run --dump                     # scidmz.scenario.catalog.v1 to stdout
+//   scidmz_run --out DIR ...              # artifacts under DIR (unless the
+//                                         # SCIDMZ_* env vars already say else)
+//
+// Catalog runs produce byte-identical output to the legacy bench binaries;
+// ad-hoc specs print every engine metric per sweep cell and mirror them
+// into <name>.table.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/bench_io.hpp"
+#include "scenario/run.hpp"
+
+namespace {
+
+using namespace scidmz;
+using scenario::Json;
+using scenario::ScenarioRegistry;
+using scenario::ScenarioSpec;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out DIR] [--list] [--dump] [--run NAME]... \\\n"
+               "          [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n",
+               argv0);
+  return 2;
+}
+
+std::size_t cellCount(const scenario::ScenarioEntry& entry) {
+  return entry.specs ? entry.specs().size() : 1;
+}
+
+void listCatalog() {
+  std::printf("%-28s %-10s %-7s %s\n", "scenario", "family", "cells", "title");
+  for (const auto& entry : ScenarioRegistry::builtin().entries()) {
+    std::printf("%-28s %-10s %-7zu %s%s\n", entry.name.c_str(), entry.family.c_str(),
+                cellCount(entry), entry.title.c_str(), entry.native ? "  [native]" : "");
+  }
+}
+
+void dumpCatalog() {
+  Json doc = Json::object();
+  doc.set("schema", "scidmz.scenario.catalog.v1");
+  Json scenarios = Json::array();
+  for (const auto& entry : ScenarioRegistry::builtin().entries()) {
+    Json e = Json::object();
+    e.set("name", entry.name);
+    e.set("family", entry.family);
+    e.set("title", entry.title);
+    e.set("paper_ref", entry.paperRef);
+    e.set("sweep", entry.sweepName);
+    e.set("native", entry.native != nullptr);
+    e.set("cells", static_cast<std::uint64_t>(cellCount(entry)));
+    if (entry.specs) {
+      Json specs = Json::array();
+      for (const auto& spec : entry.specs()) specs.push(spec.toJson());
+      e.set("specs", std::move(specs));
+    }
+    scenarios.push(std::move(e));
+  }
+  doc.set("scenarios", std::move(scenarios));
+  std::printf("%s\n", doc.pretty().c_str());
+}
+
+/// Set `doc`'s member at a dotted path ("workloads.0.tcp.bufBytes"),
+/// creating nothing: every intermediate must already exist so typos fail
+/// loudly instead of silently adding ignored keys.
+void setPath(Json& doc, const std::string& path, Json value) {
+  Json* node = &doc;
+  std::size_t begin = 0;
+  std::vector<std::string> segments;
+  while (begin <= path.size()) {
+    const std::size_t dot = path.find('.', begin);
+    segments.push_back(path.substr(begin, dot == std::string::npos ? dot : dot - begin));
+    if (dot == std::string::npos) break;
+    begin = dot + 1;
+  }
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    const std::string& seg = segments[i];
+    if (node->isArray()) {
+      const std::size_t index = std::strtoull(seg.c_str(), nullptr, 10);
+      if (index >= node->size()) {
+        throw scenario::JsonError("--sweep path \"" + path + "\": index " + seg +
+                                  " out of range");
+      }
+      node = const_cast<Json*>(&node->at(index));
+    } else if (node->isObject() && node->contains(seg)) {
+      node = &(*node)[seg];
+    } else {
+      throw scenario::JsonError("--sweep path \"" + path + "\": no member \"" + seg + "\"");
+    }
+  }
+  const std::string& leaf = segments.back();
+  if (node->isArray()) {
+    const std::size_t index = std::strtoull(leaf.c_str(), nullptr, 10);
+    if (index >= node->size()) {
+      throw scenario::JsonError("--sweep path \"" + path + "\": index " + leaf +
+                                " out of range");
+    }
+    const_cast<Json&>(node->at(index)) = std::move(value);
+  } else {
+    node->set(leaf, std::move(value));
+  }
+}
+
+/// A sweep operand is JSON when it parses as JSON (1500, 1e-4, true,
+/// "quoted"), a bare string otherwise (htcp, random).
+Json parseSweepValue(const std::string& text) {
+  try {
+    return Json::parse(text);
+  } catch (const scenario::JsonError&) {
+    return Json(text);
+  }
+}
+
+struct SweepArg {
+  std::string path;
+  std::vector<std::string> values;
+};
+
+int runSpecFile(const std::string& file, const std::vector<SweepArg>& sweeps) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "scidmz_run: cannot read %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  Json base = Json::parse(buffer.str());
+  // Expand the sweep grid: each --sweep multiplies the cell list.
+  std::vector<Json> docs{base};
+  for (const auto& sweep : sweeps) {
+    std::vector<Json> expanded;
+    for (const auto& doc : docs) {
+      for (const auto& value : sweep.values) {
+        Json next = doc;
+        setPath(next, sweep.path, parseSweepValue(value));
+        expanded.push_back(std::move(next));
+      }
+    }
+    docs = std::move(expanded);
+  }
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    auto spec = ScenarioSpec::fromJson(docs[i]);
+    if (docs.size() > 1) spec.name += "#" + std::to_string(i);
+    specs.push_back(std::move(spec));
+  }
+
+  const std::string benchName = specs[0].name.substr(0, specs[0].name.find('#'));
+  bench::header((benchName + ": ad-hoc scenario spec").c_str(), file.c_str());
+  const auto outcomes = scenario::runSpecs(specs, "spec", benchName);
+
+  bench::JsonTable table(benchName, "ad-hoc scenario spec run", file,
+                         {"cell", "name", "metric", "value"});
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& o = outcomes[i];
+    bench::row("cell %zu: %s", i, o.spec->name.c_str());
+    for (const auto& [key, value] : o.result.metrics) {
+      std::string text;
+      scenario::appendJsonNumber(text, value);
+      bench::row("  %-36s %s", key.c_str(), text.c_str());
+      table.addRow({static_cast<unsigned long long>(i), o.spec->name, key, value});
+    }
+  }
+  table.write();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool dump = false;
+  std::vector<std::string> runs;
+  std::string specFile;
+  std::vector<SweepArg> sweeps;
+  std::string outDir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto operand = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scidmz_run: %s needs %s\n", arg.c_str(), what);
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--run") {
+      runs.emplace_back(operand("a scenario name"));
+    } else if (arg == "--spec") {
+      specFile = operand("a spec file");
+    } else if (arg == "--sweep") {
+      const std::string text = operand("dotted.path=v1,v2,...");
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size()) {
+        std::fprintf(stderr, "scidmz_run: --sweep wants dotted.path=v1,v2,... (got \"%s\")\n",
+                     text.c_str());
+        return usage(argv[0]);
+      }
+      SweepArg sweep;
+      sweep.path = text.substr(0, eq);
+      std::size_t begin = eq + 1;
+      while (begin <= text.size()) {
+        const std::size_t comma = text.find(',', begin);
+        sweep.values.push_back(
+            text.substr(begin, comma == std::string::npos ? comma : comma - begin));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+      sweeps.push_back(std::move(sweep));
+    } else if (arg == "--out") {
+      outDir = operand("a directory");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "scidmz_run: unknown argument \"%s\"\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!list && !dump && runs.empty() && specFile.empty()) return usage(argv[0]);
+  if (!sweeps.empty() && specFile.empty()) {
+    std::fprintf(stderr, "scidmz_run: --sweep only applies to --spec runs\n");
+    return usage(argv[0]);
+  }
+
+  if (!outDir.empty()) {
+    // Route artifacts under --out; explicit SCIDMZ_* env vars still win.
+    ::setenv("SCIDMZ_TABLE_JSON_DIR", outDir.c_str(), /*overwrite=*/0);
+    ::setenv("SCIDMZ_BENCH_JSON", (outDir + "/BENCH_sim.json").c_str(), /*overwrite=*/0);
+  }
+
+  try {
+    if (list) listCatalog();
+    if (dump) dumpCatalog();
+    for (const auto& name : runs) {
+      if (const int rc = scenario::runScenarioMain(name); rc != 0) return rc;
+    }
+    if (!specFile.empty()) {
+      if (const int rc = runSpecFile(specFile, sweeps); rc != 0) return rc;
+    }
+  } catch (const scenario::JsonError& e) {
+    std::fprintf(stderr, "scidmz_run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

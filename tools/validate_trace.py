@@ -7,6 +7,9 @@ Dispatch is by content:
   *.jsonl                       -> scidmz.trace.v1 (one flight event per line)
   {"schema": "scidmz.telemetry.v1"}    -> snapshot
   {"schema": "scidmz.bench.table.v1"}  -> bench table
+  {"schema": "scidmz.scenario.v1"}     -> declarative scenario spec
+  {"schema": "scidmz.scenario.catalog.v1"} -> scidmz_run --dump catalog
+                                          (embedded specs validated too)
   {"benchmark": ..., "runs": [...]}    -> BENCH_sim.json sweep report
                                           (embedded telemetry validated too)
 
@@ -140,6 +143,65 @@ def validate_table(doc, where):
     return f"scidmz.bench.table.v1, bench {doc['bench']!r}, {len(rows)} rows"
 
 
+TOPOLOGY_KINDS = {"path", "fanin", "enterprise_edge", "site", "usecase"}
+WORKLOAD_KINDS = {"steady_flow", "converging_flows", "timed_flow", "parallel_transfer",
+                  "dtn_transfer", "campaign", "probe", "roce", "background"}
+SCENARIO_FAMILIES = {"figure", "arch", "usecase", "ablation", "vc"}
+
+
+def validate_scenario_spec(doc, where):
+    require(doc.get("schema") == "scidmz.scenario.v1", where, "wrong schema")
+    check_str(doc, "name", where)
+    check_uint(doc, "seed", where)
+    require(isinstance(doc.get("telemetry"), bool), where, "'telemetry' must be a boolean")
+    topology = doc.get("topology")
+    require(isinstance(topology, dict), where, "'topology' must be an object")
+    kind = check_str(topology, "kind", where)
+    require(kind in TOPOLOGY_KINDS, where, f"unknown topology kind {kind!r}")
+    require(kind in topology, where, f"topology is missing its {kind!r} section")
+    analysis = doc.get("analysis")
+    require(isinstance(analysis, dict), where, "'analysis' must be an object")
+    workloads = doc.get("workloads")
+    require(isinstance(workloads, list), where, "'workloads' must be a list")
+    for i, workload in enumerate(workloads):
+        require(isinstance(workload, dict), where, f"workload {i} is not an object")
+        wkind = check_str(workload, "kind", where)
+        require(wkind in WORKLOAD_KINDS, where,
+                f"workload {i}: unknown kind {wkind!r}")
+    return (f"scidmz.scenario.v1, scenario {doc['name']!r}, topology {kind!r}, "
+            f"{len(workloads)} workloads")
+
+
+def validate_scenario_catalog(doc, where):
+    require(doc.get("schema") == "scidmz.scenario.catalog.v1", where, "wrong schema")
+    scenarios = doc.get("scenarios")
+    require(isinstance(scenarios, list) and scenarios, where, "scenarios must be non-empty")
+    specs = 0
+    for entry in scenarios:
+        name = check_str(entry, "name", where)
+        family = check_str(entry, "family", where)
+        require(family in SCENARIO_FAMILIES, where,
+                f"scenario {name!r}: unknown family {family!r}")
+        check_str(entry, "title", where)
+        check_str(entry, "sweep", where)
+        native = entry.get("native")
+        require(isinstance(native, bool), where, f"scenario {name!r}: 'native' must be a bool")
+        cells = check_uint(entry, "cells", where)
+        if native:
+            require("specs" not in entry, where,
+                    f"native scenario {name!r} must not embed specs")
+            continue
+        require(isinstance(entry.get("specs"), list), where,
+                f"scenario {name!r} is missing its specs")
+        require(len(entry["specs"]) == cells, where,
+                f"scenario {name!r}: {len(entry['specs'])} specs but cells={cells}")
+        for spec in entry["specs"]:
+            validate_scenario_spec(spec, f"{where} ({name})")
+            specs += 1
+    return (f"scidmz.scenario.catalog.v1, {len(scenarios)} scenarios, "
+            f"{specs} embedded specs")
+
+
 def validate_bench_report(doc, where):
     check_str(doc, "benchmark", where)
     runs = doc.get("runs")
@@ -170,6 +232,10 @@ def validate_file(path):
         return validate_snapshot(doc, path)
     if schema == "scidmz.bench.table.v1":
         return validate_table(doc, path)
+    if schema == "scidmz.scenario.v1":
+        return validate_scenario_spec(doc, path)
+    if schema == "scidmz.scenario.catalog.v1":
+        return validate_scenario_catalog(doc, path)
     if "benchmark" in doc and "runs" in doc:
         return validate_bench_report(doc, path)
     fail(path, f"unrecognized document (schema={schema!r})")
