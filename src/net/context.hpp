@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -18,6 +19,15 @@ class Context {
   Context(sim::Simulator& simulator, sim::Rng& rng, sim::Logger& logger)
       : sim_(simulator), rng_(rng), log_(logger), telemetry_(simulator) {}
 
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// The Simulator outlives the Context in every harness (declared first,
+  /// destroyed last), and pending event callbacks own PacketRefs into this
+  /// Context's pool. Destroy them now, while the pool is still alive —
+  /// otherwise teardown would release packet slots into a dead pool.
+  ~Context() { sim_.clearPendingEvents(); }
+
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] const sim::Logger& log() const { return log_; }
@@ -25,6 +35,16 @@ class Context {
   /// scenario calls telemetry().enable() or SCIDMZ_TELEMETRY is set.
   [[nodiscard]] telemetry::Telemetry& telemetry() { return telemetry_; }
   [[nodiscard]] const telemetry::Telemetry& telemetry() const { return telemetry_; }
+  /// The scenario's packet pool: every in-flight packet lives in one of its
+  /// slots and travels as a PacketRef handle (see net/packet_pool.hpp).
+  [[nodiscard]] PacketPool& pool() { return pool_; }
+  [[nodiscard]] const PacketPool& pool() const { return pool_; }
+
+  /// Forwarding-plane throughput counter: bumped once per successful
+  /// `Device::forward` hop. Sweep cells report it into BENCH_sim.json as
+  /// packets/sec, the datapath counterpart to events/sec.
+  void countForwarded() { ++packets_forwarded_; }
+  [[nodiscard]] std::uint64_t packetsForwarded() const { return packets_forwarded_; }
 
   [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
   [[nodiscard]] std::uint64_t nextPacketId() { return ++packet_id_; }
@@ -38,7 +58,9 @@ class Context {
   sim::Rng& rng_;
   sim::Logger& log_;
   telemetry::Telemetry telemetry_;
+  PacketPool pool_;
   std::uint64_t packet_id_ = 0;
+  std::uint64_t packets_forwarded_ = 0;
   std::uint32_t stream_id_ = 0;
 };
 

@@ -44,7 +44,7 @@ void Interface::initTelemetry() {
   tel_init_ = true;
 }
 
-void Interface::send(Packet packet) {
+void Interface::send(PacketRef packet) {
   if (link_ == nullptr) {
     ++owner_.stats().dropsOther;
     return;
@@ -54,7 +54,7 @@ void Interface::send(Packet packet) {
   telemetry::FlightEvent ev;
   if (traced) {
     if (!tel_init_) initTelemetry();
-    ev = makeFlightEvent(ctx_.now(), packet);
+    ev = makeFlightEvent(ctx_.now(), *packet);
     ev.point = tel_point_;
   }
   const bool accepted = queue_.tryEnqueue(ctx_.now(), std::move(packet));
@@ -87,9 +87,9 @@ void Interface::startNextTransmission() {
   const auto txTime = link_->rate().transmissionTime(next->wireSize());
   ++stats_.txPackets;
   stats_.txBytes += next->wireSize();
-  // Move the packet into the completion event; when serialization is done,
+  // Move the handle into the completion event; when serialization is done,
   // hand it to the link and immediately start on the next queued packet.
-  ctx_.sim().schedule(txTime, [this, pkt = std::move(*next)]() mutable {
+  ctx_.sim().schedule(txTime, [this, pkt = std::move(next)]() mutable {
     link_->transmitComplete(end_, std::move(pkt));
     startNextTransmission();
   });
@@ -109,30 +109,85 @@ void Device::addRoute(Prefix prefix, int ifIndex) {
                    [](const RouteEntry& a, const RouteEntry& b) {
                      return a.prefix.length() > b.prefix.length();
                    });
+  fib_compiled_ = false;
+  ++route_generation_;
 }
 
-void Device::clearRoutes() { routes_.clear(); }
+void Device::clearRoutes() {
+  routes_.clear();
+  fib_compiled_ = false;
+  ++route_generation_;
+}
+
+void Device::compileFib() const {
+  fib_exact_.clear();
+  fib_prefixes_.clear();
+  for (const auto& entry : routes_) {
+    if (entry.prefix.length() == 32) {
+      // emplace keeps the first-inserted route for a duplicate /32 — the
+      // same winner the stable-sorted linear scan would pick.
+      fib_exact_.emplace(entry.prefix.base().value(), entry.ifIndex);
+    } else {
+      fib_prefixes_.push_back(entry);  // already in descending-length order
+    }
+  }
+  fib_compiled_ = true;
+}
 
 std::optional<int> Device::lookupRoute(Address dst) const {
-  for (const auto& entry : routes_) {
-    if (entry.prefix.contains(dst)) return entry.ifIndex;
+  if (!fib_compiled_) compileFib();
+  const std::uint32_t a = dst.value();
+  FlowCacheSlot& slot = flow_cache_[(a * 0x9E3779B9u) >> 24];
+  if (slot.generation == route_generation_ && slot.dst == a) {
+    if (slot.ifIndex < 0) return std::nullopt;
+    return slot.ifIndex;
   }
-  return std::nullopt;
+  int result = -1;
+  if (const auto it = fib_exact_.find(a); it != fib_exact_.end()) {
+    result = it->second;
+  } else {
+    for (const auto& entry : fib_prefixes_) {
+      if (entry.prefix.contains(dst)) {
+        result = entry.ifIndex;
+        break;
+      }
+    }
+  }
+  slot = FlowCacheSlot{a, route_generation_, result};
+  if (result < 0) return std::nullopt;
+  return result;
 }
 
-void Device::forward(Packet packet) {
-  if (packet.ttl == 0) {
+void Device::forward(PacketRef packet) {
+  if (packet->ttl == 0) {
     ++stats_.dropsTtl;
+    auto& tel = ctx_.telemetry();
+    if (tel.enabled()) {
+      ++tel.metrics().counter("device/" + name() + "/drops_ttl_expired");
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
+      ev.kind = telemetry::FlightEventKind::kDrop;
+      ev.point = tel.recorder().internPoint(name() + "/ttl_expired");
+      tel.recorder().record(ev);
+    }
     return;
   }
-  packet.ttl--;
-  const auto egress = lookupRoute(packet.flow.dst);
+  packet->ttl--;
+  const auto egress = lookupRoute(packet->flow.dst);
   if (!egress) {
     ++stats_.dropsNoRoute;
+    auto& tel = ctx_.telemetry();
+    if (tel.enabled()) {
+      ++tel.metrics().counter("device/" + name() + "/drops_no_route");
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
+      ev.kind = telemetry::FlightEventKind::kDrop;
+      ev.point = tel.recorder().internPoint(name() + "/no_route");
+      tel.recorder().record(ev);
+    }
     ctx_.log().log(ctx_.now(), sim::LogLevel::kDebug, name(),
-                   "no route to " + packet.flow.dst.toString());
+                   "no route to " + packet->flow.dst.toString());
     return;
   }
+  ctx_.countForwarded();
   interface(static_cast<std::size_t>(*egress)).send(std::move(packet));
 }
 

@@ -1,16 +1,19 @@
 // Device base class: anything with interfaces and a forwarding table.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/address.hpp"
 #include "net/context.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/units.hpp"
 
@@ -34,8 +37,8 @@ class Interface {
   [[nodiscard]] int linkEnd() const { return end_; }
 
   /// Enqueue for transmission; drops (with stats) if the egress buffer is
-  /// full or no link is attached.
-  void send(Packet packet);
+  /// full or no link is attached. Consumes the handle either way.
+  void send(PacketRef packet);
 
   [[nodiscard]] sim::DataRate rate() const;
   [[nodiscard]] Device& owner() const { return owner_; }
@@ -91,13 +94,26 @@ class Device {
   /// Add a port with the given egress buffer. Returns the new interface.
   Interface& addInterface(sim::DataSize egressBuffer);
 
-  /// Packet arrives from the wire on `in`. Called by Link.
-  virtual void receive(Packet packet, Interface& in) = 0;
+  /// Packet arrives from the wire on `in`. Called by Link. Takes ownership.
+  virtual void receive(PacketRef packet, Interface& in) = 0;
 
-  /// Longest-prefix-match route installation / lookup.
+  /// Longest-prefix-match route installation / lookup. Lookups hit a
+  /// compiled FIB — an exact-match table for /32 routes (the common case:
+  /// Topology::computeRoutes installs host routes only) plus a short
+  /// descending-length scan for wider prefixes — fronted by a per-device
+  /// flow cache. Any route mutation bumps the generation stamp, which
+  /// invalidates the cache and forces a recompile on next lookup.
   void addRoute(Prefix prefix, int ifIndex);
   void clearRoutes();
   [[nodiscard]] std::optional<int> lookupRoute(Address dst) const;
+  /// Compile the FIB now instead of lazily on first lookup. Called by
+  /// Topology::computeRoutes so route churn costs are paid at (re)config
+  /// time, never mid-traffic.
+  void finalizeRoutes() const { if (!fib_compiled_) compileFib(); }
+  /// Monotonic stamp bumped on every addRoute/clearRoutes; flow-cache
+  /// entries from older generations never match.
+  [[nodiscard]] std::uint64_t routeGeneration() const { return route_generation_; }
+  [[nodiscard]] bool fibCompiled() const { return fib_compiled_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Context& ctx() { return ctx_; }
@@ -119,20 +135,42 @@ class Device {
   }
 
   /// Route `packet` by destination and enqueue on the egress interface.
-  /// Decrements TTL; drops on TTL expiry or missing route.
-  void forward(Packet packet);
+  /// Decrements TTL; drops on TTL expiry or missing route (counted and
+  /// telemetry-tagged separately).
+  void forward(PacketRef packet);
 
   Context& ctx_;
   DeviceStats stats_;
 
  private:
-  std::string name_;
-  std::vector<std::unique_ptr<Interface>> interfaces_;
   struct RouteEntry {
     Prefix prefix;
     int ifIndex;
   };
+
+  /// One direct-mapped flow-cache slot. `generation` from before the last
+  /// route change never equals route_generation_, so stale hits are
+  /// structurally impossible; ifIndex -1 caches a negative lookup.
+  struct FlowCacheSlot {
+    std::uint32_t dst = 0;
+    std::uint64_t generation = 0;
+    int ifIndex = -1;
+  };
+  static constexpr std::size_t kFlowCacheSlots = 256;
+
+  void compileFib() const;
+
+  std::string name_;
+  std::vector<std::unique_ptr<Interface>> interfaces_;
   std::vector<RouteEntry> routes_;  // kept sorted by descending prefix length
+  // Compiled forwarding state; mutable so lookupRoute stays const for
+  // read-only callers (Topology::trace). Generation starts at 1 so
+  // zero-initialized cache slots can never match.
+  mutable bool fib_compiled_ = false;
+  mutable std::unordered_map<std::uint32_t, int> fib_exact_;
+  mutable std::vector<RouteEntry> fib_prefixes_;
+  mutable std::array<FlowCacheSlot, kFlowCacheSlots> flow_cache_{};
+  std::uint64_t route_generation_ = 1;
   Tap tap_;
 };
 

@@ -19,28 +19,28 @@ void FirewallDevice::initTelemetry() {
   tel_init_ = true;
 }
 
-void FirewallDevice::receive(Packet packet, Interface& in) {
-  notifyTap(packet, in);
+void FirewallDevice::receive(PacketRef packet, Interface& in) {
+  notifyTap(*packet, in);
   ++stats_.rxPackets;
-  stats_.rxBytes += packet.wireSize();
+  stats_.rxBytes += packet->wireSize();
 
   auto& tel = ctx_.telemetry();
   const bool traced = tel.enabled();
   if (traced && !tel_init_) initTelemetry();
 
   // Vetted flows skip the inspection engines entirely (SDN bypass).
-  if (bypass_.contains(packet.flow)) {
+  if (bypass_.contains(packet->flow)) {
     forward(std::move(packet));
     return;
   }
 
   // Policy check. Denied packets are dropped before buffering.
-  if (!policy_.permits(packet)) {
+  if (!policy_.permits(*packet)) {
     ++fw_stats_.dropsPolicy;
     ++stats_.dropsAcl;
     if (traced) {
       ++*tel_drops_policy_;
-      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
       ev.kind = telemetry::FlightEventKind::kDrop;
       ev.point = tel_point_;
       tel.recorder().record(ev);
@@ -50,15 +50,15 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
 
   // Session tracking: TCP flows occupy a session slot from the first packet
   // seen (SYN or mid-flow); a full table drops new flows.
-  if (packet.flow.proto == Protocol::kTcp) {
-    const auto forwardKey = packet.flow;
+  if (packet->flow.proto == Protocol::kTcp) {
+    const auto forwardKey = packet->flow;
     if (sessions_.find(forwardKey) == sessions_.end() &&
         sessions_.find(forwardKey.reversed()) == sessions_.end()) {
       if (sessions_.size() >= profile_.sessionTableSize) {
         ++fw_stats_.dropsSessionTable;
         if (traced) {
           ++*tel_drops_session_;
-          telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+          telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
           ev.kind = telemetry::FlightEventKind::kDrop;
           ev.point = tel_point_;
           tel.recorder().record(ev);
@@ -70,10 +70,11 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
     }
   }
 
-  // TCP flow sequence checking rewrites the TCP header; the side effect the
-  // paper documents is stripping the RFC 1323 window-scale option from SYNs.
-  if (profile_.tcpSequenceChecking && packet.isTcp()) {
-    auto& tcp = packet.tcp();
+  // TCP flow sequence checking rewrites the TCP header in place in its pool
+  // slot; the side effect the paper documents is stripping the RFC 1323
+  // window-scale option from SYNs.
+  if (profile_.tcpSequenceChecking && packet->isTcp()) {
+    auto& tcp = packet->tcp();
     if (tcp.flags.syn && tcp.windowScalePresent) {
       tcp.windowScalePresent = false;
       tcp.windowScale = 0;
@@ -83,12 +84,12 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
   }
 
   // Shared input buffer in front of the engines.
-  const auto size = packet.wireSize();
+  const auto size = packet->wireSize();
   if (buffered_ + size > profile_.inputBuffer) {
     ++fw_stats_.dropsInputBuffer;
     if (traced) {
       ++*tel_drops_buffer_;
-      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
       ev.kind = telemetry::FlightEventKind::kDrop;
       ev.point = tel_point_;
       ev.aux2 = buffered_.byteCount();
@@ -100,14 +101,14 @@ void FirewallDevice::receive(Packet packet, Interface& in) {
 
   // Dispatch to the flow's engine; completion = engine serialization after
   // any queued work, plus fixed inspection latency.
-  const auto engineIndex = FlowKeyHash{}(packet.flow) % engines_.size();
+  const auto engineIndex = FlowKeyHash{}(packet->flow) % engines_.size();
   auto& engine = engines_[engineIndex];
   const auto start = std::max(ctx_.now(), engine.busyUntil);
   const auto done = start + profile_.engineRate.transmissionTime(size);
   engine.busyUntil = done;
   const auto releaseAt = done + profile_.inspectionDelay;
   ctx_.sim().scheduleAt(releaseAt, [this, pkt = std::move(packet)]() mutable {
-    buffered_ -= pkt.wireSize();
+    buffered_ -= pkt->wireSize();
     ++fw_stats_.inspected;
     if (ctx_.telemetry().enabled()) {
       if (!tel_init_) initTelemetry();

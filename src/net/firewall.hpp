@@ -96,14 +96,13 @@ class FirewallDevice : public Device {
   }
   void clearBypasses() { bypass_.clear(); }
 
-  void receive(Packet packet, Interface& in) override;
+  void receive(PacketRef packet, Interface& in) override;
 
  private:
   struct Engine {
     sim::SimTime busyUntil = sim::SimTime::zero();
   };
 
-  void inspectAndForward(Packet packet);
   /// Lazily interns the input-stage emit point, caches drop/rewrite
   /// counters and registers the buffered-bytes probe.
   void initTelemetry();

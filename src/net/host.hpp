@@ -45,26 +45,31 @@ class Host : public Device {
   [[nodiscard]] std::uint16_t allocatePort() { return next_port_++; }
 
   /// Transmit an application packet; stamps src address and a fresh id.
-  void send(Packet packet) {
-    packet.flow.src = address_;
-    packet.id = ctx_.nextPacketId();
+  void send(PacketRef packet) {
+    packet->flow.src = address_;
+    packet->id = ctx_.nextPacketId();
     interface(0).send(std::move(packet));
   }
 
-  void receive(Packet packet, Interface& in) override {
-    notifyTap(packet, in);
+  /// Value-type convenience overload: moves the packet into a pool slot at
+  /// its origination point (the one copy a packet ever pays).
+  void send(Packet packet) { send(ctx_.pool().acquire(std::move(packet))); }
+
+  void receive(PacketRef packet, Interface& in) override {
+    notifyTap(*packet, in);
     ++stats_.rxPackets;
-    stats_.rxBytes += packet.wireSize();
-    if (packet.flow.dst != address_) {
+    stats_.rxBytes += packet->wireSize();
+    if (packet->flow.dst != address_) {
       ++stats_.dropsOther;  // not ours; hosts do not forward
       return;
     }
-    const auto it = handlers_.find(key(packet.flow.proto, packet.flow.dstPort));
+    const auto it = handlers_.find(key(packet->flow.proto, packet->flow.dstPort));
     if (it == handlers_.end()) {
       ++stats_.dropsOther;
       return;
     }
-    it->second->onPacket(packet);
+    // Sinks borrow the packet; the slot recycles when this frame returns.
+    it->second->onPacket(*packet);
   }
 
  private:

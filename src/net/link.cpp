@@ -33,17 +33,17 @@ void Link::initTelemetry(int dir) {
   t.init = true;
 }
 
-void Link::transmitComplete(int fromEnd, Packet packet) {
+void Link::transmitComplete(int fromEnd, PacketRef packet) {
   auto& dir = stats_[fromEnd & 1];
   auto& loss = loss_[fromEnd & 1];
   auto& tel = ctx_.telemetry();
   const bool traced = tel.enabled();
   if (traced && !tel_[fromEnd & 1].init) initTelemetry(fromEnd & 1);
-  if (loss && loss->shouldDrop(packet)) {
+  if (loss && loss->shouldDrop(*packet)) {
     ++dir.lost;
     if (traced) {
       ++*tel_[fromEnd & 1].lost;
-      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
       ev.kind = telemetry::FlightEventKind::kLinkLoss;
       ev.point = tel_[fromEnd & 1].point;
       tel.recorder().record(ev);
@@ -51,10 +51,10 @@ void Link::transmitComplete(int fromEnd, Packet packet) {
     return;
   }
   ++dir.delivered;
-  dir.bytesDelivered += packet.wireSize();
+  dir.bytesDelivered += packet->wireSize();
   if (traced) {
     ++*tel_[fromEnd & 1].delivered;
-    telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+    telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
     ev.kind = telemetry::FlightEventKind::kDeliver;
     ev.point = tel_[fromEnd & 1].point;
     tel.recorder().record(ev);

@@ -9,6 +9,7 @@
 #include "net/context.hpp"
 #include "net/loss.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::net {
@@ -40,7 +41,8 @@ class Link {
 
   /// Called by the transmitting Interface when serialization finishes;
   /// applies loss and schedules delivery to the far end after propagation.
-  void transmitComplete(int fromEnd, Packet packet);
+  /// Takes ownership of the handle; a lost packet's slot recycles here.
+  void transmitComplete(int fromEnd, PacketRef packet);
 
   [[nodiscard]] Interface& end(int which) const { return which == 0 ? endA_ : endB_; }
   [[nodiscard]] Interface& peer(int fromEnd) const { return end(1 - fromEnd); }

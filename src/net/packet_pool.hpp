@@ -1,0 +1,182 @@
+// Slab-allocated packet pool and the move-only handle that carries a packet
+// through the data path.
+//
+// The simulated fabric used to pass `Packet` (a ~150-byte variant value) by
+// value through every hop: into the egress queue, into the serialization
+// completion event, into the propagation event, into the next device's
+// receive — four-plus full copies per hop, millions of hops per scenario.
+// The pool replaces all of that with one placement per packet lifetime: the
+// originating host moves the packet into a pool slot once, and a 16-byte
+// `PacketRef` handle moves (never copies) through `Interface::send`, the
+// `DropTailQueue` ring, `Link` transmission, `Device::forward`, the firewall
+// engines and the TCP/RoCE demux. When the last handle dies the slot returns
+// to the freelist and is recycled — steady-state forwarding performs no
+// allocation at all.
+//
+// Ownership rules (see DESIGN.md §6, "packet lifecycle"):
+//  * exactly one live PacketRef owns a slot; moving the ref transfers
+//    ownership, destroying it recycles the slot;
+//  * borrowers (taps, ACLs, loss models, telemetry's FlightRecorder, the
+//    PacketSink demux) receive `const Packet&` / `Packet&` and must not
+//    retain the pointer past the call;
+//  * a dropped packet is simply a ref that goes out of scope — drop paths
+//    need no explicit free.
+//
+// The pool is per-`net::Context`, so parallel sweep cells never share slabs
+// and recycling order is deterministic for a given scenario + seed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace scidmz::net {
+
+class PacketPool;
+
+/// Move-only owning handle to a pool-resident packet. Empty handles are
+/// valid (falsy) and are what `DropTailQueue::dequeue` returns when idle.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  PacketRef(PacketRef&& other) noexcept : p_(other.p_), pool_(other.pool_) {
+    other.p_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  PacketRef& operator=(PacketRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      p_ = other.p_;
+      pool_ = other.pool_;
+      other.p_ = nullptr;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PacketRef(const PacketRef&) = delete;
+  PacketRef& operator=(const PacketRef&) = delete;
+  ~PacketRef() { release(); }
+
+  [[nodiscard]] Packet& operator*() const { return *p_; }
+  [[nodiscard]] Packet* operator->() const { return p_; }
+  [[nodiscard]] Packet* get() const { return p_; }
+  [[nodiscard]] explicit operator bool() const { return p_ != nullptr; }
+
+  /// Return the slot to the pool now (drop paths usually just let the
+  /// handle go out of scope instead).
+  void reset() { release(); }
+
+ private:
+  friend class PacketPool;
+  PacketRef(Packet* p, PacketPool* pool) : p_(p), pool_(pool) {}
+  inline void release();
+
+  Packet* p_ = nullptr;
+  PacketPool* pool_ = nullptr;
+};
+
+/// Freelist-recycled slab allocator for packets. Slabs are never returned
+/// to the OS during a scenario: the pool's high-water mark is the peak
+/// number of in-flight packets, typically a few thousand slots.
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Acquire a fresh (default-initialized) packet slot.
+  [[nodiscard]] PacketRef acquire() {
+    Packet* slot = takeSlot();
+    *slot = Packet{};
+    return PacketRef{slot, this};
+  }
+
+  /// Move an already-built packet value into a slot — the one copy a
+  /// packet pays, at its origination point.
+  [[nodiscard]] PacketRef acquire(Packet&& packet) {
+    Packet* slot = takeSlot();
+    *slot = std::move(packet);
+    return PacketRef{slot, this};
+  }
+
+  /// Handles currently alive.
+  [[nodiscard]] std::size_t liveCount() const { return live_; }
+  /// Peak simultaneous live handles over the pool's lifetime.
+  [[nodiscard]] std::size_t highWater() const { return high_water_; }
+  /// Slots ever allocated (slabs * slab size).
+  [[nodiscard]] std::size_t slotCount() const { return slabs_.size() * kSlabPackets; }
+
+ private:
+  friend class PacketRef;
+  static constexpr std::size_t kSlabPackets = 256;
+
+  Packet* takeSlot() {
+    if (free_.empty()) addSlab();
+    Packet* slot = free_.back();
+    free_.pop_back();
+    if (++live_ > high_water_) high_water_ = live_;
+    return slot;
+  }
+
+  void releaseSlot(Packet* p) {
+    free_.push_back(p);
+    --live_;
+  }
+
+  void addSlab() {
+    slabs_.push_back(std::make_unique<Packet[]>(kSlabPackets));
+    Packet* slab = slabs_.back().get();
+    free_.reserve(free_.size() + kSlabPackets);
+    // LIFO freelist: push in reverse so the earliest slots recycle first —
+    // recycling order is an implementation detail, but keeping it stable
+    // keeps heap layouts (and so perf) reproducible run to run.
+    for (std::size_t i = kSlabPackets; i > 0; --i) free_.push_back(slab + (i - 1));
+  }
+
+  std::vector<std::unique_ptr<Packet[]>> slabs_;
+  std::vector<Packet*> free_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+inline void PacketRef::release() {
+  if (p_ != nullptr) {
+    pool_->releaseSlot(p_);
+    p_ = nullptr;
+    pool_ = nullptr;
+  }
+}
+
+/// Pool-backed factory helpers mirroring the value-type helpers in
+/// packet.hpp: build the packet directly in its slot, no intermediate value.
+[[nodiscard]] inline PacketRef makeTcpPacket(PacketPool& pool, FlowKey flow,
+                                             const TcpHeader& header, sim::DataSize payload) {
+  PacketRef p = pool.acquire();
+  p->flow = flow;
+  p->body = header;
+  p->payload = payload;
+  return p;
+}
+
+[[nodiscard]] inline PacketRef makeProbePacket(PacketPool& pool, FlowKey flow,
+                                               const ProbeHeader& header, sim::DataSize payload) {
+  PacketRef p = pool.acquire();
+  p->flow = flow;
+  p->body = header;
+  p->payload = payload;
+  return p;
+}
+
+[[nodiscard]] inline PacketRef makeRocePacket(PacketPool& pool, FlowKey flow,
+                                              const RoceHeader& header, sim::DataSize payload) {
+  PacketRef p = pool.acquire();
+  p->flow = flow;
+  p->body = header;
+  p->payload = payload;
+  return p;
+}
+
+}  // namespace scidmz::net

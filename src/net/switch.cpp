@@ -4,17 +4,17 @@
 
 namespace scidmz::net {
 
-void SwitchDevice::receive(Packet packet, Interface& in) {
-  notifyTap(packet, in);
+void SwitchDevice::receive(PacketRef packet, Interface& in) {
+  notifyTap(*packet, in);
   ++stats_.rxPackets;
-  stats_.rxBytes += packet.wireSize();
+  stats_.rxBytes += packet->wireSize();
 
-  if (acl_ && !acl_->permits(packet)) {
+  if (acl_ && !acl_->permits(*packet)) {
     ++stats_.dropsAcl;
     auto& tel = ctx_.telemetry();
     if (tel.enabled()) {
       ++tel.metrics().counter("switch/" + name() + "/drops_acl");
-      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), packet);
+      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
       ev.kind = telemetry::FlightEventKind::kDrop;
       ev.point = tel.recorder().internPoint(name() + "/acl");
       tel.recorder().record(ev);
@@ -22,7 +22,7 @@ void SwitchDevice::receive(Packet packet, Interface& in) {
     return;
   }
 
-  trackLoad(packet);
+  trackLoad(*packet);
 
   // While latched into the defective store-and-forward state, usable egress
   // buffering collapses. Model: clamp every egress queue's capacity; restore
@@ -35,7 +35,7 @@ void SwitchDevice::receive(Packet packet, Interface& in) {
     }
   }
 
-  const auto latency = forwardingLatency(packet, in);
+  const auto latency = forwardingLatency(*packet, in);
   ctx_.sim().schedule(latency, [this, pkt = std::move(packet)]() mutable {
     forward(std::move(pkt));
   });

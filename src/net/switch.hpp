@@ -74,7 +74,7 @@ class SwitchDevice : public Device {
   /// (regardless of whether the firmware fix neutralizes the buffer bug).
   [[nodiscard]] bool fallbackLatched() const { return defect_latched_; }
 
-  void receive(Packet packet, Interface& in) override;
+  void receive(PacketRef packet, Interface& in) override;
 
  private:
   void trackLoad(const Packet& packet);

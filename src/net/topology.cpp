@@ -135,6 +135,11 @@ void Topology::computeRoutes() {
       }
     }
   }
+
+  // Compile every device's FIB now so the route-churn cost is paid here,
+  // at (re)configuration time, and the first forwarded packet after a
+  // recompute doesn't eat the compile.
+  for (const auto& devPtr : devices_) devPtr->finalizeRoutes();
 }
 
 Host* Topology::findHost(Address address) const {

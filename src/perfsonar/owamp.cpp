@@ -53,7 +53,7 @@ void OwampStream::sendProbe() {
   header.sentAt = src_.ctx().now();
   net::FlowKey flow{src_.address(), dst_.address(), static_cast<std::uint16_t>(8760),
                     options_.port, net::Protocol::kUdp};
-  src_.send(net::makeProbePacket(flow, header, options_.probeSize));
+  src_.send(net::makeProbePacket(src_.ctx().pool(), flow, header, options_.probeSize));
   sent_times_.push_back(src_.ctx().now());
   timer_ = src_.ctx().sim().schedule(options_.interval, [this] {
     timer_ = sim::EventId{};

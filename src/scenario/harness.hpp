@@ -35,6 +35,7 @@ struct Scenario {
 /// into the cell's BENCH_sim.json entry.
 inline void finishCell(Scenario& s, sim::SweepCell& cell) {
   cell.eventsExecuted = s.simulator.eventsExecuted();
+  cell.packetsForwarded = s.ctx.packetsForwarded();
   if (s.ctx.telemetry().enabled()) {
     cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
   }

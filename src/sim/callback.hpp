@@ -2,10 +2,11 @@
 //
 // std::function heap-allocates any capture larger than its tiny internal
 // buffer, which on the scheduler hot path means one malloc/free per packet
-// event (link/switch/device callbacks capture a Packet by value, ~150 bytes).
-// SmallCallback sizes its inline buffer for those captures so the common
-// schedule path never touches the allocator; oversized or throwing-move
-// callables fall back to the heap with identical semantics.
+// event. The data-path callbacks capture a `this` pointer plus a 16-byte
+// net::PacketRef pool handle; SmallCallback sizes its inline buffer for
+// those captures so the common schedule path never touches the allocator.
+// Oversized or throwing-move callables fall back to the heap with identical
+// semantics.
 #pragma once
 
 #include <cstddef>

@@ -84,6 +84,16 @@ class Simulator {
   /// Stop the current run() after the in-flight callback returns.
   void stop() { stopped_ = true; }
 
+  /// Teardown path: drop every pending event, destroying the callbacks and
+  /// whatever they captured (pool handles, component pointers). Callers use
+  /// this to sequence resource destruction — e.g. net::Context clears the
+  /// queue in its destructor so in-flight packet handles release into a
+  /// still-alive pool. Daemon accounting resets with the queue.
+  void clearPendingEvents() {
+    queue_.clear();
+    daemons_ = 0;
+  }
+
   [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
   [[nodiscard]] bool pendingEvents() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pendingEventCount() const { return queue_.size(); }

@@ -83,7 +83,8 @@ struct SweepRunner::Pool {
       const double wall = secondsSince(start);
 
       lock.lock();
-      (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted, std::move(cell.telemetryJson)};
+      (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted, cell.packetsForwarded,
+                                       std::move(cell.telemetryJson)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -164,6 +165,8 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         run.wallSeconds > 0 ? run.cellSecondsSum() / run.wallSeconds : 0.0;
     const double eventsPerSec =
         run.wallSeconds > 0 ? static_cast<double>(run.totalEvents()) / run.wallSeconds : 0.0;
+    const double packetsPerSec =
+        run.wallSeconds > 0 ? static_cast<double>(run.totalPackets()) / run.wallSeconds : 0.0;
     out << "    {\n"
         << "      \"name\": \"" << jsonEscape(run.name) << "\",\n"
         << "      \"workers\": " << run.workers << ",\n"
@@ -173,10 +176,13 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         << "      \"speedup\": " << formatDouble(speedup) << ",\n"
         << "      \"events_executed\": " << run.totalEvents() << ",\n"
         << "      \"events_per_second\": " << formatDouble(eventsPerSec) << ",\n"
+        << "      \"packets_forwarded\": " << run.totalPackets() << ",\n"
+        << "      \"packets_per_second\": " << formatDouble(packetsPerSec) << ",\n"
         << "      \"cell_stats\": [";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "{\"wall_seconds\": " << formatDouble(run.cells[i].wallSeconds)
-          << ", \"events\": " << run.cells[i].eventsExecuted;
+          << ", \"events\": " << run.cells[i].eventsExecuted
+          << ", \"packets\": " << run.cells[i].packetsForwarded;
       // telemetryJson is already a JSON object (scidmz.telemetry.v1);
       // embed it raw so the cell's counters/series land in BENCH_sim.json.
       if (!run.cells[i].telemetryJson.empty()) {

@@ -27,6 +27,9 @@ namespace scidmz::sim {
 struct SweepCellStats {
   double wallSeconds = 0.0;
   std::uint64_t eventsExecuted = 0;
+  /// Packets successfully forwarded through the data path (one count per
+  /// Device::forward hop) — the numerator of the packets/sec column.
+  std::uint64_t packetsForwarded = 0;
   /// Pre-serialized telemetry snapshot (scidmz.telemetry.v1 JSON), empty
   /// when the cell did not instrument itself. Opaque to the runner — sim
   /// stays independent of the telemetry layer.
@@ -45,6 +48,11 @@ struct SweepRunStats {
     for (const auto& c : cells) total += c.eventsExecuted;
     return total;
   }
+  [[nodiscard]] std::uint64_t totalPackets() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells) total += c.packetsForwarded;
+    return total;
+  }
   /// Sum of per-cell wall clock — the serial-equivalent cost; divided by
   /// wallSeconds it is the realized parallel speedup.
   [[nodiscard]] double cellSecondsSum() const {
@@ -59,6 +67,9 @@ struct SweepCell {
   std::size_t index = 0;
   /// Cell sets this (typically Simulator::eventsExecuted()) before returning.
   std::uint64_t eventsExecuted = 0;
+  /// Cell sets this (typically Context::packetsForwarded()) before
+  /// returning; reported as the packets/sec datapath-throughput column.
+  std::uint64_t packetsForwarded = 0;
   /// Cell may set this to its telemetry snapshot JSON
   /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
   std::string telemetryJson;

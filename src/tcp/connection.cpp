@@ -124,7 +124,7 @@ void TcpConnection::sendSyn() {
     header.windowScalePresent = true;
     header.windowScale = rcv_wscale_;
   }
-  host_.send(net::makeTcpPacket(flow_, header, sim::DataSize::zero()));
+  host_.send(net::makeTcpPacket(host_.ctx().pool(), flow_, header, sim::DataSize::zero()));
 }
 
 void TcpConnection::sendSynAck() {
@@ -138,7 +138,7 @@ void TcpConnection::sendSynAck() {
     header.windowScalePresent = true;
     header.windowScale = rcv_wscale_;
   }
-  host_.send(net::makeTcpPacket(flow_, header, sim::DataSize::zero()));
+  host_.send(net::makeTcpPacket(host_.ctx().pool(), flow_, header, sim::DataSize::zero()));
 }
 
 void TcpConnection::sendAckOnly() {
@@ -155,7 +155,7 @@ void TcpConnection::sendAckOnly() {
       header.sackBlocks[header.sackCount++] = net::TcpHeader::SackBlock{it->first, it->second};
     }
   }
-  host_.send(net::makeTcpPacket(flow_, header, sim::DataSize::zero()));
+  host_.send(net::makeTcpPacket(host_.ctx().pool(), flow_, header, sim::DataSize::zero()));
 }
 
 void TcpConnection::sendSegment(std::uint64_t seq, sim::DataSize len, bool fin,
@@ -168,7 +168,7 @@ void TcpConnection::sendSegment(std::uint64_t seq, sim::DataSize len, bool fin,
   header.windowField = advertisedField();
   header.tsVal = static_cast<std::uint64_t>(host_.ctx().now().ns());
   header.tsEcho = ts_recent_;
-  host_.send(net::makeTcpPacket(flow_, header, len));
+  host_.send(net::makeTcpPacket(host_.ctx().pool(), flow_, header, len));
   ++stats_.dataSegmentsSent;
   if (isRetransmit) {
     ++stats_.retransmits;

@@ -51,11 +51,7 @@ void RoceTransfer::paceNext() {
   header.seq = next_seq_;
   net::FlowKey flow{src_.address(), dst_.address(), src_port_, options_.port,
                     net::Protocol::kUdp};
-  net::Packet packet;
-  packet.flow = flow;
-  packet.body = header;
-  packet.payload = sim::DataSize::bytes(len);
-  src_.send(std::move(packet));
+  src_.send(net::makeRocePacket(src_.ctx().pool(), flow, header, sim::DataSize::bytes(len)));
   next_seq_ += len;
 
   // Hardware pacing at exactly the circuit rate (no congestion control).
@@ -80,11 +76,9 @@ void RoceTransfer::Receiver::onPacket(const net::Packet& packet) {
     net::RoceHeader ack;
     ack.isAck = true;
     ack.ackSeq = expected_;
-    net::Packet reply;
-    reply.flow = packet.flow.reversed();
-    reply.flow.src = host_.address();
-    reply.body = ack;
-    host_.send(std::move(reply));
+    net::FlowKey replyFlow = packet.flow.reversed();
+    replyFlow.src = host_.address();
+    host_.send(net::makeRocePacket(host_.ctx().pool(), replyFlow, ack, sim::DataSize::zero()));
     return;
   }
   if (header.seq > expected_) {
@@ -96,11 +90,9 @@ void RoceTransfer::Receiver::onPacket(const net::Packet& packet) {
       net::RoceHeader nack;
       nack.isNack = true;
       nack.nackSeq = expected_;
-      net::Packet reply;
-      reply.flow = packet.flow.reversed();
-      reply.flow.src = host_.address();
-      reply.body = nack;
-      host_.send(std::move(reply));
+      net::FlowKey replyFlow = packet.flow.reversed();
+      replyFlow.src = host_.address();
+      host_.send(net::makeRocePacket(host_.ctx().pool(), replyFlow, nack, sim::DataSize::zero()));
     }
   }
   // Below-expected duplicates are dropped silently.

@@ -1,0 +1,184 @@
+// Device::forward drop accounting and the compiled-FIB / flow-cache path.
+#include "net/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../net/test_util.hpp"
+#include "net/host.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace scidmz::net {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+/// Minimal concrete Device exposing the protected forward() for direct
+/// drop-path tests without a link/queue in the way.
+class ForwardingDevice : public Device {
+ public:
+  using Device::Device;
+  using Device::forward;
+  void receive(PacketRef packet, Interface& in) override {
+    (void)in;
+    forward(std::move(packet));
+  }
+};
+
+PacketRef probeTo(Scenario& s, Address dst) {
+  PacketRef p = s.ctx.pool().acquire();
+  p->flow = FlowKey{Address{}, dst, 99, 7, Protocol::kUdp};
+  p->body = ProbeHeader{};
+  p->payload = sim::DataSize::bytes(100);
+  return p;
+}
+
+TEST(DeviceForward, TtlExpiryCountedSeparatelyFromNoRoute) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  auto p = probeTo(s, Address(10, 0, 0, 1));
+  p->ttl = 0;
+  dev.forward(std::move(p));
+  EXPECT_EQ(dev.stats().dropsTtl, 1u);
+  EXPECT_EQ(dev.stats().dropsNoRoute, 0u);
+}
+
+TEST(DeviceForward, NoRouteCountedSeparatelyFromTtl) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  dev.forward(probeTo(s, Address(10, 0, 0, 1)));  // default TTL, no routes
+  EXPECT_EQ(dev.stats().dropsNoRoute, 1u);
+  EXPECT_EQ(dev.stats().dropsTtl, 0u);
+}
+
+TEST(DeviceForward, TtlZeroDropsBeforeRouteLookup) {
+  // A ttl=0 packet with a perfectly good route must be a TTL drop, not a
+  // forward — and not a no-route drop.
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  dev.addInterface(1_MB);
+  dev.addRoute(Prefix{Address(10, 0, 0, 1), 32}, 0);
+  auto p = probeTo(s, Address(10, 0, 0, 1));
+  p->ttl = 0;
+  dev.forward(std::move(p));
+  EXPECT_EQ(dev.stats().dropsTtl, 1u);
+  EXPECT_EQ(dev.stats().dropsNoRoute, 0u);
+  EXPECT_EQ(s.ctx.packetsForwarded(), 0u);
+}
+
+TEST(DeviceForward, DropCausesTelemetryTaggedSeparately) {
+  Scenario s;
+  s.ctx.telemetry().enable();
+  ForwardingDevice dev{s.ctx, "dev"};
+
+  auto expired = probeTo(s, Address(10, 0, 0, 1));
+  expired->ttl = 0;
+  dev.forward(std::move(expired));
+  dev.forward(probeTo(s, Address(10, 0, 0, 1)));  // no route installed
+
+  auto& tel = s.ctx.telemetry();
+  EXPECT_EQ(tel.metrics().counter("device/dev/drops_ttl_expired"), 1u);
+  EXPECT_EQ(tel.metrics().counter("device/dev/drops_no_route"), 1u);
+
+  // Each drop is a flight event at its own cause-specific emit point.
+  std::vector<std::string> dropPoints;
+  tel.recorder().forEach([&](const telemetry::FlightEvent& ev) {
+    if (ev.kind == telemetry::FlightEventKind::kDrop) {
+      dropPoints.push_back(tel.recorder().pointName(ev.point));
+    }
+  });
+  ASSERT_EQ(dropPoints.size(), 2u);
+  EXPECT_EQ(dropPoints[0], "dev/ttl_expired");
+  EXPECT_EQ(dropPoints[1], "dev/no_route");
+}
+
+TEST(DeviceForward, SuccessfulForwardCountsPacket) {
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& h2 = s.topo.addHost("h2", Address(10, 0, 0, 2));
+  auto& sw = s.topo.addSwitch("sw");
+  LinkParams lp;
+  s.topo.connect(h1, sw, lp);
+  s.topo.connect(sw, h2, lp);
+  s.topo.computeRoutes();
+  h1.send(probeTo(s, h2.address()));
+  s.simulator.run();
+  // One forward at the switch, one local delivery at h2 (hosts don't
+  // forward); the counter tracks forwarding-plane hops only.
+  EXPECT_EQ(s.ctx.packetsForwarded(), 1u);
+}
+
+TEST(DeviceFib, ExactSlash32BeatsShorterPrefix) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  dev.addRoute(Prefix{Address(10, 0, 0, 0), 8}, 1);
+  dev.addRoute(Prefix{Address(10, 0, 0, 7), 32}, 2);
+  EXPECT_EQ(dev.lookupRoute(Address(10, 0, 0, 7)), 2);
+  EXPECT_EQ(dev.lookupRoute(Address(10, 0, 0, 8)), 1);
+}
+
+TEST(DeviceFib, FirstInsertedSlash32Wins) {
+  // stable_sort + first-match scan semantics: a duplicate /32 never
+  // overrides the first-installed one. The exact-match table must agree.
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  dev.addRoute(Prefix{Address(10, 0, 0, 7), 32}, 1);
+  dev.addRoute(Prefix{Address(10, 0, 0, 7), 32}, 2);
+  EXPECT_EQ(dev.lookupRoute(Address(10, 0, 0, 7)), 1);
+}
+
+TEST(DeviceFib, LongerOfTwoWidePrefixesWins) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  dev.addRoute(Prefix{Address(10, 0, 0, 0), 8}, 1);
+  dev.addRoute(Prefix{Address(10, 1, 0, 0), 16}, 2);
+  EXPECT_EQ(dev.lookupRoute(Address(10, 1, 2, 3)), 2);
+  EXPECT_EQ(dev.lookupRoute(Address(10, 2, 0, 1)), 1);
+  EXPECT_EQ(dev.lookupRoute(Address(11, 0, 0, 1)), std::nullopt);
+}
+
+TEST(DeviceFib, FlowCacheInvalidatedByAddRoute) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  const Address dst{10, 0, 0, 7};
+  // Warm the cache with a negative result, then install a route: the
+  // cached miss must not survive the generation bump.
+  EXPECT_EQ(dev.lookupRoute(dst), std::nullopt);
+  dev.addRoute(Prefix{dst, 32}, 3);
+  EXPECT_EQ(dev.lookupRoute(dst), 3);
+  // And the other way: warm a positive hit, then widen to a better route.
+  dev.addRoute(Prefix{dst, 32}, 9);  // duplicate; first still wins
+  EXPECT_EQ(dev.lookupRoute(dst), 3);
+}
+
+TEST(DeviceFib, FlowCacheInvalidatedByClearRoutes) {
+  Scenario s;
+  ForwardingDevice dev{s.ctx, "dev"};
+  const Address dst{10, 0, 0, 7};
+  dev.addRoute(Prefix{dst, 32}, 3);
+  EXPECT_EQ(dev.lookupRoute(dst), 3);  // cache now holds a hit
+  const auto genBefore = dev.routeGeneration();
+  dev.clearRoutes();
+  EXPECT_GT(dev.routeGeneration(), genBefore);
+  EXPECT_EQ(dev.lookupRoute(dst), std::nullopt);
+}
+
+TEST(DeviceFib, ComputeRoutesLeavesFibCompiled) {
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& sw = s.topo.addSwitch("sw");
+  LinkParams lp;
+  s.topo.connect(h1, sw, lp);
+  s.topo.computeRoutes();
+  EXPECT_TRUE(sw.fibCompiled());
+  EXPECT_TRUE(h1.fibCompiled());
+}
+
+}  // namespace
+}  // namespace scidmz::net

@@ -2,30 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "net/packet_pool.hpp"
+
 namespace scidmz::net {
 namespace {
 
 using namespace scidmz::sim::literals;
 using sim::SimTime;
 
-Packet tcpPacket(sim::DataSize payload) {
-  Packet p;
-  p.flow.proto = Protocol::kTcp;
-  p.body = TcpHeader{};
-  p.payload = payload;
+PacketRef tcpPacket(PacketPool& pool, sim::DataSize payload) {
+  PacketRef p = pool.acquire();
+  p->flow.proto = Protocol::kTcp;
+  p->body = TcpHeader{};
+  p->payload = payload;
   return p;
 }
 
 TEST(DropTailQueue, FifoOrder) {
+  PacketPool pool;
   DropTailQueue q{10_KB};
   for (std::uint64_t i = 1; i <= 3; ++i) {
-    auto p = tcpPacket(100_B);
-    p.id = i;
-    ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), p));
+    auto p = tcpPacket(pool, 100_B);
+    p->id = i;
+    ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), std::move(p)));
   }
   for (std::uint64_t i = 1; i <= 3; ++i) {
     const auto p = q.dequeue(SimTime::zero());
-    ASSERT_TRUE(p.has_value());
+    ASSERT_TRUE(p);
     EXPECT_EQ(p->id, i);
   }
   EXPECT_TRUE(q.empty());
@@ -33,52 +38,167 @@ TEST(DropTailQueue, FifoOrder) {
 
 TEST(DropTailQueue, DropsWhenByteCapacityExceeded) {
   // Capacity 3000B; each 1460B payload packet occupies 1500B on the wire.
+  PacketPool pool;
   DropTailQueue q{3000_B};
-  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
-  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
-  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
+  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
+  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
   EXPECT_EQ(q.stats().enqueued, 2u);
   EXPECT_EQ(q.stats().dropped, 1u);
   EXPECT_DOUBLE_EQ(q.stats().dropFraction(), 1.0 / 3.0);
+  // The rejected packet's slot recycled when its handle died in tryEnqueue.
+  EXPECT_EQ(pool.liveCount(), 2u);
 }
 
 TEST(DropTailQueue, DepthTracksWireSize) {
+  PacketPool pool;
   DropTailQueue q{1_MB};
-  q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B));
+  q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B));
   EXPECT_EQ(q.depth(), 1500_B);
   (void)q.dequeue(SimTime::zero());
   EXPECT_EQ(q.depth(), 0_B);
+  EXPECT_EQ(pool.liveCount(), 0u);  // discarded dequeue result recycled
 }
 
 TEST(DropTailQueue, PeakDepthRecorded) {
+  PacketPool pool;
   DropTailQueue q{1_MB};
-  for (int i = 0; i < 4; ++i) q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B));
+  for (int i = 0; i < 4; ++i) q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B));
   (void)q.dequeue(SimTime::zero());
   EXPECT_EQ(q.stats().peakDepth, 6000_B);
 }
 
-TEST(DropTailQueue, DequeueEmptyReturnsNullopt) {
+TEST(DropTailQueue, DequeueEmptyReturnsEmptyRef) {
   DropTailQueue q{1_KB};
-  EXPECT_FALSE(q.dequeue(SimTime::zero()).has_value());
+  EXPECT_FALSE(q.dequeue(SimTime::zero()));
 }
 
 TEST(DropTailQueue, CapacityCanShrinkLive) {
   // The Colorado defect clamps buffers at runtime; already-queued bytes
   // stay, but new arrivals beyond the new capacity drop.
+  PacketPool pool;
   DropTailQueue q{1_MB};
-  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
+  }
   q.setCapacity(3000_B);
-  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(1460_B)));
+  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
   EXPECT_EQ(q.packetCount(), 10u);
 }
 
-TEST(DropTailQueue, UdpOverheadSmaller) {
+TEST(DropTailQueue, ShrinkBelowDepthClampsToDepth) {
+  // Regression: setCapacity used to report a capacity smaller than the
+  // current depth verbatim, leaving depth() > capacity() visible — a
+  // nonsensical >100% utilisation. capacity() now clamps to the depth
+  // while admission keeps testing the requested size, so drop behavior is
+  // unchanged: every arrival drops until the queue drains below it.
+  PacketPool pool;
   DropTailQueue q{1_MB};
-  Packet p;
-  p.flow.proto = Protocol::kUdp;
-  p.payload = 100_B;
-  q.tryEnqueue(SimTime::zero(), p);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
+  }
+  ASSERT_EQ(q.depth(), 15000_B);
+  q.setCapacity(3000_B);
+  EXPECT_EQ(q.capacity(), 15000_B);  // clamped to depth, not 3000
+  EXPECT_LE(q.depth(), q.capacity());
+  // Arrivals drop exactly as they would with the unclamped capacity.
+  EXPECT_FALSE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 1460_B)));
+  // The reported capacity follows the backlog down and converges to the
+  // requested value on its own — no re-apply needed.
+  while (q.depth() >= 3000_B) (void)q.dequeue(SimTime::zero());
+  EXPECT_EQ(q.capacity(), 3000_B);
+  EXPECT_LE(q.depth(), q.capacity());
+  // Once below the target, admission works again.
+  EXPECT_TRUE(q.tryEnqueue(SimTime::zero(), tcpPacket(pool, 100_B)));
+}
+
+TEST(DropTailQueue, RingWrapsAroundPreservingFifo) {
+  // Push/pop interleaved past the ring's initial 16-slot extent so head
+  // wraps several times; order and depth accounting must hold throughout.
+  PacketPool pool;
+  DropTailQueue q{1_MB};
+  std::uint64_t nextId = 1;
+  std::uint64_t expect = 1;
+  for (int round = 0; round < 40; ++round) {
+    for (int k = 0; k < 7; ++k) {
+      auto p = tcpPacket(pool, 100_B);
+      p->id = nextId++;
+      ASSERT_TRUE(q.tryEnqueue(SimTime::zero(), std::move(p)));
+    }
+    for (int k = 0; k < 5; ++k) {
+      auto p = q.dequeue(SimTime::zero());
+      ASSERT_TRUE(p);
+      EXPECT_EQ(p->id, expect++);
+    }
+  }
+  while (auto p = q.dequeue(SimTime::zero())) EXPECT_EQ(p->id, expect++);
+  EXPECT_EQ(expect, nextId);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.depth(), 0_B);
+  EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(DropTailQueue, UdpOverheadSmaller) {
+  PacketPool pool;
+  DropTailQueue q{1_MB};
+  PacketRef p = pool.acquire();
+  p->flow.proto = Protocol::kUdp;
+  p->payload = 100_B;
+  q.tryEnqueue(SimTime::zero(), std::move(p));
   EXPECT_EQ(q.depth(), 128_B);  // 100 + 28
+}
+
+TEST(PacketPool, RecyclesSlotsLifo) {
+  PacketPool pool;
+  Packet* first = nullptr;
+  {
+    PacketRef a = pool.acquire();
+    first = a.get();
+    EXPECT_EQ(pool.liveCount(), 1u);
+  }
+  EXPECT_EQ(pool.liveCount(), 0u);
+  PacketRef b = pool.acquire();
+  EXPECT_EQ(b.get(), first);  // LIFO freelist reuses the hottest slot
+  EXPECT_EQ(pool.highWater(), 1u);
+}
+
+TEST(PacketPool, AcquireResetsRecycledSlot) {
+  PacketPool pool;
+  {
+    PacketRef a = pool.acquire();
+    a->ttl = 3;
+    a->id = 77;
+    a->payload = 512_B;
+  }
+  PacketRef b = pool.acquire();
+  const Packet fresh{};
+  EXPECT_EQ(b->ttl, fresh.ttl);  // no stale TTL leaks into reused slots
+  EXPECT_EQ(b->id, fresh.id);
+  EXPECT_EQ(b->payload, fresh.payload);
+}
+
+TEST(PacketPool, MoveTransfersOwnership) {
+  PacketPool pool;
+  PacketRef a = pool.acquire();
+  Packet* raw = a.get();
+  PacketRef b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — moved-from is empty
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(pool.liveCount(), 1u);
+  b.reset();
+  EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(PacketPool, GrowsByWholeSlabs) {
+  PacketPool pool;
+  std::vector<PacketRef> held;
+  for (int i = 0; i < 300; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.liveCount(), 300u);
+  EXPECT_EQ(pool.slotCount(), 512u);  // two 256-packet slabs
+  EXPECT_EQ(pool.highWater(), 300u);
+  held.clear();
+  EXPECT_EQ(pool.liveCount(), 0u);
+  EXPECT_EQ(pool.slotCount(), 512u);  // slabs are retained, not freed
 }
 
 }  // namespace

@@ -156,6 +156,90 @@ TEST(Topology, RecomputeAfterStructuralChange) {
   EXPECT_TRUE(s.topo.trace(h1.address(), h2.address()).has_value());
 }
 
+TEST(Topology, RecomputeFullySupersedesStaleEntries) {
+  // Soft-failure style: traffic flows (warming every flow cache on the
+  // path), then the topology changes and computeRoutes() runs again. The
+  // second compute must fully supersede the first — no stale FIB entries,
+  // no stale flow-cache hits steering packets at the old next hop.
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& h2 = s.topo.addHost("h2", Address(10, 0, 0, 2));
+  auto& a = s.topo.addSwitch("a");
+  auto& b = s.topo.addSwitch("b");
+  LinkParams lp;
+  s.topo.connect(h1, a, lp);
+  s.topo.connect(a, h2, lp);  // initially h2 hangs off a directly
+  s.topo.computeRoutes();
+
+  Capture cap;
+  h2.bind(Protocol::kUdp, 7, cap);
+  h1.send(probeTo(h2.address()));
+  s.simulator.run();
+  ASSERT_EQ(cap.packets.size(), 1u);  // caches on h1 and a are now warm
+  const auto genBefore = a.routeGeneration();
+
+  // Structural change: h2 moves behind b (a - b - h2). The old a->h2 port
+  // still exists but the recompute must route via b's port instead.
+  s.topo.connect(a, b, lp);
+  s.topo.connect(b, h2, lp);
+  s.topo.computeRoutes();
+  EXPECT_GT(a.routeGeneration(), genBefore);  // caches invalidated
+
+  const auto path = s.topo.trace(h1.address(), h2.address());
+  ASSERT_TRUE(path.has_value());
+  // BFS tie-break is adjacency (link creation) order, so the direct a->h2
+  // link still wins for reachability — the point is the entries are fresh.
+  h1.send(probeTo(h2.address()));
+  s.simulator.run();
+  EXPECT_EQ(cap.packets.size(), 2u);
+  EXPECT_EQ(a.stats().dropsNoRoute, 0u);
+}
+
+TEST(Topology, RecomputeAfterDetachReroutesViaSurvivingPath) {
+  // Diamond with two equal-length branches: h1 - a - {b, c} - d - h2.
+  // First compute prefers the b branch (insertion order); clearing and
+  // re-adding routes for the c branch only must leave NO residue of the b
+  // branch in a's FIB or flow cache.
+  Scenario s;
+  auto& h1 = s.topo.addHost("h1", Address(10, 0, 0, 1));
+  auto& h2 = s.topo.addHost("h2", Address(10, 0, 0, 2));
+  auto& a = s.topo.addSwitch("a");
+  auto& b = s.topo.addSwitch("b");
+  auto& c = s.topo.addSwitch("c");
+  auto& d = s.topo.addSwitch("d");
+  LinkParams lp;
+  s.topo.connect(h1, a, lp);
+  s.topo.connect(a, b, lp);
+  s.topo.connect(a, c, lp);
+  s.topo.connect(b, d, lp);
+  s.topo.connect(c, d, lp);
+  s.topo.connect(d, h2, lp);
+  s.topo.computeRoutes();
+
+  auto path = s.topo.trace(h1.address(), h2.address());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops[1].device->name(), "b");  // insertion-order winner
+  // Warm a's cache toward h2 through b.
+  ASSERT_TRUE(a.lookupRoute(h2.address()).has_value());
+
+  // Simulate the b line card dying: manually repoint a's route to the c
+  // port (what an SDN controller / re-converged IGP would install).
+  a.clearRoutes();
+  a.addRoute(Prefix{h2.address(), 32}, 2);  // if2 = a->c link
+  a.addRoute(Prefix{h1.address(), 32}, 0);  // if0 = a->h1 link
+  path = s.topo.trace(h1.address(), h2.address());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops[1].device->name(), "c");  // stale cache would say b
+
+  Capture cap;
+  h2.bind(Protocol::kUdp, 7, cap);
+  h1.send(probeTo(h2.address()));
+  s.simulator.run();
+  ASSERT_EQ(cap.packets.size(), 1u);
+  EXPECT_EQ(cap.packets[0].ttl, 64 - 3);  // forwarded by a, c, d
+  EXPECT_EQ(b.stats().rxPackets, 0u);     // nothing leaked down the old path
+}
+
 TEST(Topology, NoRouteDropCounted) {
   Scenario s;
   ChainTopo t{s};

@@ -54,12 +54,12 @@ def check_str(obj, key, where):
     return obj[key]
 
 
-def validate_trace_line(event, where, prev_t):
+def validate_trace_line(event, where, prev_t, depths):
     t = check_uint(event, "t_ns", where)
     require(t >= prev_t, where, f"t_ns={t} goes backwards (previous {prev_t})")
     ev = check_str(event, "ev", where)
     require(ev in TRACE_EVENTS, where, f"unknown ev {ev!r}")
-    check_str(event, "point", where)
+    point = check_str(event, "point", where)
     check_uint(event, "pkt", where)
     for key in ("src", "dst"):
         ip = check_str(event, key, where)
@@ -69,15 +69,43 @@ def validate_trace_line(event, where, prev_t):
     check_uint(event, "dport", where, bits=16)
     proto = check_str(event, "proto", where)
     require(proto in TRACE_PROTOS, where, f"unknown proto {proto!r}")
-    check_uint(event, "bytes", where, bits=32)
+    nbytes = check_uint(event, "bytes", where, bits=32)
     check_uint(event, "seq", where)
-    check_uint(event, "depth", where)
+    depth = check_uint(event, "depth", where)
+
+    # Per-point queue-depth bookkeeping. enqueue/dequeue record the depth
+    # *after* the queue mutated, and a drop at a queue point leaves it
+    # unchanged, so consecutive events at one point must chain exactly:
+    #   enqueue: depth == prev + bytes
+    #   dequeue: depth == prev - bytes
+    #   drop:    depth == prev
+    # The ring buffer may have overwritten the start of a point's history,
+    # so the first enqueue/dequeue seen at a point only seeds its depth;
+    # drops at points with no queue history (ACL, TTL, no-route, firewall
+    # verdicts) carry depth 0 and are never tracked.
+    if ev in ("enqueue", "dequeue"):
+        prev_depth = depths.get(point)
+        if prev_depth is not None:
+            expect = prev_depth + nbytes if ev == "enqueue" else prev_depth - nbytes
+            require(expect >= 0, where,
+                    f"point {point!r}: dequeue of {nbytes} bytes from depth {prev_depth}")
+            require(depth == expect, where,
+                    f"point {point!r}: depth {depth} after {ev} of {nbytes} bytes, "
+                    f"expected {expect} (previous depth {prev_depth})")
+        elif ev == "enqueue":
+            require(depth >= nbytes, where,
+                    f"point {point!r}: enqueue of {nbytes} bytes reports depth {depth}")
+        depths[point] = depth
+    elif ev == "drop" and point in depths:
+        require(depth == depths[point], where,
+                f"point {point!r}: drop changed depth {depths[point]} -> {depth}")
     return t
 
 
 def validate_trace(path):
     count = 0
     prev_t = 0
+    depths = {}
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
@@ -89,10 +117,11 @@ def validate_trace(path):
             except json.JSONDecodeError as err:
                 fail(where, f"invalid JSON: {err}")
             require(isinstance(event, dict), where, "line is not a JSON object")
-            prev_t = validate_trace_line(event, where, prev_t)
+            prev_t = validate_trace_line(event, where, prev_t, depths)
             count += 1
     require(count > 0, path, "trace contains no events")
-    return f"scidmz.trace.v1, {count} events, time monotone"
+    return (f"scidmz.trace.v1, {count} events, time monotone, "
+            f"{len(depths)} queue points depth-consistent")
 
 
 def validate_snapshot(doc, where):
