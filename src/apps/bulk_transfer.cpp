@@ -5,8 +5,8 @@ namespace scidmz::apps {
 BulkTransfer::BulkTransfer(net::Host& src, net::Host& dst, std::uint16_t port,
                            sim::DataSize bytes, tcp::TcpConfig config)
     : src_(src), bytes_(bytes) {
-  listener_ = std::make_unique<tcp::TcpListener>(dst, port, config);
-  client_ = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+  listener_ = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
+  client_ = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
   client_->onEstablished = [this] { client_->sendData(bytes_); };
   client_->onSendComplete = [this] {
     finished_ = true;

@@ -47,8 +47,8 @@ class BulkTransfer {
  private:
   net::Host& src_;
   sim::DataSize bytes_;
-  std::unique_ptr<tcp::TcpListener> listener_;
-  std::unique_ptr<tcp::TcpConnection> client_;
+  sim::ArenaPtr<tcp::TcpListener> listener_;
+  sim::ArenaPtr<tcp::TcpConnection> client_;
   sim::SimTime started_at_;
   bool started_ = false;
   bool finished_ = false;

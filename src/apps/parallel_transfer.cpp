@@ -7,7 +7,7 @@ ParallelTransfer::ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t
                                    tcp::TcpConfig config)
     : src_(src), total_(totalBytes) {
   if (streamCount < 1) streamCount = 1;
-  listener_ = std::make_unique<tcp::TcpListener>(dst, port, config);
+  listener_ = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
 
   // Stripe bytes as evenly as possible; the first stream takes the slack.
   const std::uint64_t base = totalBytes.byteCount() / static_cast<std::uint64_t>(streamCount);
@@ -17,7 +17,7 @@ ParallelTransfer::ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t
   }
 
   for (int i = 0; i < streamCount; ++i) {
-    auto conn = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+    auto conn = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
     auto* raw = conn.get();
     const auto share = shares_[static_cast<std::size_t>(i)];
     raw->onEstablished = [raw, share] { raw->sendData(share); };

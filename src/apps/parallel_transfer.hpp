@@ -41,8 +41,8 @@ class ParallelTransfer {
  private:
   net::Host& src_;
   sim::DataSize total_;
-  std::unique_ptr<tcp::TcpListener> listener_;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> streams_;
+  sim::ArenaPtr<tcp::TcpListener> listener_;
+  std::vector<sim::ArenaPtr<tcp::TcpConnection>> streams_;
   std::vector<sim::DataSize> shares_;
   std::size_t completed_streams_ = 0;
   sim::SimTime started_at_;

@@ -20,7 +20,7 @@ void DtnTransfer::start() {
     write_done_ = true;
     maybeFinish();
   });
-  listener_ = std::make_unique<tcp::TcpListener>(dst_.host(), port_, dst_.profile().tcp);
+  listener_ = dst_.host().ctx().arena().make<tcp::TcpListener>(dst_.host(), port_, dst_.profile().tcp);
   listener_->onAccept = [this](tcp::TcpConnection& conn) {
     conn.onDelivered = [this](sim::DataSize bytes) {
       dst_.storage().offerWrite(write_stream_, bytes);
@@ -30,7 +30,7 @@ void DtnTransfer::start() {
   // Source side: parallel streams, fed round-robin from the disk pump.
   const int streamCount = std::max(1, src_.profile().parallelStreams);
   for (int i = 0; i < streamCount; ++i) {
-    auto conn = std::make_unique<tcp::TcpConnection>(src_.host(), dst_.host().address(), port_,
+    auto conn = src_.host().ctx().arena().make<tcp::TcpConnection>(src_.host(), dst_.host().address(), port_,
                                                      src_.profile().tcp);
     conn->onEstablished = [this] {
       ++established_;

@@ -95,8 +95,8 @@ class DtnTransfer {
   sim::DataSize file_size_;
   std::uint16_t port_;
 
-  std::unique_ptr<tcp::TcpListener> listener_;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> streams_;
+  sim::ArenaPtr<tcp::TcpListener> listener_;
+  std::vector<sim::ArenaPtr<tcp::TcpConnection>> streams_;
   std::size_t next_stream_ = 0;
   std::size_t established_ = 0;
   bool reading_started_ = false;

@@ -11,8 +11,8 @@ BwctlTest::~BwctlTest() {
 }
 
 void BwctlTest::start() {
-  listener_ = std::make_unique<tcp::TcpListener>(dst_, options_.port, options_.tcp);
-  client_ = std::make_unique<tcp::TcpConnection>(src_, dst_.address(), options_.port,
+  listener_ = dst_.ctx().arena().make<tcp::TcpListener>(dst_, options_.port, options_.tcp);
+  client_ = src_.ctx().arena().make<tcp::TcpConnection>(src_, dst_.address(), options_.port,
                                                  options_.tcp);
   listener_->onAccept = [this](tcp::TcpConnection& c) { server_side_ = &c; };
   client_->onEstablished = [this] {

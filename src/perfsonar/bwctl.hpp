@@ -52,8 +52,8 @@ class BwctlTest {
   net::Host& src_;
   net::Host& dst_;
   Options options_;
-  std::unique_ptr<tcp::TcpListener> listener_;
-  std::unique_ptr<tcp::TcpConnection> client_;
+  sim::ArenaPtr<tcp::TcpListener> listener_;
+  sim::ArenaPtr<tcp::TcpConnection> client_;
   tcp::TcpConnection* server_side_ = nullptr;
   sim::SimTime measure_start_;
   sim::DataSize measure_base_ = sim::DataSize::zero();

@@ -47,9 +47,9 @@ struct SteadyFlow {
   SteadyFlow(Scenario& s, net::Host& src, net::Host& dst, tcp::TcpConfig config,
              std::uint16_t port = 5001)
       : scenario(s) {
-    listener = std::make_unique<tcp::TcpListener>(dst, port, config);
+    listener = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
     listener->onAccept = [this](tcp::TcpConnection& c) { server = &c; };
-    client = std::make_unique<tcp::TcpConnection>(src, dst.address(), port, config);
+    client = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
     client->onEstablished = [this] { client->sendData(sim::DataSize::terabytes(100)); };
     client->start();
   }
@@ -76,8 +76,8 @@ struct SteadyFlow {
   [[nodiscard]] bool established() const { return established_; }
 
   Scenario& scenario;
-  std::unique_ptr<tcp::TcpListener> listener;
-  std::unique_ptr<tcp::TcpConnection> client;
+  sim::ArenaPtr<tcp::TcpListener> listener;
+  sim::ArenaPtr<tcp::TcpConnection> client;
   tcp::TcpConnection* server = nullptr;
   bool established_ = true;
 };

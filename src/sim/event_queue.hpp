@@ -1,18 +1,28 @@
 // Discrete-event scheduler core.
 //
-// Events are (time, sequence) keys in a 4-ary min-heap, with the insertion
-// sequence as a tie-break so simultaneous events fire in the order they were
-// scheduled — a requirement for deterministic replay. Callbacks live in a
-// side slot table with stable addresses, so heap sifts move 24-byte keys
-// instead of whole closures and the schedule path performs no allocation for
-// common capture sizes (see sim/callback.hpp).
+// Events are (time, sequence) keys served from a 4-ary min-heap, with the
+// insertion sequence as a tie-break so simultaneous events fire in the order
+// they were scheduled — a requirement for deterministic replay. Callbacks
+// live in a side slot table with stable addresses, so heap sifts move
+// 24-byte keys instead of whole closures and the schedule path performs no
+// allocation for common capture sizes (see sim/callback.hpp).
+//
+// A hierarchical timing wheel (sim/timing_wheel.hpp) fronts the heap: the
+// dominant periodic and far-future timers — probe cadences, pacing ticks,
+// RTOs, telemetry sampling — park in O(1) wheel buckets and only enter the
+// heap when their bucket cascades, so the heap stays shallow (roughly one
+// bucket's worth of events plus the sub-microsecond datapath events, which
+// bypass the wheel entirely). Entries keep their original (time, sequence)
+// keys through the cascade, and the queue cascades until the heap front is
+// provably the global minimum, so pop order — and therefore every golden
+// table — is byte-identical to a heap-only queue.
 //
 // Cancellation is an O(1) tombstone write through a slot/generation handle:
 // the EventId encodes (slot, generation), a fired or cancelled event bumps
 // its slot's generation, and any stale handle is rejected exactly — no
 // auxiliary cancelled-set, no drift in the live-event accounting. Tombstoned
-// heap entries are reclaimed when they surface, or in bulk when they
-// outnumber live entries.
+// entries are reclaimed when they surface or cascade, or in bulk — across
+// the heap AND the wheel buckets — when they outnumber live entries.
 //
 // Not thread-safe by design: the simulator is a single logical thread of
 // control. Parallelism lives at the sweep level (sim/sweep.hpp), where
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/timing_wheel.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::sim {
@@ -50,7 +61,8 @@ class EventQueue {
   template <typename F>
   EventId schedule(SimTime at, F&& cb) {
     const std::uint32_t slot = acquireSlot(std::forward<F>(cb));
-    heapPush(HeapEntry{at, ++next_seq_, slot});
+    const HeapEntry entry{at, ++next_seq_, slot};
+    if (!wheel_.park(entry)) heapPush(entry);
     ++live_;
     return EventId{pack(slot, slots_[slot].generation)};
   }
@@ -76,7 +88,7 @@ class EventQueue {
 
   /// Time of the next live event; SimTime::max() when empty.
   [[nodiscard]] SimTime nextTime() {
-    skipTombstones();
+    ensureFront();
     return heap_.empty() ? SimTime::max() : heap_.front().at;
   }
 
@@ -86,9 +98,13 @@ class EventQueue {
     Callback cb;
   };
   Popped pop() {
-    skipTombstones();
+    ensureFront();
     const HeapEntry top = heap_.front();
     heapPopFront();
+    // Keep an idle wheel's base abreast of simulated time, so near-now
+    // schedules during heap-only stretches are rejected by park() instead
+    // of landing in a spuriously coarse bucket. No-op unless empty.
+    wheel_.advanceBase(top.at.ns());
     Popped out{top.at, std::move(slots_[top.slot].cb)};
     releaseSlot(top.slot);
     --live_;
@@ -102,14 +118,23 @@ class EventQueue {
       if (slots_[e.slot].tombstone) --tombstones_;
       releaseSlot(e.slot);
     }
+    wheel_.drain([this](const HeapEntry& e) {
+      if (slots_[e.slot].tombstone) --tombstones_;
+      releaseSlot(e.slot);
+    });
     heap_.clear();
     live_ = 0;
   }
 
   [[nodiscard]] std::uint64_t scheduledTotal() const { return next_seq_; }
 
-  /// Heap entries currently tombstoned (observability/tests).
+  /// Entries currently tombstoned, in the heap or parked in wheel buckets
+  /// (observability/tests).
   [[nodiscard]] std::size_t tombstoneCount() const { return tombstones_; }
+
+  /// Entries currently parked in wheel buckets rather than the heap
+  /// (observability/tests/benches).
+  [[nodiscard]] std::size_t parkedCount() const { return wheel_.size(); }
 
  private:
   struct HeapEntry {
@@ -170,8 +195,32 @@ class EventQueue {
     }
   }
 
-  /// Rebuild the heap without tombstoned entries, bounding dead-entry state
-  /// for workloads that cancel most of what they schedule.
+  /// Cascade wheel buckets into the heap until the heap front is provably
+  /// the global minimum: every parked entry's time is bounded below by its
+  /// bucket's start, so once heap_min <= the earliest bucket start no wheel
+  /// entry can precede it. Tombstones met during a cascade are reclaimed
+  /// instead of heap-pushed.
+  void ensureFront() {
+    for (;;) {
+      skipTombstones();
+      if (wheel_.empty()) return;
+      const std::int64_t heapMin =
+          heap_.empty() ? SimTime::max().ns() : heap_.front().at.ns();
+      if (heapMin <= wheel_.horizonStartNs()) return;
+      wheel_.cascadeEarliest([this](const HeapEntry& e) {
+        if (slots_[e.slot].tombstone) {
+          releaseSlot(e.slot);
+          --tombstones_;
+        } else {
+          heapPush(e);
+        }
+      });
+    }
+  }
+
+  /// Rebuild the heap — and purge the wheel buckets — without tombstoned
+  /// entries, bounding dead-entry state for workloads that cancel most of
+  /// what they schedule (dense periodic schedules torn down mid-run).
   void compact() {
     std::size_t kept = 0;
     for (const HeapEntry& e : heap_) {
@@ -186,6 +235,12 @@ class EventQueue {
     if (kept > 1) {
       for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;) siftDown(i, heap_[i]);
     }
+    wheel_.removeIf(
+        [this](const HeapEntry& e) { return slots_[e.slot].tombstone; },
+        [this](const HeapEntry& e) {
+          releaseSlot(e.slot);
+          --tombstones_;
+        });
   }
 
   // --- 4-ary min-heap over (at, seq); shallower than binary, and the four
@@ -235,6 +290,7 @@ class EventQueue {
   }
 
   std::vector<HeapEntry> heap_;
+  TimingWheel<HeapEntry> wheel_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::size_t live_ = 0;

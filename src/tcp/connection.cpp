@@ -22,27 +22,35 @@ std::uint8_t scaleFor(sim::DataSize rcvBuf) {
 
 TcpConnection::TcpConnection(net::Host& host, net::Address remote, std::uint16_t remotePort,
                              TcpConfig config)
-    : host_(host), config_(config), rto_(config.initialRto) {
+    : host_(host),
+      config_(config),
+      hot_(host.ctx().extension<FlowHotTable>()),
+      hot_row_(hot_.acquire()),
+      rto_(config.initialRto) {
   client_side_ = true;
   flow_ = net::FlowKey{host_.address(), remote, host_.allocatePort(), remotePort,
                        net::Protocol::kTcp};
   host_.bind(net::Protocol::kTcp, flow_.srcPort, *this);
   bound_port_ = true;
   cc_ = makeCongestionControl(config_.algorithm);
-  cc_state_.mss = host_.mss();
-  cc_state_.cwnd = static_cast<double>(cc_state_.mss.byteCount()) * config_.initialWindowSegments;
-  cc_state_.ssthresh = 1e18;
+  mss_ = host_.mss();
+  hot_.cwnd(hot_row_) = static_cast<double>(mss_.byteCount()) * config_.initialWindowSegments;
+  hot_.ssthresh(hot_row_) = 1e18;
   rcv_wscale_ = config_.windowScaling ? scaleFor(config_.rcvBuf) : 0;
 }
 
 TcpConnection::TcpConnection(net::Host& host, const net::Packet& syn, TcpConfig config)
-    : host_(host), config_(config), rto_(config.initialRto) {
+    : host_(host),
+      config_(config),
+      hot_(host.ctx().extension<FlowHotTable>()),
+      hot_row_(hot_.acquire()),
+      rto_(config.initialRto) {
   client_side_ = false;
   flow_ = syn.flow.reversed();
   cc_ = makeCongestionControl(config_.algorithm);
-  cc_state_.mss = host_.mss();
-  cc_state_.cwnd = static_cast<double>(cc_state_.mss.byteCount()) * config_.initialWindowSegments;
-  cc_state_.ssthresh = 1e18;
+  mss_ = host_.mss();
+  hot_.cwnd(hot_row_) = static_cast<double>(mss_.byteCount()) * config_.initialWindowSegments;
+  hot_.ssthresh(hot_row_) = 1e18;
 
   const auto& header = syn.tcp();
   if (header.windowScalePresent && config_.windowScaling) {
@@ -71,6 +79,7 @@ TcpConnection::~TcpConnection() {
     for (const auto id : tel_samplers_) tel.removeSampler(id);
   }
   if (bound_port_) host_.unbind(net::Protocol::kTcp, flow_.srcPort);
+  hot_.release(hot_row_);
 }
 
 void TcpConnection::start() {
@@ -196,23 +205,23 @@ void TcpConnection::sendSegment(std::uint64_t seq, sim::DataSize len, bool fin,
 // Sending
 
 std::uint64_t TcpConnection::effectiveWindow() const {
-  const auto cwnd = static_cast<std::uint64_t>(std::max(cc_state_.cwnd, 0.0));
+  const auto cwnd = static_cast<std::uint64_t>(std::max(hot_.cwnd(hot_row_), 0.0));
   return std::min({cwnd, peer_wnd_, config_.sndBuf.byteCount()});
 }
 
 bool TcpConnection::sendOneSegment() {
   const std::uint64_t limit = sendLimit();
   const std::uint64_t window = effectiveWindow();
-  const std::uint64_t mss = cc_state_.mss.byteCount();
-  if (snd_nxt_ >= limit || snd_nxt_ - snd_una_ >= window) return false;
-  if (snd_nxt_ == send_target_) {
+  const std::uint64_t mss = mss_.byteCount();
+  if (sndNxt() >= limit || sndNxt() - sndUna() >= window) return false;
+  if (sndNxt() == send_target_) {
     // All data queued so far is out; emit the FIN (occupies one seq).
-    sendSegment(snd_nxt_, sim::DataSize::zero(), /*fin=*/true, /*isRetransmit=*/false);
-    snd_nxt_ += 1;
+    sendSegment(sndNxt(), sim::DataSize::zero(), /*fin=*/true, /*isRetransmit=*/false);
+    sndNxt() += 1;
   } else {
-    const std::uint64_t len = std::min(mss, send_target_ - snd_nxt_);
-    sendSegment(snd_nxt_, sim::DataSize::bytes(len), /*fin=*/false, /*isRetransmit=*/false);
-    snd_nxt_ += len;
+    const std::uint64_t len = std::min(mss, send_target_ - sndNxt());
+    sendSegment(sndNxt(), sim::DataSize::bytes(len), /*fin=*/false, /*isRetransmit=*/false);
+    sndNxt() += len;
   }
   return true;
 }
@@ -225,23 +234,23 @@ void TcpConnection::trySend() {
   }
   while (sendOneSegment()) {
   }
-  if (snd_nxt_ > snd_una_ && !rto_timer_.valid()) armRto();
+  if (sndNxt() > sndUna() && !rto_timer_.valid()) armRto();
 }
 
 void TcpConnection::pacedSend() {
   if (pace_timer_.valid()) return;  // the next emission is already scheduled
   if (!sendOneSegment()) {
-    if (snd_nxt_ > snd_una_ && !rto_timer_.valid()) armRto();
+    if (sndNxt() > sndUna() && !rto_timer_.valid()) armRto();
     return;
   }
-  if (snd_nxt_ > snd_una_ && !rto_timer_.valid()) armRto();
+  if (sndNxt() > sndUna() && !rto_timer_.valid()) armRto();
   // Inter-segment gap: spread cwnd over the smoothed RTT, sped up by the
   // pacing gain so the window can still grow.
   const double rateBps =
-      std::max(config_.pacingGain * cc_state_.cwnd * 8.0 / std::max(srtt_.toSeconds(), 1e-6),
+      std::max(config_.pacingGain * hot_.cwnd(hot_row_) * 8.0 / std::max(srtt().toSeconds(), 1e-6),
                8.0 * 1460.0);
   const double gapSecs =
-      static_cast<double>(cc_state_.mss.byteCount()) * 8.0 / rateBps;
+      static_cast<double>(mss_.byteCount()) * 8.0 / rateBps;
   pace_timer_ = host_.ctx().sim().schedule(sim::Duration::fromSeconds(gapSecs), [this] {
     pace_timer_ = sim::EventId{};
     if (state_ == State::kEstablished) pacedSend();
@@ -249,7 +258,7 @@ void TcpConnection::pacedSend() {
 }
 
 void TcpConnection::retransmitFrom(std::uint64_t seq) {
-  const std::uint64_t mss = cc_state_.mss.byteCount();
+  const std::uint64_t mss = mss_.byteCount();
   if (fin_pending_ && seq == send_target_) {
     sendSegment(seq, sim::DataSize::zero(), /*fin=*/true, /*isRetransmit=*/true);
     return;
@@ -329,19 +338,19 @@ void TcpConnection::initTelemetry() {
   tel_point_ = tel.recorder().internPoint("tcp:" + flow_.toString());
   tel_retransmits_ = &tel.metrics().counter(base + "/retransmits");
   tel_rtos_ = &tel.metrics().counter(base + "/rtos");
-  tel_samplers_[0] = tel.addSampler(base + "/cwnd_bytes", [this] { return cc_state_.cwnd; });
+  tel_samplers_[0] = tel.addSampler(base + "/cwnd_bytes", [this] { return hot_.cwnd(hot_row_); });
   tel_samplers_[1] =
-      tel.addSampler(base + "/ssthresh_bytes", [this] { return cc_state_.ssthresh; });
-  tel_samplers_[2] = tel.addSampler(base + "/srtt_ms", [this] { return srtt_.toMillis(); });
+      tel.addSampler(base + "/ssthresh_bytes", [this] { return hot_.ssthresh(hot_row_); });
+  tel_samplers_[2] = tel.addSampler(base + "/srtt_ms", [this] { return srtt().toMillis(); });
   tel_samplers_[3] = tel.addSampler(base + "/inflight_bytes", [this] {
-    return snd_nxt_ >= snd_una_ ? static_cast<double>(snd_nxt_ - snd_una_) : 0.0;
+    return sndNxt() >= sndUna() ? static_cast<double>(sndNxt() - sndUna()) : 0.0;
   });
   tel_init_ = true;
 }
 
 void TcpConnection::handleAck(const net::TcpHeader& header) {
   const auto now = host_.ctx().now();
-  const std::uint64_t mss = cc_state_.mss.byteCount();
+  const std::uint64_t mss = mss_.byteCount();
 
   // Timestamp-echo RTT sample (valid on new and duplicate ACKs alike).
   if (header.tsEcho != 0) {
@@ -351,13 +360,13 @@ void TcpConnection::handleAck(const net::TcpHeader& header) {
 
   absorbSack(header);
 
-  if (header.ackNo > snd_una_) {
-    const std::uint64_t acked = header.ackNo - snd_una_;
-    snd_una_ = header.ackNo;
+  if (header.ackNo > sndUna()) {
+    const std::uint64_t acked = header.ackNo - sndUna();
+    sndUna() = header.ackNo;
     // After a go-back-N RTO reset, ACKs for the original flight can race
     // past the rewound snd_nxt; never let the send point fall behind the
     // cumulative ACK or the unsigned in-flight arithmetic underflows.
-    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    if (sndNxt() < sndUna()) sndNxt() = sndUna();
     stats_.bytesAcked += sim::DataSize::bytes(acked);
 
 
@@ -367,26 +376,28 @@ void TcpConnection::handleAck(const net::TcpHeader& header) {
         in_recovery_ = false;
         dup_acks_ = 0;
         high_rxt_ = 0;
-        cc_state_.cwnd = cc_state_.ssthresh;
+        hot_.cwnd(hot_row_) = hot_.ssthresh(hot_row_);
       } else {
         // Partial ACK: keep repairing holes, SACK-guided, pipe-limited.
         sackRetransmit();
       }
     } else {
       dup_acks_ = 0;
-      cc_->onAckedBytes(cc_state_, acked, srtt_, now);
+      CcState st = ccLoad();
+      cc_->onAckedBytes(st, acked, srtt(), now);
+      ccStore(st);
     }
     (void)mss;
 
     cancelRto();
-    if (snd_nxt_ > snd_una_) armRto();
+    if (sndNxt() > sndUna()) armRto();
     trySend();
     checkSendComplete();
     return;
   }
 
   // Duplicate ACK (only meaningful while data is outstanding).
-  if (snd_nxt_ > snd_una_ && header.ackNo == snd_una_) {
+  if (sndNxt() > sndUna() && header.ackNo == sndUna()) {
     if (in_recovery_) {
       sackRetransmit();
     } else if (++dup_acks_ == 3) {
@@ -399,8 +410,8 @@ void TcpConnection::absorbSack(const net::TcpHeader& header) {
   for (std::uint8_t i = 0; i < header.sackCount; ++i) {
     std::uint64_t start = header.sackBlocks[i].start;
     std::uint64_t end = header.sackBlocks[i].end;
-    if (end <= start || end <= snd_una_) continue;
-    start = std::max(start, snd_una_);
+    if (end <= start || end <= sndUna()) continue;
+    start = std::max(start, sndUna());
     // Merge [start, end) into the scoreboard.
     auto it = sacked_.lower_bound(start);
     if (it != sacked_.begin()) {
@@ -418,19 +429,19 @@ void TcpConnection::absorbSack(const net::TcpHeader& header) {
     sacked_.emplace(start, end);
   }
   // Drop ranges the cumulative ACK has passed.
-  while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+  while (!sacked_.empty() && sacked_.begin()->second <= sndUna()) {
     sacked_.erase(sacked_.begin());
   }
-  if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
+  if (!sacked_.empty() && sacked_.begin()->first < sndUna()) {
     auto node = sacked_.extract(sacked_.begin());
-    if (node.mapped() > snd_una_) sacked_.emplace(snd_una_, node.mapped());
+    if (node.mapped() > sndUna()) sacked_.emplace(sndUna(), node.mapped());
   }
 }
 
 std::uint64_t TcpConnection::sackedBytesInFlight() const {
   std::uint64_t total = 0;
   for (const auto& [start, end] : sacked_) {
-    const auto hi = std::min(end, snd_nxt_);
+    const auto hi = std::min(end, sndNxt());
     if (hi > start) total += hi - start;
   }
   return total;
@@ -445,19 +456,19 @@ std::uint64_t TcpConnection::nextHole(std::uint64_t point) const {
 }
 
 void TcpConnection::sackRetransmit() {
-  const std::uint64_t mss = cc_state_.mss.byteCount();
-  const auto cwnd = static_cast<std::uint64_t>(std::max(cc_state_.cwnd, 0.0));
-  const std::uint64_t highestSack = sacked_.empty() ? snd_una_ : sacked_.rbegin()->second;
+  const std::uint64_t mss = mss_.byteCount();
+  const auto cwnd = static_cast<std::uint64_t>(std::max(hot_.cwnd(hot_row_), 0.0));
+  const std::uint64_t highestSack = sacked_.empty() ? sndUna() : sacked_.rbegin()->second;
   // Conservative pipe estimate: outstanding minus what SACK confirms
   // arrived. (Lost-but-unretransmitted bytes still count, which only makes
   // us less aggressive.)
-  std::uint64_t outstanding = snd_nxt_ - snd_una_;
+  std::uint64_t outstanding = sndNxt() - sndUna();
   std::uint64_t pipe = outstanding - std::min(outstanding, sackedBytesInFlight());
 
   int budget = 64;  // hard bound on work per ACK
   while (pipe + mss <= cwnd && budget-- > 0) {
-    std::uint64_t point = nextHole(std::max(snd_una_, high_rxt_));
-    if (point < highestSack && point < snd_nxt_) {
+    std::uint64_t point = nextHole(std::max(sndUna(), high_rxt_));
+    if (point < highestSack && point < sndNxt()) {
       retransmitFrom(point);
       high_rxt_ = point + mss;
       pipe += mss;
@@ -467,19 +478,21 @@ void TcpConnection::sackRetransmit() {
     if (!sendOneSegment()) break;
     pipe += mss;
   }
-  if (snd_nxt_ > snd_una_ && !rto_timer_.valid()) armRto();
+  if (sndNxt() > sndUna() && !rto_timer_.valid()) armRto();
 }
 
 void TcpConnection::enterRecovery() {
   const auto now = host_.ctx().now();
-  recover_ = snd_nxt_;
-  cc_->onPacketLoss(cc_state_, now);
-  cc_state_.cwnd = cc_state_.ssthresh;
+  recover_ = sndNxt();
+  CcState st = ccLoad();
+  cc_->onPacketLoss(st, now);
+  ccStore(st);
+  hot_.cwnd(hot_row_) = hot_.ssthresh(hot_row_);
   in_recovery_ = true;
   high_rxt_ = 0;
   ++stats_.fastRetransmits;
-  retransmitFrom(snd_una_);
-  high_rxt_ = snd_una_ + cc_state_.mss.byteCount();
+  retransmitFrom(sndUna());
+  high_rxt_ = sndUna() + mss_.byteCount();
   sackRetransmit();
 }
 
@@ -572,7 +585,7 @@ void TcpConnection::handleData(const net::Packet& packet) {
 }
 
 void TcpConnection::checkSendComplete() {
-  if (send_target_ > 0 && snd_una_ >= send_target_ && !send_complete_notified_) {
+  if (send_target_ > 0 && sndUna() >= send_target_ && !send_complete_notified_) {
     send_complete_notified_ = true;
     if (onSendComplete) onSendComplete();
   }
@@ -583,21 +596,21 @@ void TcpConnection::checkSendComplete() {
 
 void TcpConnection::sampleRtt(sim::Duration sample) {
   if (!have_rtt_) {
-    srtt_ = sample;
+    setSrtt(sample);
     rttvar_ = sim::Duration::nanoseconds(sample.ns() / 2);
     have_rtt_ = true;
   } else {
     const double s = sample.toSeconds();
-    const double srtt = srtt_.toSeconds();
+    const double smoothed = srtt().toSeconds();
     const double var = rttvar_.toSeconds();
-    const double newVar = 0.75 * var + 0.25 * std::abs(srtt - s);
-    const double newSrtt = 0.875 * srtt + 0.125 * s;
-    srtt_ = sim::Duration::fromSeconds(newSrtt);
+    const double newVar = 0.75 * var + 0.25 * std::abs(smoothed - s);
+    const double newSrtt = 0.875 * smoothed + 0.125 * s;
+    setSrtt(sim::Duration::fromSeconds(newSrtt));
     rttvar_ = sim::Duration::fromSeconds(newVar);
   }
   cc_->onRttSample(sample);
   const auto candidate =
-      sim::Duration::fromSeconds(srtt_.toSeconds() + std::max(4.0 * rttvar_.toSeconds(), 1e-3));
+      sim::Duration::fromSeconds(srtt().toSeconds() + std::max(4.0 * rttvar_.toSeconds(), 1e-3));
   rto_ = std::clamp(candidate, config_.minRto, config_.maxRto);
 }
 
@@ -629,7 +642,7 @@ void TcpConnection::onRtoFire() {
     armRto();
     return;
   }
-  if (snd_nxt_ <= snd_una_) return;  // nothing outstanding
+  if (sndNxt() <= sndUna()) return;  // nothing outstanding
 
   ++stats_.rtos;
   {
@@ -639,12 +652,16 @@ void TcpConnection::onRtoFire() {
       ++*tel_rtos_;
     }
   }
-  cc_->onRto(cc_state_, host_.ctx().now());
+  {
+    CcState st = ccLoad();
+    cc_->onRto(st, host_.ctx().now());
+    ccStore(st);
+  }
   in_recovery_ = false;
   dup_acks_ = 0;
   sacked_.clear();
   high_rxt_ = 0;
-  snd_nxt_ = snd_una_;  // go-back-N from the last cumulative ACK
+  sndNxt() = sndUna();  // go-back-N from the last cumulative ACK
   trySend();
   if (!rto_timer_.valid()) armRto();
 }
@@ -666,7 +683,7 @@ void TcpListener::onPacket(const net::Packet& packet) {
   if (it == connections_.end()) {
     const auto& header = packet.tcp();
     if (!(header.flags.syn && !header.flags.ack)) return;  // stray segment
-    auto conn = std::make_unique<TcpConnection>(host_, packet, config_);
+    auto conn = host_.ctx().arena().make<TcpConnection>(host_, packet, config_);
     auto& ref = *conn;
     ref.onEstablished = [this, &ref] {
       if (onAccept) onAccept(ref);

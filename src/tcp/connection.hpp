@@ -18,7 +18,9 @@
 #include <unordered_map>
 
 #include "net/host.hpp"
+#include "sim/arena.hpp"
 #include "tcp/congestion.hpp"
+#include "tcp/hot_table.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace scidmz::tcp {
@@ -103,8 +105,10 @@ class TcpConnection : public net::PacketSink {
   [[nodiscard]] bool closed() const { return state_ == State::kClosed; }
   [[nodiscard]] const net::FlowKey& flow() const { return flow_; }
   [[nodiscard]] const TcpStats& stats() const { return stats_; }
-  [[nodiscard]] double cwndBytes() const { return cc_state_.cwnd; }
-  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] double cwndBytes() const { return hot_.cwnd(hot_row_); }
+  [[nodiscard]] sim::Duration srtt() const {
+    return sim::Duration::nanoseconds(hot_.srttNs(hot_row_));
+  }
   [[nodiscard]] bool windowScalingActive() const { return scaling_ok_; }
   [[nodiscard]] std::uint64_t peerWindowBytes() const { return peer_wnd_; }
   [[nodiscard]] std::string_view ccName() const { return cc_->name(); }
@@ -121,7 +125,7 @@ class TcpConnection : public net::PacketSink {
     sim::Duration rto = sim::Duration::zero();
   };
   [[nodiscard]] DebugState debugState() const {
-    return DebugState{snd_una_, snd_nxt_, send_target_, rcv_nxt_,
+    return DebugState{hot_.sndUna(hot_row_), hot_.sndNxt(hot_row_), send_target_, rcv_nxt_,
                       in_recovery_, dup_acks_, rto_timer_.valid(), rto_};
   }
 
@@ -175,6 +179,27 @@ class TcpConnection : public net::PacketSink {
     return send_target_ + (fin_pending_ ? 1 : 0);
   }
 
+  // Hot-row shorthands: the five per-ACK fields live in the per-Context
+  // FlowHotTable (tcp/hot_table.hpp), this connection owning row hot_row_.
+  [[nodiscard]] std::uint64_t sndUna() const { return hot_.sndUna(hot_row_); }
+  [[nodiscard]] std::uint64_t& sndUna() { return hot_.sndUna(hot_row_); }
+  [[nodiscard]] std::uint64_t sndNxt() const { return hot_.sndNxt(hot_row_); }
+  [[nodiscard]] std::uint64_t& sndNxt() { return hot_.sndNxt(hot_row_); }
+  void setSrtt(sim::Duration d) { hot_.srttNs(hot_row_) = d.ns(); }
+  /// Copy the row (plus mss) into the by-reference shape the
+  /// CongestionControl hooks expect; pair with ccStore() after the call.
+  [[nodiscard]] CcState ccLoad() const {
+    CcState st;
+    st.cwnd = hot_.cwnd(hot_row_);
+    st.ssthresh = hot_.ssthresh(hot_row_);
+    st.mss = mss_;
+    return st;
+  }
+  void ccStore(const CcState& st) {
+    hot_.cwnd(hot_row_) = st.cwnd;
+    hot_.ssthresh(hot_row_) = st.ssthresh;
+  }
+
   net::Host& host_;
   TcpConfig config_;
   net::FlowKey flow_;  ///< Local perspective: src = this host.
@@ -182,13 +207,14 @@ class TcpConnection : public net::PacketSink {
   bool client_side_ = false;
   bool bound_port_ = false;
 
-  // Congestion control.
-  CcState cc_state_;
+  // Congestion control. The window state itself lives in the hot table;
+  // only the algorithm object and the (immutable) mss stay here.
+  sim::DataSize mss_ = sim::DataSize::bytes(1460);
   std::unique_ptr<CongestionControl> cc_;
+  FlowHotTable& hot_;
+  std::uint32_t hot_row_ = 0;
 
   // Sender state (byte sequence space; data starts at 0, FIN at target).
-  std::uint64_t snd_una_ = 0;
-  std::uint64_t snd_nxt_ = 0;
   std::uint64_t send_target_ = 0;
   bool fin_pending_ = false;
   bool send_complete_notified_ = false;
@@ -209,8 +235,8 @@ class TcpConnection : public net::PacketSink {
   std::uint8_t snd_wscale_ = 0;  ///< Peer's receive-window shift.
   std::uint8_t rcv_wscale_ = 0;  ///< Our receive-window shift.
 
-  // RTO machinery (RFC 6298).
-  sim::Duration srtt_ = sim::Duration::zero();
+  // RTO machinery (RFC 6298). srtt lives in the hot table (sampled by
+  // telemetry and read per paced send); rttvar is only touched per sample.
   sim::Duration rttvar_ = sim::Duration::zero();
   bool have_rtt_ = false;
   sim::Duration rto_;
@@ -258,7 +284,9 @@ class TcpListener : public net::PacketSink {
   net::Host& host_;
   std::uint16_t port_;
   TcpConfig config_;
-  std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>, net::FlowKeyHash> connections_;
+  /// Server-side connections are arena blocks: accept/teardown churn in
+  /// fan-in scenarios recycles Context-arena slabs instead of the heap.
+  std::unordered_map<net::FlowKey, sim::ArenaPtr<TcpConnection>, net::FlowKeyHash> connections_;
 };
 
 }  // namespace scidmz::tcp

@@ -1,0 +1,88 @@
+// Structure-of-arrays store for the hottest per-flow TCP fields.
+//
+// The RTO/cwnd path touches five fields per ACK — cwnd, ssthresh, smoothed
+// RTT, snd_una, snd_nxt — and with hundreds of flows those reads used to
+// pointer-chase into whichever heap block each TcpConnection landed in.
+// Here every field is a contiguous column indexed by a per-Context row id:
+// a connection owns one row for its lifetime, the ACK path updates five
+// array cells that pack eight flows per cache line, and telemetry samplers
+// stream the columns directly instead of dereferencing connections.
+//
+// One table per scenario, attached via net::Context::extension<FlowHotTable>()
+// so net:: never learns about tcp:: — and sweep cells, each with their own
+// Context, never share rows. Rows are recycled LIFO (same policy as the
+// packet pool and arena freelists) so row assignment is deterministic for a
+// given scenario + seed.
+//
+// The CongestionControl interface (tcp/congestion.hpp) still speaks CcState
+// by reference; TcpConnection copies the row into a stack CcState around
+// each hook call and writes it back — the hooks are per-loss-event cold
+// paths, and keeping the interface unchanged means every CC algorithm works
+// untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scidmz::tcp {
+
+class FlowHotTable {
+ public:
+  /// Claim a zeroed row. Rows are stable for the connection's lifetime.
+  [[nodiscard]] std::uint32_t acquire() {
+    std::uint32_t row;
+    if (!free_.empty()) {
+      row = free_.back();
+      free_.pop_back();
+    } else {
+      row = static_cast<std::uint32_t>(cwnd_.size());
+      cwnd_.push_back(0.0);
+      ssthresh_.push_back(0.0);
+      srtt_ns_.push_back(0);
+      snd_una_.push_back(0);
+      snd_nxt_.push_back(0);
+    }
+    cwnd_[row] = 0.0;
+    ssthresh_[row] = 0.0;
+    srtt_ns_[row] = 0;
+    snd_una_[row] = 0;
+    snd_nxt_[row] = 0;
+    ++live_;
+    return row;
+  }
+
+  /// Return a row to the freelist. The caller must not touch it afterwards.
+  void release(std::uint32_t row) {
+    free_.push_back(row);
+    --live_;
+  }
+
+  // Per-row cells. Hot path: five contiguous-column accesses per ACK.
+  [[nodiscard]] double& cwnd(std::uint32_t row) { return cwnd_[row]; }
+  [[nodiscard]] double cwnd(std::uint32_t row) const { return cwnd_[row]; }
+  [[nodiscard]] double& ssthresh(std::uint32_t row) { return ssthresh_[row]; }
+  [[nodiscard]] double ssthresh(std::uint32_t row) const { return ssthresh_[row]; }
+  [[nodiscard]] std::int64_t& srttNs(std::uint32_t row) { return srtt_ns_[row]; }
+  [[nodiscard]] std::int64_t srttNs(std::uint32_t row) const { return srtt_ns_[row]; }
+  [[nodiscard]] std::uint64_t& sndUna(std::uint32_t row) { return snd_una_[row]; }
+  [[nodiscard]] std::uint64_t sndUna(std::uint32_t row) const { return snd_una_[row]; }
+  [[nodiscard]] std::uint64_t& sndNxt(std::uint32_t row) { return snd_nxt_[row]; }
+  [[nodiscard]] std::uint64_t sndNxt(std::uint32_t row) const { return snd_nxt_[row]; }
+
+  /// Rows ever created (columns' length); freed rows stay allocated.
+  [[nodiscard]] std::size_t rowCount() const { return cwnd_.size(); }
+  /// Rows currently owned by live connections.
+  [[nodiscard]] std::size_t liveCount() const { return live_; }
+
+ private:
+  std::vector<double> cwnd_;
+  std::vector<double> ssthresh_;
+  std::vector<std::int64_t> srtt_ns_;
+  std::vector<std::uint64_t> snd_una_;
+  std::vector<std::uint64_t> snd_nxt_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace scidmz::tcp

@@ -25,7 +25,19 @@ long long envLong(const char* name, long long fallback) {
 
 }  // namespace
 
-Telemetry::Telemetry(sim::Simulator& simulator) : sim_(simulator) {
+Telemetry::Telemetry(sim::Simulator& simulator, sim::Arena& arena)
+    : sim_(simulator), arena_(arena) {
+  enableFromEnv();
+}
+
+Telemetry::Telemetry(sim::Simulator& simulator)
+    : sim_(simulator),
+      owned_arena_(std::make_unique<sim::Arena>()),
+      arena_(*owned_arena_) {
+  enableFromEnv();
+}
+
+void Telemetry::enableFromEnv() {
   if (envTruthy("SCIDMZ_TELEMETRY")) {
     TelemetryConfig cfg;
     cfg.sampleEvery = sim::Duration::microseconds(
@@ -47,15 +59,15 @@ void Telemetry::enable(TelemetryConfig config) {
 
 TimeSeries& Telemetry::series(const std::string& name) {
   const auto it = series_index_.find(name);
-  if (it != series_index_.end()) return series_[it->second];
-  series_.emplace_back(name);
+  if (it != series_index_.end()) return *series_[it->second];
+  series_.push_back(arena_.make<TimeSeries>(name));
   series_index_.emplace(name, series_.size() - 1);
-  return series_.back();
+  return *series_.back();
 }
 
 const TimeSeries* Telemetry::findSeries(const std::string& name) const {
   const auto it = series_index_.find(name);
-  return it != series_index_.end() ? &series_[it->second] : nullptr;
+  return it != series_index_.end() ? series_[it->second].get() : nullptr;
 }
 
 SamplerId Telemetry::addSampler(const std::string& seriesName, Sampler fn) {
@@ -104,7 +116,8 @@ TelemetrySnapshot Telemetry::snapshot() const {
             [](const auto& a, const auto& b) { return a.name < b.name; });
   std::sort(snap.gauges.begin(), snap.gauges.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
-  for (const TimeSeries& s : series_) {
+  for (const auto& sp : series_) {
+    const TimeSeries& s = *sp;
     TelemetrySnapshot::SeriesSummary summary;
     summary.name = s.name();
     summary.sampleCount = s.size();

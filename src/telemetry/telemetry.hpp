@@ -18,12 +18,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -51,7 +52,10 @@ class Telemetry {
  public:
   /// Reads SCIDMZ_TELEMETRY from the environment; a value of 1/on/true
   /// enables instrumentation with env-tunable defaults so any bench or
-  /// example can be instrumented without code changes.
+  /// example can be instrumented without code changes. Series nodes
+  /// allocate from `arena` (net::Context passes its scenario arena); the
+  /// single-argument form owns a private arena for standalone use.
+  Telemetry(sim::Simulator& simulator, sim::Arena& arena);
   explicit Telemetry(sim::Simulator& simulator);
 
   Telemetry(const Telemetry&) = delete;
@@ -73,7 +77,7 @@ class Telemetry {
 
   template <typename F>
   void forEachSeries(F&& fn) const {
-    for (const auto& s : series_) fn(s);
+    for (const auto& s : series_) fn(*s);
   }
 
   /// Register a probe: `fn` is invoked on every sampling tick and its value
@@ -93,10 +97,15 @@ class Telemetry {
   bool writeTrace(const std::string& path, bool csv = false) const;
 
  private:
+  void enableFromEnv();
   void tick();
   void armTick();
 
   sim::Simulator& sim_;
+  /// Present only for the standalone (arena-less) constructor; declared
+  /// before series_ so arena-backed nodes die first.
+  std::unique_ptr<sim::Arena> owned_arena_;
+  sim::Arena& arena_;
   bool enabled_ = false;
   bool tick_armed_ = false;
   TelemetryConfig config_;
@@ -104,7 +113,8 @@ class Telemetry {
   MetricRegistry metrics_;
   FlightRecorder recorder_;
 
-  std::deque<TimeSeries> series_;  // stable addresses
+  // Arena nodes: stable addresses across growth, one pooled block each.
+  std::vector<sim::ArenaPtr<TimeSeries>> series_;
   std::map<std::string, std::size_t> series_index_;
 
   struct SamplerEntry {

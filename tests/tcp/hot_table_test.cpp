@@ -1,0 +1,73 @@
+// FlowHotTable row lifecycle: zeroed acquire, LIFO recycling, and the
+// per-Context attachment via net::Context::extension<T>().
+#include <gtest/gtest.h>
+
+#include "net/context.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/hot_table.hpp"
+
+namespace {
+
+using scidmz::tcp::FlowHotTable;
+
+TEST(FlowHotTable, AcquireZeroesAndReleasesLifo) {
+  FlowHotTable t;
+  const std::uint32_t a = t.acquire();
+  const std::uint32_t b = t.acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.liveCount(), 2u);
+  t.cwnd(a) = 14600.0;
+  t.sndNxt(a) = 99;
+  t.release(a);
+  EXPECT_EQ(t.liveCount(), 1u);
+  // LIFO: the freed row comes back first, and comes back zeroed.
+  const std::uint32_t c = t.acquire();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(t.cwnd(c), 0.0);
+  EXPECT_EQ(t.ssthresh(c), 0.0);
+  EXPECT_EQ(t.srttNs(c), 0);
+  EXPECT_EQ(t.sndUna(c), 0u);
+  EXPECT_EQ(t.sndNxt(c), 0u);
+  t.release(b);
+  t.release(c);
+  EXPECT_EQ(t.liveCount(), 0u);
+  EXPECT_EQ(t.rowCount(), 2u);  // columns retain their length
+}
+
+TEST(FlowHotTable, ColumnsAreIndependentPerRow) {
+  FlowHotTable t;
+  const std::uint32_t a = t.acquire();
+  const std::uint32_t b = t.acquire();
+  t.cwnd(a) = 1.0;
+  t.cwnd(b) = 2.0;
+  t.srttNs(a) = 10;
+  t.srttNs(b) = 20;
+  EXPECT_EQ(t.cwnd(a), 1.0);
+  EXPECT_EQ(t.cwnd(b), 2.0);
+  EXPECT_EQ(t.srttNs(a), 10);
+  EXPECT_EQ(t.srttNs(b), 20);
+}
+
+TEST(FlowHotTable, ContextExtensionIsPerContextSingleton) {
+  scidmz::sim::Simulator sim;
+  scidmz::sim::Rng rng{1};
+  scidmz::sim::Logger log;
+  scidmz::net::Context ctx{sim, rng, log};
+  FlowHotTable& t1 = ctx.extension<FlowHotTable>();
+  FlowHotTable& t2 = ctx.extension<FlowHotTable>();
+  EXPECT_EQ(&t1, &t2);
+  const std::uint32_t row = t1.acquire();
+  EXPECT_EQ(t2.liveCount(), 1u);
+  t2.release(row);
+
+  // A second Context gets its own table — sweep cells never share rows.
+  scidmz::sim::Simulator sim2;
+  scidmz::sim::Rng rng2{2};
+  scidmz::net::Context ctx2{sim2, rng2, log};
+  EXPECT_NE(&ctx2.extension<FlowHotTable>(), &t1);
+  EXPECT_EQ(ctx2.extension<FlowHotTable>().liveCount(), 0u);
+}
+
+}  // namespace

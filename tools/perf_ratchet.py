@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Performance ratchet: fail CI when a committed benchmark baseline regresses.
+
+Usage:
+    perf_ratchet.py BASELINE.json MEASURED.json [--tolerance 0.05]
+
+Both files are scidmz sweep reports (the SCIDMZ_BENCH_JSON output of a bench
+binary): {"benchmark": ..., "runs": [{"name", "events_per_second",
+"packets_per_second", ...}]}.  For every run present in the baseline, the
+measured file must contain a run with the same name whose throughput is no
+more than `tolerance` below the baseline.  Runs only present in the measured
+file are ignored (new benchmarks don't need a baseline to land), but a run
+that disappears from the measured file is an error: renaming a benchmark must
+come with a baseline update in the same commit.
+
+Throughput metrics compared: events_per_second always; packets_per_second
+only when the baseline value is non-zero (timer-only schedules forward no
+packets, and 0 vs 0 is not a regression).
+
+Absolute numbers are machine-dependent, so the committed baseline should be
+regenerated on the CI runner class (see EXPERIMENTS.md).  The tolerance
+absorbs runner noise; the default 5% matches the gate described in
+.github/workflows/perf.yml.  Override per-invocation with --tolerance or the
+SCIDMZ_RATCHET_TOLERANCE environment variable (the flag wins).
+
+Exit status: 0 when every gated metric is within tolerance, 1 on regression
+or missing run, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+GATED_METRICS = ("events_per_second", "packets_per_second")
+
+
+def load_runs(path: str) -> dict[str, dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf_ratchet: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        print(f"perf_ratchet: {path} has no 'runs' array", file=sys.stderr)
+        sys.exit(2)
+    by_name: dict[str, dict] = {}
+    for run in runs:
+        name = run.get("name")
+        if not isinstance(name, str):
+            print(f"perf_ratchet: {path} contains a run without a name",
+                  file=sys.stderr)
+            sys.exit(2)
+        by_name[name] = run
+    return by_name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline sweep report")
+    parser.add_argument("measured", help="freshly measured sweep report")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("SCIDMZ_RATCHET_TOLERANCE", "0.05")),
+        help="allowed fractional regression (default 0.05 = 5%%)")
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    measured = load_runs(args.measured)
+
+    failures = []
+    checked = 0
+    for name, base_run in sorted(baseline.items()):
+        meas_run = measured.get(name)
+        if meas_run is None:
+            failures.append(f"run '{name}' present in baseline but missing "
+                            f"from measured report")
+            continue
+        for metric in GATED_METRICS:
+            base = float(base_run.get(metric, 0.0))
+            if base <= 0.0:
+                continue  # nothing to ratchet against
+            meas = float(meas_run.get(metric, 0.0))
+            floor = base * (1.0 - args.tolerance)
+            checked += 1
+            verdict = "ok" if meas >= floor else "REGRESSION"
+            print(f"  {name}.{metric}: baseline {base:,.0f}  "
+                  f"measured {meas:,.0f}  floor {floor:,.0f}  [{verdict}]")
+            if meas < floor:
+                drop = 100.0 * (1.0 - meas / base)
+                failures.append(
+                    f"{name}.{metric} regressed {drop:.1f}% "
+                    f"(baseline {base:,.0f}, measured {meas:,.0f}, "
+                    f"tolerance {100.0 * args.tolerance:.0f}%)")
+
+    if failures:
+        print(f"perf_ratchet: FAIL ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"perf_ratchet: OK — {checked} metric(s) within "
+          f"{100.0 * args.tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
