@@ -88,6 +88,16 @@ class Arena {
       freelist.pop_back();
     } else {
       block = carve(classBytes(cls));
+      // Grow the freelist's capacity here, on the throwing-allowed path: a
+      // class's freelist can never hold more blocks than were carved for it,
+      // so reserving for the carved count keeps deallocate()'s push_back
+      // allocation-free and genuinely noexcept. Geometric growth bounds the
+      // reserve cost to amortized O(1) per carve.
+      ++carved_[cls];
+      if (freelist.capacity() < carved_[cls]) {
+        const std::size_t doubled = freelist.capacity() * 2;
+        freelist.reserve(doubled > carved_[cls] ? doubled : carved_[cls]);
+      }
     }
     ++live_;
     if (live_ > high_water_) high_water_ = live_;
@@ -101,6 +111,9 @@ class Arena {
       ::operator delete(p, std::align_val_t{align});
       return;
     }
+    // Cannot allocate (and thus cannot throw): allocate() reserved capacity
+    // for every block ever carved in this class, and the freelist never
+    // holds more than that.
     free_[classFor(bytes)].push_back(p);
     --live_;
   }
@@ -147,6 +160,7 @@ class Arena {
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
   std::size_t slab_used_ = 0;
   std::vector<void*> free_[kClasses];
+  std::size_t carved_[kClasses] = {};  ///< blocks ever carved, per class
   std::size_t live_ = 0;
   std::size_t high_water_ = 0;
   std::size_t unpooled_live_ = 0;

@@ -197,16 +197,19 @@ class EventQueue {
 
   /// Cascade wheel buckets into the heap until the heap front is provably
   /// the global minimum: every parked entry's time is bounded below by its
-  /// bucket's start, so once heap_min <= the earliest bucket start no wheel
-  /// entry can precede it. Tombstones met during a cascade are reclaimed
-  /// instead of heap-pushed.
+  /// bucket's start, so once heap_min is *strictly* before the earliest
+  /// bucket start no wheel entry can precede it. The comparison must be
+  /// strict: on an exact tie (heap_min lands on a bucket-aligned time) the
+  /// bucket may hold an earlier-scheduled entry at that same timestamp, and
+  /// only cascading it into the heap lets the (time, seq) tie-break decide.
+  /// Tombstones met during a cascade are reclaimed instead of heap-pushed.
   void ensureFront() {
     for (;;) {
       skipTombstones();
       if (wheel_.empty()) return;
       const std::int64_t heapMin =
           heap_.empty() ? SimTime::max().ns() : heap_.front().at.ns();
-      if (heapMin <= wheel_.horizonStartNs()) return;
+      if (heapMin < wheel_.horizonStartNs()) return;
       wheel_.cascadeEarliest([this](const HeapEntry& e) {
         if (slots_[e.slot].tombstone) {
           releaseSlot(e.slot);

@@ -10,9 +10,11 @@
 // is touched at most kLevels times between park and pop. Exactness is
 // preserved because the heap — not the wheel — always serves the next
 // event: the queue cascades buckets until the heap front is provably the
-// global minimum (heap_min <= start of every non-empty bucket), and bucket
-// entries keep their original (time, sequence) keys, so pop order is
-// byte-identical to a heap-only queue.
+// global minimum (heap_min strictly < start of every non-empty bucket; an
+// exact tie cascades, since the tied bucket may hold an earlier-scheduled
+// entry at that same bucket-aligned timestamp), and bucket entries keep
+// their original (time, sequence) keys, so pop order is byte-identical to
+// a heap-only queue.
 //
 // Geometry: kLevels levels of 256 buckets. Level 0 buckets are 2^10 ns
 // (~1 us) wide covering ~262 us; each level up is 256x coarser, so the
@@ -66,6 +68,12 @@ class TimingWheel {
       if (at - base_ >= spanFor(level)) continue;
       const int shift = shiftFor(level);
       const std::size_t idx = static_cast<std::size_t>(at >> shift) & (kBuckets - 1);
+      // When base_ is unaligned to this level's bucket width, a delta just
+      // under the span can land exactly one revolution ahead — in the bucket
+      // congruent with the base's own index, whose start would then resolve
+      // *behind* base_ and regress it on cascade. Promote such entries a
+      // level (or, at the top level, to the heap) instead.
+      if (idx == (static_cast<std::size_t>(base_ >> shift) & (kBuckets - 1))) continue;
       bucketAt(level, idx).push_back(e);
       markOccupied(level, idx);
       ++count_;
@@ -111,9 +119,12 @@ class TimingWheel {
     count_ -= scratch_.size();
     // Base first (re-parked children land relative to it), then rescan so
     // park()'s incremental cursor updates start from the surviving buckets.
-    base_ = bestLevel == 0
-                ? bestStart + spanFor(0) / static_cast<std::int64_t>(kBuckets)
-                : bestStart;
+    // The base never moves backwards: park() keeps every bucket start at or
+    // after base_, and the clamp makes that monotonicity unconditional.
+    const std::int64_t newBase =
+        bestLevel == 0 ? bestStart + spanFor(0) / static_cast<std::int64_t>(kBuckets)
+                       : bestStart;
+    if (newBase > base_) base_ = newBase;
     rescanEarliest();
     if (bestLevel == 0) {
       for (Entry& e : scratch_) due(e);

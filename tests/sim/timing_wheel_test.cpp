@@ -63,6 +63,32 @@ TEST(TimingWheel, CascadePreservesEntriesAcrossLevels) {
   for (int i = 0; i < 4; ++i) EXPECT_EQ(due[static_cast<std::size_t>(i)], times[i]);
 }
 
+// An unaligned base must not let a delta just under a level's span wrap
+// into the bucket congruent with the base's own index: that bucket's start
+// would resolve *behind* the base and a cascade would regress it. park()
+// promotes such entries a level (or rejects at the top level), so the
+// horizon never dips below the base and the base is monotone.
+TEST(TimingWheel, UnalignedBaseFullRevolutionPromotesInsteadOfWrapping) {
+  Wheel w;
+  w.advanceBase(1'000);  // not a multiple of any bucket width
+  // (262'144 >> 10) == (1'000 >> 10) + 256: a full level-0 revolution
+  // ahead even though the delta is under level 0's span.
+  EXPECT_TRUE(w.park({at(262'144), 1}));
+  EXPECT_GE(w.horizonStartNs(), w.baseNs());
+  // The same wrap at the top level has nowhere to promote to: heap.
+  EXPECT_FALSE(w.park({at(std::int64_t{1} << 42), 2}));
+
+  std::vector<std::int64_t> due;
+  std::int64_t prev_base = w.baseNs();
+  while (!w.empty()) {
+    w.cascadeEarliest([&](const WheelEntry& e) { due.push_back(e.at.ns()); });
+    EXPECT_GE(w.baseNs(), prev_base);  // base never regresses
+    prev_base = w.baseNs();
+  }
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 262'144);
+}
+
 TEST(TimingWheel, AdvanceBaseOnlyMovesAnEmptyWheel) {
   Wheel w;
   w.advanceBase(1'000'000);
@@ -107,6 +133,42 @@ TEST(EventQueueWheel, SameTickOrderingAcrossCascadeBoundary) {
   ASSERT_EQ(fired.size(), 17u);
   EXPECT_EQ(fired.front(), -1);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i) + 1], i);
+}
+
+// Regression for the exact-tie cascade rule: when the tick is *bucket
+// aligned* (here 2^20 ns, a level-1 bucket start), parked entries have
+// at == bucket start, so heap_min == horizonStartNs() exactly. ensureFront()
+// must treat that tie as "cascade", not "heap front wins": the bucket holds
+// the earlier-scheduled (smaller-seq) half of the tick, and only pushing it
+// into the heap lets the (time, seq) tie-break order the two halves.
+TEST(EventQueueWheel, SameTickOrderingAtBucketAlignedBoundary) {
+  EventQueue q;
+  std::vector<int> fired;
+  const auto rec = [&fired](int i) { return [&fired, i] { fired.push_back(i); }; };
+
+  const std::int64_t tick = 1'048'576;  // 2^20: a bucket start at levels 0 and 1
+  // Far ahead of base 0: these park, with at exactly equal to the bucket start.
+  for (int i = 0; i < 4; ++i) q.schedule(at(tick), rec(i));
+  EXPECT_GT(q.parkedCount(), 0u);
+  // Popping an earlier event advances the wheel base to within
+  // kMinParkAheadNs of the tick.
+  q.schedule(at(tick - 1'500), rec(-1));
+  auto early = q.pop();
+  early.cb();
+  // The same tick is now near-now: these go straight to the heap with
+  // larger sequence numbers.
+  const std::size_t parked_before = q.parkedCount();
+  for (int i = 4; i < 8; ++i) q.schedule(at(tick), rec(i));
+  EXPECT_EQ(q.parkedCount(), parked_before);
+
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_EQ(ev.at, at(tick));
+    ev.cb();
+  }
+  ASSERT_EQ(fired.size(), 9u);
+  EXPECT_EQ(fired.front(), -1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i) + 1], i);
 }
 
 // Cancelling a parked event and rescheduling must not let the stale handle
