@@ -1,0 +1,5 @@
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run hybrid_fidelity_background`.
+#include "scenario/run.hpp"
+
+int main() { return scidmz::scenario::runScenarioMain("hybrid_fidelity_background"); }

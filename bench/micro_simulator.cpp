@@ -539,10 +539,12 @@ void BM_TcpSimulatedSecond(benchmark::State& state) {
     topo.computeRoutes();
 
     tcp::TcpConfig cfg = tcp::TcpConfig::tunedDtn();
-    tcp::TcpListener listener{b, 5001, cfg};
-    tcp::TcpConnection client{a, b.address(), 5001, cfg};
-    client.onEstablished = [&client] { client.sendData(10_GB); };
-    client.start();
+    net::FlowFactory::Options options;
+    options.port = 5001;
+    auto flow = net::flowFactory(ctx).create(a, b, cfg, options);
+    auto* raw = flow.get();
+    flow->onEstablished = [raw] { raw->sendData(10_GB); };
+    flow->start();
     simulator.runFor(1_s);
     benchmark::DoNotOptimize(simulator.eventsExecuted());
   }

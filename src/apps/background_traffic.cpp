@@ -53,7 +53,8 @@ void BackgroundTraffic::launchFlow() {
   const std::uint16_t port = static_cast<std::uint16_t>(base_port_ + next_port_offset_);
   next_port_offset_ = static_cast<std::uint16_t>((next_port_offset_ + 1) % 512);
 
-  auto flow = std::make_unique<BulkTransfer>(*client, *server, port, size, profile_.tcp);
+  auto flow = std::make_unique<BulkTransfer>(*client, *server, port, size, profile_.tcp,
+                                             profile_.fidelity);
   auto* raw = flow.get();
   raw->onComplete = [this](const BulkTransfer::Result& r) {
     ++stats_.flowsCompleted;

@@ -30,6 +30,10 @@ struct BackgroundProfile {
   sim::DataSize maxFlowSize = sim::DataSize::megabytes(20);
   /// TCP settings for business hosts (untuned defaults).
   tcp::TcpConfig tcp = tcp::TcpConfig::untunedDefault();
+  /// Model fidelity for generated flows. Large fleets of short background
+  /// flows are the fluid model's sweet spot (kAuto/kFluid); kPacket keeps
+  /// historical scenarios byte-identical.
+  net::FlowFidelity fidelity = net::FlowFidelity::kPacket;
 };
 
 /// Generates flows from random clients to random servers until stopped.

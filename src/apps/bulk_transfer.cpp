@@ -3,18 +3,21 @@
 namespace scidmz::apps {
 
 BulkTransfer::BulkTransfer(net::Host& src, net::Host& dst, std::uint16_t port,
-                           sim::DataSize bytes, tcp::TcpConfig config)
+                           sim::DataSize bytes, tcp::TcpConfig config,
+                           net::FlowFidelity fidelity)
     : src_(src), bytes_(bytes) {
-  listener_ = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
-  client_ = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
-  client_->onEstablished = [this] { client_->sendData(bytes_); };
-  client_->onSendComplete = [this] {
+  net::FlowFactory::Options options;
+  options.port = port;
+  options.fidelity = fidelity;
+  flow_ = net::flowFactory(src.ctx()).create(src, dst, config, options);
+  flow_->onEstablished = [this] { flow_->sendData(bytes_); };
+  flow_->onSendComplete = [this] {
     finished_ = true;
     result_.completed = true;
     result_.elapsed = src_.ctx().now() - started_at_;
     result_.bytes = bytes_;
-    result_.goodput = client_->goodput();
-    result_.senderStats = client_->stats();
+    result_.goodput = flow_->goodput();
+    result_.senderStats = senderStatsSnapshot();
     if (onComplete) onComplete(result_);
   };
 }
@@ -24,20 +27,30 @@ BulkTransfer::~BulkTransfer() = default;
 void BulkTransfer::start() {
   started_ = true;
   started_at_ = src_.ctx().now();
-  client_->start();
+  flow_->start();
 }
 
 void BulkTransfer::abort() {
-  // Destroying the endpoints cancels their timers and unbinds their ports;
-  // packets already in flight drain harmlessly into unbound ports.
-  result_.senderStats = client_ ? client_->stats() : result_.senderStats;
-  client_.reset();
-  listener_.reset();
+  // Destroying the flow cancels its timers and unbinds its ports; packets
+  // already in flight drain harmlessly into unbound ports (a fluid flow's
+  // demand is withdrawn at the next engine tick).
+  if (flow_) result_.senderStats = senderStatsSnapshot();
+  flow_.reset();
   finished_ = true;
 }
 
 sim::DataSize BulkTransfer::progress() const {
-  return client_ ? client_->stats().bytesAcked : result_.bytes;
+  return flow_ ? flow_->ackedBytes() : result_.bytes;
+}
+
+tcp::TcpStats BulkTransfer::senderStatsSnapshot() const {
+  if (const auto* client = const_cast<BulkTransfer*>(this)->flow_->clientConnection(0)) {
+    return client->stats();
+  }
+  tcp::TcpStats stats;
+  stats.bytesAcked = flow_->ackedBytes();
+  stats.retransmits = flow_->retransmits();
+  return stats;
 }
 
 }  // namespace scidmz::apps

@@ -5,13 +5,15 @@
 #include <functional>
 #include <memory>
 
+#include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
 
 namespace scidmz::apps {
 
-/// Moves `bytes` from `src` to `dst` over one TCP connection. Owns both the
-/// server-side listener and the client connection for its lifetime.
+/// Moves `bytes` from `src` to `dst` over one flow created through the
+/// net::FlowFactory seam — per-packet TCP by default, or the analytic fluid
+/// model when requested (background-load populations).
 class BulkTransfer {
  public:
   struct Result {
@@ -23,7 +25,8 @@ class BulkTransfer {
   };
 
   BulkTransfer(net::Host& src, net::Host& dst, std::uint16_t port, sim::DataSize bytes,
-               tcp::TcpConfig config);
+               tcp::TcpConfig config,
+               net::FlowFidelity fidelity = net::FlowFidelity::kPacket);
   ~BulkTransfer();
 
   BulkTransfer(const BulkTransfer&) = delete;
@@ -40,15 +43,19 @@ class BulkTransfer {
   [[nodiscard]] bool running() const { return started_ && !finished_; }
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] const Result& result() const { return result_; }
-  [[nodiscard]] tcp::TcpConnection* clientConnection() { return client_.get(); }
+  /// Packet-fidelity escape hatch (nullptr for fluid transfers).
+  [[nodiscard]] tcp::TcpConnection* clientConnection() {
+    return flow_ ? flow_->clientConnection(0) : nullptr;
+  }
   /// Bytes ACKed so far (progress snapshot).
   [[nodiscard]] sim::DataSize progress() const;
 
  private:
+  [[nodiscard]] tcp::TcpStats senderStatsSnapshot() const;
+
   net::Host& src_;
   sim::DataSize bytes_;
-  sim::ArenaPtr<tcp::TcpListener> listener_;
-  sim::ArenaPtr<tcp::TcpConnection> client_;
+  net::FlowPtr flow_;
   sim::SimTime started_at_;
   bool started_ = false;
   bool finished_ = false;

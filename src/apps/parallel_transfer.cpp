@@ -4,10 +4,9 @@ namespace scidmz::apps {
 
 ParallelTransfer::ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t port,
                                    sim::DataSize totalBytes, int streamCount,
-                                   tcp::TcpConfig config)
+                                   tcp::TcpConfig config, net::FlowFidelity fidelity)
     : src_(src), total_(totalBytes) {
   if (streamCount < 1) streamCount = 1;
-  listener_ = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
 
   // Stripe bytes as evenly as possible; the first stream takes the slack.
   const std::uint64_t base = totalBytes.byteCount() / static_cast<std::uint64_t>(streamCount);
@@ -16,20 +15,21 @@ ParallelTransfer::ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t
     shares_.push_back(sim::DataSize::bytes(base + (i == 0 ? slack : 0)));
   }
 
-  for (int i = 0; i < streamCount; ++i) {
-    auto conn = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
-    auto* raw = conn.get();
-    const auto share = shares_[static_cast<std::size_t>(i)];
-    raw->onEstablished = [raw, share] { raw->sendData(share); };
-    raw->onSendComplete = [this] {
-      ++completed_streams_;
-      if (completed_streams_ == streams_.size()) {
-        finished_at_ = src_.ctx().now();
-        if (onComplete) onComplete();
-      }
-    };
-    streams_.push_back(std::move(conn));
-  }
+  net::FlowFactory::Options options;
+  options.port = port;
+  options.streams = streamCount;
+  options.fidelity = fidelity;
+  flow_ = net::flowFactory(src.ctx()).create(src, dst, config, options);
+  flow_->onStreamEstablished = [this](int i) {
+    flow_->sendOnStream(i, shares_[static_cast<std::size_t>(i)]);
+  };
+  flow_->onStreamSendComplete = [this](int) {
+    ++completed_streams_;
+    if (finished()) {
+      finished_at_ = src_.ctx().now();
+      if (onComplete) onComplete();
+    }
+  };
 }
 
 ParallelTransfer::~ParallelTransfer() = default;
@@ -37,7 +37,7 @@ ParallelTransfer::~ParallelTransfer() = default;
 void ParallelTransfer::start() {
   started_ = true;
   started_at_ = src_.ctx().now();
-  for (auto& s : streams_) s->start();
+  flow_->start();
 }
 
 sim::Duration ParallelTransfer::elapsed() const {
@@ -49,16 +49,11 @@ sim::Duration ParallelTransfer::elapsed() const {
 sim::DataRate ParallelTransfer::aggregateGoodput() const {
   const auto span = elapsed();
   if (span <= sim::Duration::zero()) return sim::DataRate::zero();
-  sim::DataSize acked = sim::DataSize::zero();
-  for (const auto& s : streams_) acked += s->stats().bytesAcked;
+  const auto acked = flow_->ackedBytes();
   return sim::DataRate::bitsPerSecond(
       static_cast<std::uint64_t>(static_cast<double>(acked.bitCount()) / span.toSeconds()));
 }
 
-std::uint64_t ParallelTransfer::totalRetransmits() const {
-  std::uint64_t n = 0;
-  for (const auto& s : streams_) n += s->stats().retransmits;
-  return n;
-}
+std::uint64_t ParallelTransfer::totalRetransmits() const { return flow_->retransmits(); }
 
 }  // namespace scidmz::apps

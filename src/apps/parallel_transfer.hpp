@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
 
@@ -19,7 +20,8 @@ namespace scidmz::apps {
 class ParallelTransfer {
  public:
   ParallelTransfer(net::Host& src, net::Host& dst, std::uint16_t port, sim::DataSize totalBytes,
-                   int streamCount, tcp::TcpConfig config);
+                   int streamCount, tcp::TcpConfig config,
+                   net::FlowFidelity fidelity = net::FlowFidelity::kPacket);
   ~ParallelTransfer();
 
   ParallelTransfer(const ParallelTransfer&) = delete;
@@ -29,8 +31,10 @@ class ParallelTransfer {
 
   std::function<void()> onComplete;
 
-  [[nodiscard]] bool finished() const { return completed_streams_ == streams_.size(); }
-  [[nodiscard]] int streamCount() const { return static_cast<int>(streams_.size()); }
+  [[nodiscard]] bool finished() const {
+    return completed_streams_ == static_cast<std::size_t>(flow_->streamCount());
+  }
+  [[nodiscard]] int streamCount() const { return flow_->streamCount(); }
   [[nodiscard]] sim::Duration elapsed() const;
   /// Aggregate goodput: total bytes over wall time from start to last
   /// stream completion.
@@ -41,8 +45,7 @@ class ParallelTransfer {
  private:
   net::Host& src_;
   sim::DataSize total_;
-  sim::ArenaPtr<tcp::TcpListener> listener_;
-  std::vector<sim::ArenaPtr<tcp::TcpConnection>> streams_;
+  net::FlowPtr flow_;
   std::vector<sim::DataSize> shares_;
   std::size_t completed_streams_ = 0;
   sim::SimTime started_at_;

@@ -20,36 +20,33 @@ void DtnTransfer::start() {
     write_done_ = true;
     maybeFinish();
   });
-  listener_ = dst_.host().ctx().arena().make<tcp::TcpListener>(dst_.host(), port_, dst_.profile().tcp);
-  listener_->onAccept = [this](tcp::TcpConnection& conn) {
-    conn.onDelivered = [this](sim::DataSize bytes) {
-      dst_.storage().offerWrite(write_stream_, bytes);
-    };
-  };
 
-  // Source side: parallel streams, fed round-robin from the disk pump.
-  const int streamCount = std::max(1, src_.profile().parallelStreams);
-  for (int i = 0; i < streamCount; ++i) {
-    auto conn = src_.host().ctx().arena().make<tcp::TcpConnection>(src_.host(), dst_.host().address(), port_,
-                                                     src_.profile().tcp);
-    conn->onEstablished = [this] {
-      ++established_;
-      if (!reading_started_ && established_ == streams_.size()) {
-        reading_started_ = true;
-        read_stream_ = src_.storage().openRead(
-            file_size_, [this](sim::DataSize chunk) { feed(chunk); }, [] {});
-      }
-    };
-    streams_.push_back(std::move(conn));
-  }
-  for (auto& s : streams_) s->start();
+  // Source side: one flow with GridFTP-style parallel streams, fed
+  // round-robin from the disk pump. The listener side runs the destination
+  // DTN's TCP profile (the two ends can be tuned differently).
+  net::FlowFactory::Options options;
+  options.port = port_;
+  options.streams = std::max(1, src_.profile().parallelStreams);
+  options.fidelity = src_.profile().fidelity;
+  options.serverTcp = &dst_.profile().tcp;
+  flow_ = net::flowFactory(src_.host().ctx())
+              .create(src_.host(), dst_.host(), src_.profile().tcp, options);
+  flow_->onDelivered = [this](sim::DataSize bytes) {
+    dst_.storage().offerWrite(write_stream_, bytes);
+  };
+  flow_->onEstablished = [this] {
+    if (!reading_started_) {
+      reading_started_ = true;
+      read_stream_ = src_.storage().openRead(
+          file_size_, [this](sim::DataSize chunk) { feed(chunk); }, [] {});
+    }
+  };
+  flow_->start();
 }
 
 void DtnTransfer::feed(sim::DataSize chunk) {
   // Round-robin the freshly-read chunk across the parallel streams.
-  auto& conn = streams_[next_stream_];
-  next_stream_ = (next_stream_ + 1) % streams_.size();
-  conn->sendData(chunk);
+  flow_->sendData(chunk);
 }
 
 void DtnTransfer::maybeFinish() {
@@ -64,7 +61,7 @@ void DtnTransfer::maybeFinish() {
     result_.averageRate = sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
         static_cast<double>(file_size_.bitCount()) / result_.elapsed.toSeconds()));
   }
-  for (const auto& s : streams_) result_.retransmits += s->stats().retransmits;
+  result_.retransmits = flow_ ? flow_->retransmits() : 0;
   auto& tel = src_.host().ctx().telemetry();
   if (tel.enabled()) {
     ++tel.metrics().counter("dtn/transfers_completed");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dtn/storage.hpp"
+#include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
 
@@ -22,6 +23,10 @@ struct DtnProfile {
   /// True for real DTNs: only data-transfer applications installed. The
   /// design-rule validator flags general-purpose hosts posing as DTNs.
   bool dedicatedApplicationSet = true;
+  /// Flow model fidelity for transfers originating at this DTN. kPacket
+  /// keeps full per-segment TCP; kFluid/kAuto let large transfer fleets run
+  /// on the analytic engine.
+  net::FlowFidelity fidelity = net::FlowFidelity::kPacket;
 
   /// An untuned general-purpose server pressed into transfer duty — the
   /// baseline the paper's use cases start from.
@@ -95,10 +100,7 @@ class DtnTransfer {
   sim::DataSize file_size_;
   std::uint16_t port_;
 
-  sim::ArenaPtr<tcp::TcpListener> listener_;
-  std::vector<sim::ArenaPtr<tcp::TcpConnection>> streams_;
-  std::size_t next_stream_ = 0;
-  std::size_t established_ = 0;
+  net::FlowPtr flow_;
   bool reading_started_ = false;
   StreamId read_stream_{};
   StreamId write_stream_{};

@@ -84,7 +84,9 @@ void Interface::startNextTransmission() {
     tel.recorder().record(ev);
   }
   transmitting_ = true;
-  const auto txTime = link_->rate().transmissionTime(next->wireSize());
+  // Serialization runs at the residual rate after fluid-flow demand; with
+  // no fluid load this is exactly the configured link rate.
+  const auto txTime = link_->effectiveRate(end_).transmissionTime(next->wireSize());
   ++stats_.txPackets;
   stats_.txBytes += next->wireSize();
   // Move the handle into the completion event; when serialization is done,

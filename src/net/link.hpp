@@ -44,6 +44,40 @@ class Link {
   /// Takes ownership of the handle; a lost packet's slot recycles here.
   void transmitComplete(int fromEnd, PacketRef packet);
 
+  /// Aggregate analytic-flow demand traversing this direction (wire bits/s),
+  /// published by tcp::FluidEngine each tick. Packet serialization in this
+  /// direction runs at effectiveRate(), which is how fluid flows press on
+  /// packet flows sharing the hop.
+  void setFluidDemand(int fromEnd, sim::DataRate demand) { fluid_demand_[fromEnd & 1] = demand; }
+  [[nodiscard]] sim::DataRate fluidDemand(int fromEnd) const { return fluid_demand_[fromEnd & 1]; }
+
+  /// Serialization rate left for packet traffic in this direction: exactly
+  /// rate() when no fluid demand is published (packet-only scenarios are
+  /// bit-identical to a tree without fluid support), otherwise the residual
+  /// capacity floored at 1% of rate() so saturating fluid load slows packet
+  /// flows without stalling them outright.
+  [[nodiscard]] sim::DataRate effectiveRate(int fromEnd) const {
+    const std::uint64_t demand = fluid_demand_[fromEnd & 1].bps();
+    if (demand == 0) return params_.rate;
+    const std::uint64_t full = params_.rate.bps();
+    std::uint64_t floor = full / 100;
+    if (floor == 0) floor = 1;
+    const std::uint64_t residual = full > demand ? full - demand : 0;
+    return sim::DataRate::bitsPerSecond(residual > floor ? residual : floor);
+  }
+
+  /// Long-run drop probability of this direction's impairment model (0 when
+  /// healthy), and whether drops are i.i.d. per packet. Consumed by the
+  /// fluid response function and the kAuto fidelity rule.
+  [[nodiscard]] double lossRate(int fromEnd) const {
+    const auto& loss = loss_[fromEnd & 1];
+    return loss ? loss->dropRate() : 0.0;
+  }
+  [[nodiscard]] bool lossMemoryless(int fromEnd) const {
+    const auto& loss = loss_[fromEnd & 1];
+    return !loss || loss->memoryless();
+  }
+
   [[nodiscard]] Interface& end(int which) const { return which == 0 ? endA_ : endB_; }
   [[nodiscard]] Interface& peer(int fromEnd) const { return end(1 - fromEnd); }
 
@@ -76,6 +110,7 @@ class Link {
   std::unique_ptr<LossModel> loss_[2];
   DirectionStats stats_[2];
   DirTelemetry tel_[2];
+  sim::DataRate fluid_demand_[2];
 };
 
 }  // namespace scidmz::net

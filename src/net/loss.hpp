@@ -19,12 +19,21 @@ class LossModel {
  public:
   virtual ~LossModel() = default;
   [[nodiscard]] virtual bool shouldDrop(const Packet& packet) = 0;
+
+  /// Long-run average drop probability — the `p` the fluid model's CC
+  /// response function sees when analytic flows traverse this link.
+  [[nodiscard]] virtual double dropRate() const { return 0.0; }
+  /// True when drops are i.i.d. per packet, the regime the Mathis/TFRC
+  /// equations assume. Bursty/patterned models return false, which steers
+  /// `auto`-fidelity flows to packet-level simulation.
+  [[nodiscard]] virtual bool memoryless() const { return false; }
 };
 
 /// Never drops. The default for healthy links.
 class NoLoss final : public LossModel {
  public:
   bool shouldDrop(const Packet&) override { return false; }
+  [[nodiscard]] bool memoryless() const override { return true; }
 };
 
 /// Independent random loss with fixed probability (dirty optics, marginal
@@ -33,6 +42,8 @@ class RandomLoss final : public LossModel {
  public:
   RandomLoss(double probability, sim::Rng rng) : p_(probability), rng_(rng) {}
   bool shouldDrop(const Packet&) override { return rng_.chance(p_); }
+  [[nodiscard]] double dropRate() const override { return p_; }
+  [[nodiscard]] bool memoryless() const override { return true; }
 
  private:
   double p_;
@@ -50,6 +61,9 @@ class PeriodicLoss final : public LossModel {
       return true;
     }
     return false;
+  }
+  [[nodiscard]] double dropRate() const override {
+    return 1.0 / static_cast<double>(interval_);
   }
 
  private:
@@ -71,6 +85,11 @@ class GilbertElliottLoss final : public LossModel {
       if (rng_.chance(p_gb_)) bad_ = true;
     }
     return bad_ && rng_.chance(loss_bad_);
+  }
+  [[nodiscard]] double dropRate() const override {
+    // Steady-state fraction of time in the bad state, times its loss rate.
+    const double denom = p_gb_ + p_bg_;
+    return denom <= 0.0 ? 0.0 : (p_gb_ / denom) * loss_bad_;
   }
 
  private:

@@ -11,22 +11,21 @@ BwctlTest::~BwctlTest() {
 }
 
 void BwctlTest::start() {
-  listener_ = dst_.ctx().arena().make<tcp::TcpListener>(dst_, options_.port, options_.tcp);
-  client_ = src_.ctx().arena().make<tcp::TcpConnection>(src_, dst_.address(), options_.port,
-                                                 options_.tcp);
-  listener_->onAccept = [this](tcp::TcpConnection& c) { server_side_ = &c; };
-  client_->onEstablished = [this] {
+  net::FlowFactory::Options flowOptions;
+  flowOptions.port = options_.port;
+  flowOptions.fidelity = options_.fidelity;
+  flow_ = net::flowFactory(src_.ctx()).create(src_, dst_, options_.tcp, flowOptions);
+  flow_->onEstablished = [this] {
     // Enough data that the source never runs dry within the test window.
-    client_->sendData(sim::DataSize::terabytes(10));
+    flow_->sendData(sim::DataSize::terabytes(10));
     measure_start_ = src_.ctx().now();
-    measure_base_ = server_side_ != nullptr ? server_side_->deliveredBytes()
-                                            : sim::DataSize::zero();
+    measure_base_ = flow_->deliveredBytes();
     end_timer_ = src_.ctx().sim().schedule(options_.duration, [this] {
       end_timer_ = sim::EventId{};
       finish();
     });
   };
-  client_->start();
+  flow_->start();
 
   // If the handshake itself never completes (black-holed path), report a
   // zero-throughput result rather than hanging forever.
@@ -48,8 +47,8 @@ void BwctlTest::finish() {
     watchdog_ = sim::EventId{};
   }
   result_.ran = true;
-  if (server_side_ != nullptr) {
-    const auto moved = server_side_->deliveredBytes() - measure_base_;
+  if (flow_ && flow_->established()) {
+    const auto moved = flow_->deliveredBytes() - measure_base_;
     const auto span = src_.ctx().now() - measure_start_;
     result_.bytesMoved = moved;
     result_.duration = span;
@@ -58,11 +57,9 @@ void BwctlTest::finish() {
           static_cast<double>(moved.bitCount()) / span.toSeconds()));
     }
   }
-  result_.retransmits = client_ ? client_->stats().retransmits : 0;
+  result_.retransmits = flow_ ? flow_->retransmits() : 0;
   // Tear the flow down so back-to-back scheduled tests do not overlap.
-  client_.reset();
-  listener_.reset();
-  server_side_ = nullptr;
+  flow_.reset();
   if (onComplete) onComplete(result_);
 }
 

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
 
@@ -27,6 +28,9 @@ struct BwctlOptions {
   sim::Duration duration = sim::Duration::seconds(10);
   std::uint16_t port = 4823;  // BWCTL's IANA port
   tcp::TcpConfig tcp = tcp::TcpConfig::tunedDtn();
+  /// A throughput probe measures steady-state rate, which the fluid model
+  /// reproduces directly, so fluid probes are meaningful (and cheap).
+  net::FlowFidelity fidelity = net::FlowFidelity::kPacket;
 };
 
 class BwctlTest {
@@ -52,9 +56,7 @@ class BwctlTest {
   net::Host& src_;
   net::Host& dst_;
   Options options_;
-  sim::ArenaPtr<tcp::TcpListener> listener_;
-  sim::ArenaPtr<tcp::TcpConnection> client_;
-  tcp::TcpConnection* server_side_ = nullptr;
+  net::FlowPtr flow_;
   sim::SimTime measure_start_;
   sim::DataSize measure_base_ = sim::DataSize::zero();
   sim::EventId end_timer_{};

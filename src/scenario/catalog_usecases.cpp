@@ -100,16 +100,17 @@ void utilizationTimeSeries(bench::JsonTable& utilTable) {
 
   // Long-lived inbound flow; a fresh connection every 30s (transfers were
   // ongoing; new connections pick up the fixed behaviour after the change).
-  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
+  std::vector<net::FlowPtr> flows;
   auto launchFlow = [&](std::uint16_t port) {
-    auto listener = std::make_unique<tcp::TcpListener>(server, port, cfg);
-    auto client = std::make_unique<tcp::TcpConnection>(vtti, server.address(), port, cfg);
-    auto* raw = client.get();
-    client->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
-    client->start();
-    listeners.push_back(std::move(listener));
-    clients.push_back(std::move(client));
+    // Firewall sequence-checking forensics need real segments: pinned packet.
+    net::FlowFactory::Options options;
+    options.port = port;
+    options.pinned = true;
+    auto flow = net::flowFactory(s.ctx).create(vtti, server, cfg, options);
+    auto* raw = flow.get();
+    flow->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
+    flow->start();
+    flows.push_back(std::move(flow));
   };
 
   launchFlow(5001);
@@ -117,9 +118,9 @@ void utilizationTimeSeries(bench::JsonTable& utilTable) {
   bench::row("figure-8-style SNMP series (edge utilization, 10s samples):");
   bench::row("%-8s %-12s %-10s", "t_sec", "util_mbps", "note");
 
-  auto sampleDelivered = [&clients]() {
+  auto sampleDelivered = [&flows]() {
     sim::DataSize total = sim::DataSize::zero();
-    for (const auto& c : clients) total += c->stats().bytesAcked;
+    for (const auto& f : flows) total += f->ackedBytes();
     return total;
   };
 

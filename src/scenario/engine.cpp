@@ -1,5 +1,6 @@
 #include "scenario/engine.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <string>
@@ -51,10 +52,8 @@ net::LinkParams toLinkParams(const LinkSpec& spec) {
 /// Per-workload live state whose addresses must stay stable for the whole
 /// cell: simulator callbacks capture pointers into these.
 struct FlowSet {
-  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
-  std::vector<tcp::TcpConnection*> servers;
-  bool connected = false;
+  std::vector<net::FlowPtr> flows;
+  bool connected = false;  ///< timed_flow: accepted; probe: established
 };
 
 /// Everything the spec materialized into; owns all objects that must
@@ -270,7 +269,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
     case WorkloadKind::kSteadyFlow: {
       if (m.src == nullptr) incompatible(w, spec.topology);
       m.steadyFlows.push_back(
-          std::make_unique<SteadyFlow>(s, *m.src, *m.dst, toTcpConfig(w.tcp), port));
+          std::make_unique<SteadyFlow>(s, *m.src, *m.dst, toTcpConfig(w.tcp), port, w.fidelity));
       auto& flow = *m.steadyFlows.back();
       const auto rate = flow.measure(sim::Duration::fromSeconds(w.warmupS),
                                      sim::Duration::fromSeconds(w.windowS));
@@ -283,31 +282,42 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       const auto cfg = toTcpConfig(w.tcp);
       m.flowSets.emplace_back();
       auto& set = m.flowSets.back();
-      set.servers.assign(m.senders.size(), nullptr);
-      auto* servers = &set.servers;
+      // Mixed-fidelity fan-in: the first `fluid_flows` senders run on the
+      // analytic engine, the rest at the workload's base fidelity — the
+      // bottleneck-sharing experiment in one knob.
+      const std::size_t fluidCount =
+          w.fluidFlows > 0
+              ? std::min<std::size_t>(static_cast<std::size_t>(w.fluidFlows), m.senders.size())
+              : 0;
       for (std::size_t i = 0; i < m.senders.size(); ++i) {
-        const auto flowPort = static_cast<std::uint16_t>(w.port + static_cast<int>(i));
-        auto listener = std::make_unique<tcp::TcpListener>(*m.sink, flowPort, cfg);
-        listener->onAccept = [servers, i](tcp::TcpConnection& c) { (*servers)[i] = &c; };
-        auto client = std::make_unique<tcp::TcpConnection>(*m.senders[i], m.sink->address(),
-                                                           flowPort, cfg);
-        auto* raw = client.get();
-        client->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
-        client->start();
-        set.listeners.push_back(std::move(listener));
-        set.clients.push_back(std::move(client));
+        net::FlowFactory::Options options;
+        options.port = static_cast<std::uint16_t>(w.port + static_cast<int>(i));
+        options.fidelity = i < fluidCount ? net::FlowFidelity::kFluid : w.fidelity;
+        auto flow = net::flowFactory(s.ctx).create(*m.senders[i], *m.sink, cfg, options);
+        auto* raw = flow.get();
+        flow->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
+        flow->start();
+        set.flows.push_back(std::move(flow));
       }
       s.simulator.runFor(sim::Duration::fromSeconds(w.warmupS));
-      sim::DataSize base = sim::DataSize::zero();
-      for (auto* srv : set.servers) {
-        if (srv != nullptr) base += srv->deliveredBytes();
-      }
+      std::vector<sim::DataSize> base(set.flows.size(), sim::DataSize::zero());
+      for (std::size_t i = 0; i < set.flows.size(); ++i) base[i] = set.flows[i]->deliveredBytes();
       s.simulator.runFor(sim::Duration::fromSeconds(w.windowS));
-      sim::DataSize now = sim::DataSize::zero();
-      for (auto* srv : set.servers) {
-        if (srv != nullptr) now += srv->deliveredBytes();
+      sim::DataSize packetDelta = sim::DataSize::zero();
+      sim::DataSize fluidDelta = sim::DataSize::zero();
+      for (std::size_t i = 0; i < set.flows.size(); ++i) {
+        const auto delta = set.flows[i]->deliveredBytes() - base[i];
+        if (set.flows[i]->fidelity() == net::FlowFidelity::kFluid) {
+          fluidDelta += delta;
+        } else {
+          packetDelta += delta;
+        }
       }
-      r.metrics[p + ".delta_bits"] = static_cast<double>((now - base).bitCount());
+      r.metrics[p + ".delta_bits"] = static_cast<double>((packetDelta + fluidDelta).bitCount());
+      if (fluidCount > 0) {
+        r.metrics[p + ".packet_bits"] = static_cast<double>(packetDelta.bitCount());
+        r.metrics[p + ".fluid_bits"] = static_cast<double>(fluidDelta.bitCount());
+      }
       break;
     }
     case WorkloadKind::kTimedFlow: {
@@ -315,28 +325,27 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       const auto cfg = toTcpConfig(w.tcp);
       m.flowSets.emplace_back();
       auto& set = m.flowSets.back();
-      set.servers.assign(1, nullptr);
-      auto* servers = &set.servers;
-      auto listener = std::make_unique<tcp::TcpListener>(*m.dst, port, cfg);
-      auto client = std::make_unique<tcp::TcpConnection>(*m.src, m.dst->address(), port, cfg);
-      listener->onAccept = [servers](tcp::TcpConnection& c) { (*servers)[0] = &c; };
-      auto* raw = client.get();
-      client->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
-      client->start();
+      net::FlowFactory::Options options;
+      options.port = port;
+      options.fidelity = w.fidelity;
+      auto flow = net::flowFactory(s.ctx).create(*m.src, *m.dst, cfg, options);
+      auto* raw = flow.get();
+      auto* flags = &set;
+      flow->onAccepted = [flags](int) { flags->connected = true; };
+      flow->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
+      flow->start();
       s.simulator.runFor(sim::Duration::fromSeconds(w.runS));
-      auto* server = set.servers[0];
-      r.metrics[p + ".delivered_bits"] =
-          server != nullptr ? static_cast<double>(server->deliveredBytes().bitCount()) : 0.0;
-      r.metrics[p + ".established"] = server != nullptr ? 1.0 : 0.0;
-      r.metrics[p + ".retx"] = static_cast<double>(client->stats().retransmits);
-      set.listeners.push_back(std::move(listener));
-      set.clients.push_back(std::move(client));
+      r.metrics[p + ".delivered_bits"] = static_cast<double>(flow->deliveredBytes().bitCount());
+      r.metrics[p + ".established"] = set.connected ? 1.0 : 0.0;
+      r.metrics[p + ".retx"] = static_cast<double>(flow->retransmits());
+      set.flows.push_back(std::move(flow));
       break;
     }
     case WorkloadKind::kParallelTransfer: {
       if (m.src == nullptr) incompatible(w, spec.topology);
       m.parallelTransfers.push_back(std::make_unique<apps::ParallelTransfer>(
-          *m.src, *m.dst, port, sim::DataSize::bytes(w.bytes), w.streams, toTcpConfig(w.tcp)));
+          *m.src, *m.dst, port, sim::DataSize::bytes(w.bytes), w.streams, toTcpConfig(w.tcp),
+          w.fidelity));
       auto& transfer = *m.parallelTransfers.back();
       transfer.start();
       s.simulator.runFor(sim::Duration::fromSeconds(w.timeoutS));
@@ -406,15 +415,15 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       const auto cfg = toTcpConfig(w.tcp);
       m.flowSets.emplace_back();
       auto& set = m.flowSets.back();
-      auto listener =
-          std::make_unique<tcp::TcpListener>(m.site->primaryDtn()->host(), port, cfg);
-      auto client = std::make_unique<tcp::TcpConnection>(
-          m.site->remoteDtn->host(), m.site->primaryDtn()->host().address(), port, cfg);
+      net::FlowFactory::Options options;
+      options.port = port;
+      options.fidelity = w.fidelity;
+      auto flow = net::flowFactory(s.ctx).create(m.site->remoteDtn->host(),
+                                                 m.site->primaryDtn()->host(), cfg, options);
       auto* flags = &set;
-      client->onEstablished = [flags] { flags->connected = true; };
-      client->start();
-      set.listeners.push_back(std::move(listener));
-      set.clients.push_back(std::move(client));
+      flow->onEstablished = [flags] { flags->connected = true; };
+      flow->start();
+      set.flows.push_back(std::move(flow));
       s.simulator.runFor(sim::Duration::fromSeconds(w.runS));
       r.metrics[p + ".connected"] = set.connected ? 1.0 : 0.0;
       break;
@@ -439,6 +448,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       if (m.edgeClients.empty()) incompatible(w, spec.topology);
       apps::BackgroundProfile profile;
       profile.flowsPerSecond = w.flowsPerSecond;
+      profile.fidelity = w.fidelity;
       m.backgroundTraffic.push_back(std::make_unique<apps::BackgroundTraffic>(
           s.ctx, m.edgeClients, m.edgeServers, port, profile, s.rng.fork(w.rngFork)));
       auto& traffic = *m.backgroundTraffic.back();

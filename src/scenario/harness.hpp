@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
@@ -36,6 +37,7 @@ struct Scenario {
 inline void finishCell(Scenario& s, sim::SweepCell& cell) {
   cell.eventsExecuted = s.simulator.eventsExecuted();
   cell.packetsForwarded = s.ctx.packetsForwarded();
+  cell.flowsCreated = net::flowFactory(s.ctx).flowsCreated();
   if (s.ctx.telemetry().enabled()) {
     cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
   }
@@ -45,13 +47,19 @@ inline void finishCell(Scenario& s, sim::SweepCell& cell) {
 /// effectively infinite transfer, discard `warmup`, measure `window`.
 struct SteadyFlow {
   SteadyFlow(Scenario& s, net::Host& src, net::Host& dst, tcp::TcpConfig config,
-             std::uint16_t port = 5001)
+             std::uint16_t port = 5001,
+             net::FlowFidelity fidelity = net::FlowFidelity::kPacket)
       : scenario(s) {
-    listener = dst.ctx().arena().make<tcp::TcpListener>(dst, port, config);
-    listener->onAccept = [this](tcp::TcpConnection& c) { server = &c; };
-    client = src.ctx().arena().make<tcp::TcpConnection>(src, dst.address(), port, config);
-    client->onEstablished = [this] { client->sendData(sim::DataSize::terabytes(100)); };
-    client->start();
+    net::FlowFactory::Options options;
+    options.port = port;
+    options.fidelity = fidelity;
+    flow = net::flowFactory(src.ctx()).create(src, dst, config, options);
+    // Accept (not client-side establishment) is the pin signal, preserving
+    // the historical "listener has accepted" semantics at packet fidelity;
+    // fluid flows fire onAccepted at establishment.
+    flow->onAccepted = [this](int) { accepted_ = true; };
+    flow->onEstablished = [this] { flow->sendData(sim::DataSize::terabytes(100)); };
+    flow->start();
   }
 
   /// Receiver-side goodput over `window` after discarding `warmup`. The
@@ -61,12 +69,11 @@ struct SteadyFlow {
   /// flow that only appeared (or never appeared) mid-window off a zero base.
   [[nodiscard]] sim::DataRate measure(sim::Duration warmup, sim::Duration window) {
     scenario.simulator.runFor(warmup);
-    tcp::TcpConnection* measured = server;
-    established_ = measured != nullptr;
-    const auto base = measured != nullptr ? measured->deliveredBytes() : sim::DataSize::zero();
+    established_ = accepted_;
+    const auto base = accepted_ ? flow->deliveredBytes() : sim::DataSize::zero();
     scenario.simulator.runFor(window);
-    if (measured == nullptr) return sim::DataRate::zero();
-    const auto delta = measured->deliveredBytes() - base;
+    if (!established_) return sim::DataRate::zero();
+    const auto delta = flow->deliveredBytes() - base;
     return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(
         static_cast<double>(delta.bitCount()) / window.toSeconds()));
   }
@@ -76,9 +83,8 @@ struct SteadyFlow {
   [[nodiscard]] bool established() const { return established_; }
 
   Scenario& scenario;
-  sim::ArenaPtr<tcp::TcpListener> listener;
-  sim::ArenaPtr<tcp::TcpConnection> client;
-  tcp::TcpConnection* server = nullptr;
+  net::FlowPtr flow;
+  bool accepted_ = false;
   bool established_ = true;
 };
 

@@ -16,6 +16,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     registerArchScenarios(r);
     registerUsecaseScenarios(r);
     registerAblationScenarios(r);
+    registerHybridScenarios(r);
     registerVcScenarios(r);
     return r;
   }();

@@ -55,6 +55,7 @@ void registerFigureScenarios(ScenarioRegistry& registry);
 void registerArchScenarios(ScenarioRegistry& registry);
 void registerUsecaseScenarios(ScenarioRegistry& registry);
 void registerAblationScenarios(ScenarioRegistry& registry);
+void registerHybridScenarios(ScenarioRegistry& registry);
 void registerVcScenarios(ScenarioRegistry& registry);
 
 }  // namespace scidmz::scenario

@@ -413,6 +413,13 @@ AnalysisSpec analysisFromJson(const Json& doc, const std::string& path) {
 
 // --- workloads -------------------------------------------------------------
 
+/// Any v2-only field non-default? Such a workload forces the document's
+/// schema to scidmz.scenario.v2; all-default specs stay byte-identical v1.
+bool workloadNeedsV2(const WorkloadSpec& w) {
+  return (workloadHasFidelity(w.kind) && w.fidelity != net::FlowFidelity::kPacket) ||
+         (w.kind == WorkloadKind::kConvergingFlows && w.fluidFlows != 0);
+}
+
 Json workloadToJson(const WorkloadSpec& w) {
   Json j = Json::object();
   j.set("kind", toString(w.kind));
@@ -474,10 +481,18 @@ Json workloadToJson(const WorkloadSpec& w) {
       j.set("rng_fork", w.rngFork);
       break;
   }
+  // v2 extension fields, emitted only when non-default so fidelity-free
+  // specs serialize as unchanged v1 documents.
+  if (workloadHasFidelity(w.kind) && w.fidelity != net::FlowFidelity::kPacket) {
+    j.set("fidelity", net::toString(w.fidelity));
+  }
+  if (w.kind == WorkloadKind::kConvergingFlows && w.fluidFlows != 0) {
+    j.set("fluid_flows", w.fluidFlows);
+  }
   return j;
 }
 
-WorkloadSpec workloadFromJson(const Json& doc, const std::string& path) {
+WorkloadSpec workloadFromJson(const Json& doc, const std::string& path, bool allowV2) {
   ObjectReader r(doc, path);
   WorkloadSpec w;
   w.kind = parseEnum<WorkloadKind>(
@@ -549,6 +564,17 @@ WorkloadSpec workloadFromJson(const Json& doc, const std::string& path) {
       w.rngFork = r.getUint("rng_fork");
       break;
   }
+  // v2 extension fields. Under a v1 schema these keys stay unconsumed and
+  // r.done() rejects them by name — v1 documents cannot smuggle v2 fields.
+  if (allowV2 && workloadHasFidelity(w.kind) && r.has("fidelity")) {
+    w.fidelity = parseEnum<net::FlowFidelity>(r.getString("fidelity"), path + ".fidelity",
+                                              {{"packet", net::FlowFidelity::kPacket},
+                                               {"fluid", net::FlowFidelity::kFluid},
+                                               {"auto", net::FlowFidelity::kAuto}});
+  }
+  if (allowV2 && w.kind == WorkloadKind::kConvergingFlows && r.has("fluid_flows")) {
+    w.fluidFlows = r.getInt("fluid_flows");
+  }
   r.done();
   return w;
 }
@@ -558,8 +584,15 @@ WorkloadSpec workloadFromJson(const Json& doc, const std::string& path) {
 // --- ScenarioSpec ----------------------------------------------------------
 
 Json ScenarioSpec::toJson() const {
+  bool v2 = false;
+  for (const auto& workload : workloads) {
+    if (workloadNeedsV2(workload)) {
+      v2 = true;
+      break;
+    }
+  }
   Json j = Json::object();
-  j.set("schema", kScenarioSchema);
+  j.set("schema", v2 ? kScenarioSchemaV2 : kScenarioSchema);
   j.set("name", name);
   j.set("seed", seed);
   j.set("telemetry", telemetry);
@@ -574,10 +607,11 @@ Json ScenarioSpec::toJson() const {
 ScenarioSpec ScenarioSpec::fromJson(const Json& doc) {
   ObjectReader r(doc, "scenario");
   const std::string schema = r.getString("schema");
-  if (schema != kScenarioSchema) {
+  if (schema != kScenarioSchema && schema != kScenarioSchemaV2) {
     throw SpecError("unknown value \"" + schema + "\" for \"scenario.schema\" (expected \"" +
-                    kScenarioSchema + "\")");
+                    kScenarioSchema + "\" or \"" + kScenarioSchemaV2 + "\")");
   }
+  const bool allowV2 = schema == kScenarioSchemaV2;
   ScenarioSpec spec;
   spec.name = r.getString("name");
   spec.seed = r.getUint("seed");
@@ -587,7 +621,7 @@ ScenarioSpec ScenarioSpec::fromJson(const Json& doc) {
   const Json& w = r.getArray("workloads");
   for (std::size_t i = 0; i < w.size(); ++i) {
     spec.workloads.push_back(
-        workloadFromJson(w.at(i), "workloads[" + std::to_string(i) + "]"));
+        workloadFromJson(w.at(i), "workloads[" + std::to_string(i) + "]", allowV2));
   }
   if (spec.topology.kind == TopologyKind::kUsecase && !spec.workloads.empty()) {
     throw SpecError("\"workloads\" must be empty for a usecase topology (\"" + spec.name +
@@ -657,6 +691,23 @@ const char* toString(TopologyKind v) {
     case TopologyKind::kUsecase: return "usecase";
   }
   return "?";
+}
+
+bool workloadHasFidelity(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kSteadyFlow:
+    case WorkloadKind::kConvergingFlows:
+    case WorkloadKind::kTimedFlow:
+    case WorkloadKind::kParallelTransfer:
+    case WorkloadKind::kProbe:
+    case WorkloadKind::kBackground:
+      return true;
+    case WorkloadKind::kDtnTransfer:
+    case WorkloadKind::kCampaign:
+    case WorkloadKind::kRoce:
+      return false;
+  }
+  return false;
 }
 
 const char* toString(WorkloadKind v) {

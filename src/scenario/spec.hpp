@@ -4,12 +4,16 @@
 // 6 use case), optional analytic passes (validator, path assessment), and
 // an ordered list of workloads to run over it.
 //
-// Specs serialize to/from `scidmz.scenario.v1` JSON documents. The
+// Specs serialize to/from `scidmz.scenario.v1` JSON documents, or
+// `scidmz.scenario.v2` when any workload uses the v2 extensions (per-flow
+// model fidelity, converging-flow fluid counts). A spec with no v2 fields
+// always serializes as v1, byte-identical to pre-v2 output. The
 // serialization is canonical: fields always appear, in a fixed order, so
 // parse -> serialize -> parse is byte-identical and a dumped spec is the
 // fixed point of its own round trip. Unknown keys and unrecognized enum
 // values are hard errors that name the offending key — a typo in a
-// hand-written scenario file fails loudly, not silently.
+// hand-written scenario file fails loudly, not silently (v1 documents
+// reject the v2 keys, too).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "scenario/json.hpp"
 
 namespace scidmz::scenario {
@@ -29,6 +34,8 @@ class SpecError : public JsonError {
 };
 
 inline constexpr const char* kScenarioSchema = "scidmz.scenario.v1";
+/// Emitted (and accepted) when any workload carries a v2-only field.
+inline constexpr const char* kScenarioSchemaV2 = "scidmz.scenario.v2";
 inline constexpr const char* kCatalogSchema = "scidmz.scenario.catalog.v1";
 
 // --- shared fragments ------------------------------------------------------
@@ -184,7 +191,18 @@ struct WorkloadSpec {
   double flowsPerSecond = 50.0;     ///< background
   std::uint64_t rngFork = 3;        ///< background: scenario-rng fork index
   std::uint64_t rateGbps = 40;      ///< roce line rate
+  // -- v2 fields (serialized only when non-default) --
+  /// Flow model fidelity for TCP-flow workloads (steady/converging/timed/
+  /// parallel/probe/background). Default packet keeps v1 semantics.
+  net::FlowFidelity fidelity = net::FlowFidelity::kPacket;
+  /// converging_flows: the first `fluidFlows` senders run at fluid fidelity
+  /// regardless of `fidelity` — the mixed-fidelity bottleneck-sharing knob.
+  int fluidFlows = 0;
 };
+
+/// True for the workload kinds that create TCP flows and therefore honor
+/// the v2 `fidelity` field.
+[[nodiscard]] bool workloadHasFidelity(WorkloadKind kind);
 
 // --- the spec --------------------------------------------------------------
 

@@ -84,7 +84,7 @@ struct SweepRunner::Pool {
 
       lock.lock();
       (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted, cell.packetsForwarded,
-                                       std::move(cell.telemetryJson)};
+                                       cell.flowsCreated, std::move(cell.telemetryJson)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -167,6 +167,8 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         run.wallSeconds > 0 ? static_cast<double>(run.totalEvents()) / run.wallSeconds : 0.0;
     const double packetsPerSec =
         run.wallSeconds > 0 ? static_cast<double>(run.totalPackets()) / run.wallSeconds : 0.0;
+    const double flowsPerSec =
+        run.wallSeconds > 0 ? static_cast<double>(run.totalFlows()) / run.wallSeconds : 0.0;
     out << "    {\n"
         << "      \"name\": \"" << jsonEscape(run.name) << "\",\n"
         << "      \"workers\": " << run.workers << ",\n"
@@ -178,11 +180,14 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         << "      \"events_per_second\": " << formatDouble(eventsPerSec) << ",\n"
         << "      \"packets_forwarded\": " << run.totalPackets() << ",\n"
         << "      \"packets_per_second\": " << formatDouble(packetsPerSec) << ",\n"
+        << "      \"flows_created\": " << run.totalFlows() << ",\n"
+        << "      \"flows_per_second\": " << formatDouble(flowsPerSec) << ",\n"
         << "      \"cell_stats\": [";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "{\"wall_seconds\": " << formatDouble(run.cells[i].wallSeconds)
           << ", \"events\": " << run.cells[i].eventsExecuted
-          << ", \"packets\": " << run.cells[i].packetsForwarded;
+          << ", \"packets\": " << run.cells[i].packetsForwarded
+          << ", \"flows\": " << run.cells[i].flowsCreated;
       // telemetryJson is already a JSON object (scidmz.telemetry.v1);
       // embed it raw so the cell's counters/series land in BENCH_sim.json.
       if (!run.cells[i].telemetryJson.empty()) {

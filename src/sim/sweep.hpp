@@ -30,6 +30,9 @@ struct SweepCellStats {
   /// Packets successfully forwarded through the data path (one count per
   /// Device::forward hop) — the numerator of the packets/sec column.
   std::uint64_t packetsForwarded = 0;
+  /// Flows created through net::FlowFactory — the numerator of the
+  /// flows/sec model-throughput column (the hybrid-fidelity headline).
+  std::uint64_t flowsCreated = 0;
   /// Pre-serialized telemetry snapshot (scidmz.telemetry.v1 JSON), empty
   /// when the cell did not instrument itself. Opaque to the runner — sim
   /// stays independent of the telemetry layer.
@@ -53,6 +56,11 @@ struct SweepRunStats {
     for (const auto& c : cells) total += c.packetsForwarded;
     return total;
   }
+  [[nodiscard]] std::uint64_t totalFlows() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells) total += c.flowsCreated;
+    return total;
+  }
   /// Sum of per-cell wall clock — the serial-equivalent cost; divided by
   /// wallSeconds it is the realized parallel speedup.
   [[nodiscard]] double cellSecondsSum() const {
@@ -70,6 +78,9 @@ struct SweepCell {
   /// Cell sets this (typically Context::packetsForwarded()) before
   /// returning; reported as the packets/sec datapath-throughput column.
   std::uint64_t packetsForwarded = 0;
+  /// Cell sets this (typically FlowFactory::flowsCreated()) before
+  /// returning; reported as the flows/sec model-throughput column.
+  std::uint64_t flowsCreated = 0;
   /// Cell may set this to its telemetry snapshot JSON
   /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
   std::string telemetryJson;

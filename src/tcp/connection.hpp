@@ -74,6 +74,12 @@ struct TcpStats {
 
 /// One end of a TCP connection. Create client side via the active-open
 /// constructor + start(); server sides are created by TcpListener.
+///
+/// NOTE: these constructors are internal to the flow seam. Production code
+/// creates flows through net::FlowFactory (src/tcp/flow_factory.cpp is the
+/// one production call site), which is where fidelity (packet vs fluid),
+/// CC algorithm and arena placement are decided. Direct construction is
+/// reserved for unit tests exercising TCP internals.
 class TcpConnection : public net::PacketSink {
  public:
   /// Active open (client).

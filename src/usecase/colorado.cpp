@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
@@ -78,38 +79,37 @@ ColoradoResult runColorado(const ColoradoConfig& config) {
   tcpCfg.sndBuf = 8_MB;
   tcpCfg.rcvBuf = 8_MB;
 
-  std::vector<std::unique_ptr<tcp::TcpListener>> listeners;
-  std::vector<std::unique_ptr<tcp::TcpConnection>> clients;
-  std::vector<tcp::TcpConnection*> serverSides(hosts.size(), nullptr);
+  std::vector<net::FlowPtr> flows;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     // The host "requests" data: it is the TCP client; the tier listens and
-    // pushes. Flow direction: tier -> host.
-    auto listener = std::make_unique<tcp::TcpListener>(tier, static_cast<std::uint16_t>(7000 + i),
-                                                       tcpCfg);
-    listener->onAccept = [&serverSides, i](tcp::TcpConnection& c) {
-      serverSides[i] = &c;
-      c.sendData(sim::DataSize::terabytes(1));
+    // pushes. Flow direction: tier -> host. Server push drives per-packet
+    // TCP state directly, so the fidelity is pinned at packet — the global
+    // --fidelity override does not apply.
+    net::FlowFactory::Options options;
+    options.port = static_cast<std::uint16_t>(7000 + i);
+    options.pinned = true;
+    auto flow = net::flowFactory(ctx).create(*hosts[i], tier, tcpCfg, options);
+    auto* raw = flow.get();
+    flow->onAccepted = [raw](int stream) {
+      raw->serverConnection(stream)->sendData(sim::DataSize::terabytes(1));
     };
-    auto client = std::make_unique<tcp::TcpConnection>(*hosts[i], tier.address(),
-                                                       static_cast<std::uint16_t>(7000 + i),
-                                                       tcpCfg);
-    client->start();
-    listeners.push_back(std::move(listener));
-    clients.push_back(std::move(client));
+    flow->start();
+    flows.push_back(std::move(flow));
   }
 
-  // Ramp-up, then measure deltas over the window.
+  // Ramp-up, then measure deltas over the window. The data direction is
+  // tier -> host, so delivery is read on the *client* connection.
   simulator.runFor(3_s);
   std::vector<sim::DataSize> base(hosts.size(), sim::DataSize::zero());
   for (std::size_t i = 0; i < hosts.size(); ++i) {
-    if (clients[i]) base[i] = clients[i]->deliveredBytes();
+    base[i] = flows[i]->clientConnection(0)->deliveredBytes();
   }
   simulator.runFor(config.measureWindow);
 
   ColoradoResult result;
   const double windowSecs = config.measureWindow.toSeconds();
   for (std::size_t i = 0; i < hosts.size(); ++i) {
-    const auto delta = clients[i]->deliveredBytes() - base[i];
+    const auto delta = flows[i]->clientConnection(0)->deliveredBytes() - base[i];
     const double mbps = static_cast<double>(delta.bitCount()) / windowSecs / 1e6;
     result.perHostMbps.push_back(mbps);
     result.aggregateMbps += mbps;

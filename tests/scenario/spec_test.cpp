@@ -100,6 +100,82 @@ TEST(ScenarioSpec, MissingKeyErrorNamesTheKey) {
   }
 }
 
+// --- schema v2: per-workload fidelity --------------------------------------
+
+TEST(ScenarioSpec, DefaultSpecStaysSchemaV1) {
+  ScenarioSpec spec;
+  spec.name = "defaults";
+  WorkloadSpec w;
+  spec.workloads.push_back(w);
+  EXPECT_EQ(spec.toJson()["schema"].asString(), "scidmz.scenario.v1");
+}
+
+TEST(ScenarioSpec, FidelityRoundTripsAsSchemaV2) {
+  ScenarioSpec spec;
+  spec.name = "fluid";
+  WorkloadSpec w;
+  w.fidelity = net::FlowFidelity::kFluid;
+  spec.workloads.push_back(w);
+  Json doc = spec.toJson();
+  EXPECT_EQ(doc["schema"].asString(), "scidmz.scenario.v2");
+  const std::string once = doc.dump();
+  const auto reparsed = ScenarioSpec::parse(once);
+  EXPECT_EQ(reparsed.workloads.at(0).fidelity, net::FlowFidelity::kFluid);
+  EXPECT_EQ(reparsed.toJson().dump(), once);
+}
+
+TEST(ScenarioSpec, FluidFlowsRoundTripsAsSchemaV2) {
+  ScenarioSpec spec;
+  spec.name = "mixed";
+  spec.topology.kind = TopologyKind::kFanin;
+  spec.topology.fanin.senders = 9;
+  WorkloadSpec w;
+  w.kind = WorkloadKind::kConvergingFlows;
+  w.fluidFlows = 8;
+  spec.workloads.push_back(w);
+  Json doc = spec.toJson();
+  EXPECT_EQ(doc["schema"].asString(), "scidmz.scenario.v2");
+  const std::string once = doc.dump();
+  const auto reparsed = ScenarioSpec::parse(once);
+  EXPECT_EQ(reparsed.workloads.at(0).fluidFlows, 8);
+  EXPECT_EQ(reparsed.toJson().dump(), once);
+}
+
+TEST(ScenarioSpec, V1DocumentRejectsFidelityKey) {
+  ScenarioSpec spec;
+  spec.name = "v1";
+  WorkloadSpec w;
+  w.fidelity = net::FlowFidelity::kFluid;
+  spec.workloads.push_back(w);
+  Json doc = spec.toJson();
+  doc.set("schema", "scidmz.scenario.v1");  // claim v1 but keep the v2 key
+  try {
+    ScenarioSpec::fromJson(doc);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("fidelity"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSpec, BadFidelityValueIsRejected) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  WorkloadSpec w;
+  w.fidelity = net::FlowFidelity::kFluid;
+  spec.workloads.push_back(w);
+  Json doc = spec.toJson();
+  Json bad = doc["workloads"].at(0);
+  bad.set("fidelity", "plasma");
+  doc.set("workloads", Json::array());
+  doc["workloads"].push(std::move(bad));
+  try {
+    ScenarioSpec::fromJson(doc);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("plasma"), std::string::npos) << e.what();
+  }
+}
+
 // --- the JSON layer under the spec ----------------------------------------
 
 TEST(Json, ParseRejectsTrailingGarbage) {

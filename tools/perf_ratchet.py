@@ -14,8 +14,9 @@ that disappears from the measured file is an error: renaming a benchmark must
 come with a baseline update in the same commit.
 
 Throughput metrics compared: events_per_second always; packets_per_second
-only when the baseline value is non-zero (timer-only schedules forward no
-packets, and 0 vs 0 is not a regression).
+and flows_per_second only when the baseline value is non-zero (timer-only
+schedules forward no packets, pre-FlowFactory baselines record no flows,
+and 0 vs 0 is not a regression).
 
 Absolute numbers are machine-dependent, so the committed baseline should be
 regenerated on the CI runner class (see EXPERIMENTS.md).  The tolerance
@@ -35,7 +36,7 @@ import os
 import sys
 
 
-GATED_METRICS = ("events_per_second", "packets_per_second")
+GATED_METRICS = ("events_per_second", "packets_per_second", "flows_per_second")
 
 
 def load_runs(path: str) -> dict[str, dict]:

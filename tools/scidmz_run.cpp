@@ -7,6 +7,8 @@
 //   scidmz_run --dump                     # scidmz.scenario.catalog.v1 to stdout
 //   scidmz_run --out DIR ...              # artifacts under DIR (unless the
 //                                         # SCIDMZ_* env vars already say else)
+//   scidmz_run --fidelity=fluid --run ... # override flow model fidelity for
+//                                         # every non-pinned flow this run
 //
 // Catalog runs produce byte-identical output to the legacy bench binaries;
 // ad-hoc specs print every engine metric per sweep cell and mirror them
@@ -19,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "net/flow.hpp"
 #include "scenario/bench_io.hpp"
 #include "scenario/run.hpp"
+#include "scenario/spec.hpp"
 
 namespace {
 
@@ -31,8 +35,8 @@ using scenario::ScenarioSpec;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out DIR] [--list] [--dump] [--run NAME]... \\\n"
-               "          [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n",
+               "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--list] [--dump] \\\n"
+               "          [--run NAME]... [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n",
                argv0);
   return 2;
 }
@@ -41,11 +45,25 @@ std::size_t cellCount(const scenario::ScenarioEntry& entry) {
   return entry.specs ? entry.specs().size() : 1;
 }
 
+/// Spec-driven entries with at least one TCP-flow workload honor the
+/// --fidelity override (pinned flows aside); native entries drive their own
+/// simulations and may pin fidelity throughout.
+bool fluidCapable(const scenario::ScenarioEntry& entry) {
+  if (!entry.specs) return false;
+  for (const auto& spec : entry.specs()) {
+    for (const auto& w : spec.workloads) {
+      if (scenario::workloadHasFidelity(w.kind)) return true;
+    }
+  }
+  return false;
+}
+
 void listCatalog() {
   std::printf("%-28s %-10s %-7s %s\n", "scenario", "family", "cells", "title");
   for (const auto& entry : ScenarioRegistry::builtin().entries()) {
-    std::printf("%-28s %-10s %-7zu %s%s\n", entry.name.c_str(), entry.family.c_str(),
-                cellCount(entry), entry.title.c_str(), entry.native ? "  [native]" : "");
+    std::printf("%-28s %-10s %-7zu %s%s%s\n", entry.name.c_str(), entry.family.c_str(),
+                cellCount(entry), entry.title.c_str(), entry.native ? "  [native]" : "",
+                fluidCapable(entry) ? "  [fluid-capable]" : "");
   }
 }
 
@@ -229,6 +247,16 @@ int main(int argc, char** argv) {
       sweeps.push_back(std::move(sweep));
     } else if (arg == "--out") {
       outDir = operand("a directory");
+    } else if (arg == "--fidelity" || arg.rfind("--fidelity=", 0) == 0) {
+      const std::string text =
+          arg == "--fidelity" ? operand("packet|fluid|auto") : arg.substr(std::strlen("--fidelity="));
+      const auto parsed = net::parseFlowFidelity(text);
+      if (!parsed) {
+        std::fprintf(stderr, "scidmz_run: --fidelity wants packet|fluid|auto (got \"%s\")\n",
+                     text.c_str());
+        return usage(argv[0]);
+      }
+      net::setProcessFidelityOverride(*parsed);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

@@ -8,6 +8,7 @@ Dispatch is by content:
   {"schema": "scidmz.telemetry.v1"}    -> snapshot
   {"schema": "scidmz.bench.table.v1"}  -> bench table
   {"schema": "scidmz.scenario.v1"}     -> declarative scenario spec
+  {"schema": "scidmz.scenario.v2"}     -> spec with per-flow fidelity fields
   {"schema": "scidmz.scenario.catalog.v1"} -> scidmz_run --dump catalog
                                           (embedded specs validated too)
   {"benchmark": ..., "runs": [...]}    -> BENCH_sim.json sweep report
@@ -178,8 +179,13 @@ WORKLOAD_KINDS = {"steady_flow", "converging_flows", "timed_flow", "parallel_tra
 SCENARIO_FAMILIES = {"figure", "arch", "usecase", "ablation", "vc"}
 
 
+FLOW_FIDELITIES = {"packet", "fluid", "auto"}
+
+
 def validate_scenario_spec(doc, where):
-    require(doc.get("schema") == "scidmz.scenario.v1", where, "wrong schema")
+    schema = doc.get("schema")
+    require(schema in ("scidmz.scenario.v1", "scidmz.scenario.v2"), where, "wrong schema")
+    v2 = schema == "scidmz.scenario.v2"
     check_str(doc, "name", where)
     check_uint(doc, "seed", where)
     require(isinstance(doc.get("telemetry"), bool), where, "'telemetry' must be a boolean")
@@ -197,7 +203,19 @@ def validate_scenario_spec(doc, where):
         wkind = check_str(workload, "kind", where)
         require(wkind in WORKLOAD_KINDS, where,
                 f"workload {i}: unknown kind {wkind!r}")
-    return (f"scidmz.scenario.v1, scenario {doc['name']!r}, topology {kind!r}, "
+        # v2-only fields: per-flow model fidelity, mixed-fidelity fan-in.
+        if "fidelity" in workload:
+            require(v2, where, f"workload {i}: 'fidelity' requires schema scidmz.scenario.v2")
+            fidelity = check_str(workload, "fidelity", where)
+            require(fidelity in FLOW_FIDELITIES, where,
+                    f"workload {i}: unknown fidelity {fidelity!r}")
+        if "fluid_flows" in workload:
+            require(v2, where,
+                    f"workload {i}: 'fluid_flows' requires schema scidmz.scenario.v2")
+            require(wkind == "converging_flows", where,
+                    f"workload {i}: 'fluid_flows' only applies to converging_flows")
+            check_uint(workload, "fluid_flows", where)
+    return (f"{schema}, scenario {doc['name']!r}, topology {kind!r}, "
             f"{len(workloads)} workloads")
 
 
@@ -242,10 +260,20 @@ def validate_bench_report(doc, where):
         require(isinstance(cell_stats, list), where, "missing cell_stats")
         require(len(cell_stats) == run.get("cells"), where,
                 f"cell_stats length {len(cell_stats)} != cells {run.get('cells')}")
+        cell_flows = 0
         for cell in cell_stats:
+            if "flows" in cell:
+                cell_flows += check_uint(cell, "flows", where)
             if "telemetry" in cell:
                 validate_snapshot(cell["telemetry"], where)
                 cells_with_telemetry += 1
+        if "flows_created" in run:
+            total = check_uint(run, "flows_created", where)
+            require(cell_flows == total, where,
+                    f"run {run['name']!r}: flows_created {total} != "
+                    f"sum of cell flows {cell_flows}")
+            require(isinstance(run.get("flows_per_second"), (int, float)), where,
+                    f"run {run['name']!r}: missing numeric flows_per_second")
     return (f"BENCH_sim.json, benchmark {doc['benchmark']!r}, {len(runs)} runs, "
             f"{cells_with_telemetry} instrumented cells")
 
@@ -261,7 +289,7 @@ def validate_file(path):
         return validate_snapshot(doc, path)
     if schema == "scidmz.bench.table.v1":
         return validate_table(doc, path)
-    if schema == "scidmz.scenario.v1":
+    if schema in ("scidmz.scenario.v1", "scidmz.scenario.v2"):
         return validate_scenario_spec(doc, path)
     if schema == "scidmz.scenario.catalog.v1":
         return validate_scenario_catalog(doc, path)
