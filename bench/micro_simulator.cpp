@@ -602,13 +602,88 @@ void emitSchedulePairTable() {
 }
 
 // ---------------------------------------------------------------------------
+// Profiler A/B pair: the same timer schedules through the REAL Simulator,
+// once with no profiler attached (the production default — the hot loop's
+// single nullptr branch) and once with the self-profiler recording every
+// event. The "off" side IS the configuration the ratcheted timers_* runs
+// below measure, so the 5% ratchet holds the zero-overhead claim across
+// PRs; this table additionally shows what "on" costs.
+
+double simulatorTimerEventsPerSecond(ScheduleKind kind, sim::Profiler* profiler,
+                                     std::int64_t ops) {
+  sim::Simulator simulator;
+  if (profiler != nullptr) simulator.setProfiler(profiler);
+  constexpr int kTimers = 1024;
+  struct Fleet {
+    sim::Simulator& simulator;
+    std::int64_t ops;
+    sim::Rng rng{23};
+    std::vector<std::int64_t> period;
+    std::int64_t fired = 0;
+
+    void arm(int i) {
+      const std::int64_t p = period[static_cast<std::size_t>(i)];
+      const std::int64_t delta = p > 0 ? p : 1 + static_cast<std::int64_t>(rng.below(1000));
+      simulator.schedule(sim::Duration::nanoseconds(delta), [this, i] {
+        if (++fired < ops) arm(i);
+      });
+    }
+  } fleet{simulator, ops, sim::Rng{23}, std::vector<std::int64_t>(kTimers), 0};
+  for (int i = 0; i < kTimers; ++i) {
+    const bool periodic =
+        kind == ScheduleKind::kPeriodic || (kind == ScheduleKind::kMixed && i % 2 == 0);
+    fleet.period[static_cast<std::size_t>(i)] =
+        periodic ? 10'000 + (static_cast<std::int64_t>(i) * 37'000) % 990'000 : 0;
+    fleet.arm(i);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  simulator.run();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(simulator.eventsExecuted()) / elapsed.count();
+}
+
+void emitProfilerPairTable() {
+  constexpr std::int64_t kOps = 2'000'000;
+  bench::header("micro_simulator: event loop, profiler detached vs attached",
+                "self-profiling must cost nothing when off (see perf.yml ratchet)");
+  bench::Table table{
+      "micro_simulator_profiler",
+      "Simulator event loop: self-profiler detached vs attached",
+      "detached is the ratcheted production path; attached shows probe cost",
+      {bench::Column{"schedule", "%-10s"},
+       bench::Column{"off_mev_s", "%12.2f", "off Mev/s"},
+       bench::Column{"on_mev_s", "%12.2f", "on Mev/s"},
+       bench::Column{"on_cost", "%8.2f", "off/on"}}};
+  table.printHeader();
+  constexpr int kReps = 5;
+  for (int k = 0; k < 3; ++k) {
+    const auto kind = static_cast<ScheduleKind>(k);
+    double off = 0.0;
+    double on = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      off = std::max(off, simulatorTimerEventsPerSecond(kind, nullptr, kOps));
+      sim::Profiler profiler;  // fresh per repetition: histograms stay cheap
+      on = std::max(on, simulatorTimerEventsPerSecond(kind, &profiler, kOps));
+    }
+    table.emit({kScheduleNames[k], off / 1e6, on / 1e6, off / on});
+  }
+  table.note("1024 self-rescheduling timers through the full Simulator, 2M events per cell.");
+  table.note("Best of 5 interleaved repetitions per side.");
+  table.note("Machine-dependent: compare the on_cost column, not absolute rates.");
+  table.write();
+}
+
+// ---------------------------------------------------------------------------
 // BENCH_sim.json: the same three schedules through the REAL Simulator (so
 // daemon accounting, clock advance and the wheel all run), one sweep run
 // per schedule. events_per_second lands in the machine-readable summary,
-// which tools/perf_ratchet.py gates against the committed baseline.
+// which tools/perf_ratchet.py gates against the committed baseline. A
+// fourth run repeats the mixed schedule with the profiler attached so the
+// instrumented regime has its own ratcheted baseline too.
 
-void runTimerCell(sim::SweepCell& cell, ScheduleKind kind) {
+void runTimerCell(sim::SweepCell& cell, ScheduleKind kind, bool profiled = false) {
   scenario::Scenario s;
+  if (profiled) s.simulator.setProfiler(&s.profiler);
   constexpr int kCellTimers = 1024;
   constexpr std::int64_t kCellEvents = 1'000'000;
   struct Fleet {
@@ -645,6 +720,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   emitSchedulePairTable();
+  emitProfilerPairTable();
 
   sim::SweepRunner sweep;
   for (int k = 0; k < 3; ++k) {
@@ -656,6 +732,13 @@ int main(int argc, char** argv) {
         },
         std::string{"timers_"} + kScheduleNames[k]);
   }
+  sweep.run<int>(
+      1,
+      [](sim::SweepCell& cell) {
+        runTimerCell(cell, ScheduleKind::kMixed, /*profiled=*/true);
+        return 0;
+      },
+      "timers_mixed_profiled");
   bench::writeSweepReport(sweep, "micro_simulator");
   return 0;
 }

@@ -9,6 +9,8 @@ TransferManager::TransferManager(net::Host& src, net::Host& dst, tcp::TcpConfig 
                                  Options options)
     : src_(src), dst_(dst), tcp_config_(tcpConfig), options_(options) {
   slots_.resize(static_cast<std::size_t>(std::max(1, options_.concurrency)));
+  auto& tracer = src_.ctx().extension<telemetry::Tracer>();
+  if (tracer.enabled()) tracer_ = &tracer;
 }
 
 void TransferManager::enqueue(FileSpec file) {
@@ -53,6 +55,11 @@ void TransferManager::launch(std::size_t slotIndex, FileSpec file, int attempts)
   ++active_count_;
 
   const auto port = static_cast<std::uint16_t>(options_.basePort + slotIndex);
+  if (tracer_ != nullptr) {
+    slot.span = tracer_->begin(src_.ctx().now(), "transfer " + slot.file.name, "transfer");
+    tracer_->annotate(slot.span, "bytes", slot.file.size.byteCount());
+    tracer_->annotate(slot.span, "attempt", static_cast<std::uint64_t>(attempts));
+  }
   slot.transfer =
       std::make_unique<BulkTransfer>(src_, dst_, port, slot.file.size, tcp_config_);
   slot.transfer->onComplete = [this, slotIndex](const BulkTransfer::Result& r) {
@@ -88,6 +95,7 @@ void TransferManager::onSlotComplete(std::size_t slotIndex, const BulkTransfer::
   }
   ++report_.filesDone;
   report_.bytesMoved += result.bytes;
+  endSlotSpan(slot, "complete");
   slot.busy = false;
   --active_count_;
   // Defer teardown and refill: we are inside the transfer's own callback
@@ -101,6 +109,7 @@ void TransferManager::onSlotComplete(std::size_t slotIndex, const BulkTransfer::
 
 void TransferManager::onSlotStalled(std::size_t slotIndex) {
   auto& slot = slots_[slotIndex];
+  endSlotSpan(slot, "stalled");
   slot.transfer->abort();
   slot.transfer.reset();
   slot.busy = false;
@@ -114,6 +123,13 @@ void TransferManager::onSlotStalled(std::size_t slotIndex) {
     fillSlots();
     finishIfDrained();
   }
+}
+
+void TransferManager::endSlotSpan(Slot& slot, const char* outcome) {
+  if (tracer_ == nullptr || !slot.span.valid()) return;
+  tracer_->annotate(slot.span, "outcome", outcome);
+  tracer_->end(slot.span, src_.ctx().now());
+  slot.span = telemetry::SpanId{};
 }
 
 void TransferManager::finishIfDrained() {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/bulk_transfer.hpp"
+#include "telemetry/span.hpp"
 
 namespace scidmz::apps {
 
@@ -75,7 +76,11 @@ class TransferManager {
     sim::DataSize lastProgress = sim::DataSize::zero();
     sim::EventId watchdog{};
     bool busy = false;
+    /// Root "transfer" span covering this file attempt (tracing only).
+    telemetry::SpanId span{};
   };
+
+  void endSlotSpan(Slot& slot, const char* outcome);
 
   void fillSlots();
   void launch(std::size_t slotIndex, FileSpec file, int attempts);
@@ -95,6 +100,7 @@ class TransferManager {
   bool announced_ = false;
   sim::SimTime started_at_;
   TransferReport report_;
+  telemetry::Tracer* tracer_ = nullptr;  ///< Armed in the constructor iff tracing is on.
 };
 
 }  // namespace scidmz::apps

@@ -9,15 +9,30 @@ DtnTransfer::DtnTransfer(DataTransferNode& src, DataTransferNode& dst, std::stri
 DtnTransfer::~DtnTransfer() {
   src_.storage().close(read_stream_);
   dst_.storage().close(write_stream_);
+  if (tracer_ != nullptr) {
+    const auto now = src_.host().ctx().now();
+    if (write_span_.valid() && tracer_->isOpen(write_span_)) tracer_->end(write_span_, now);
+    if (span_.valid() && tracer_->isOpen(span_)) tracer_->end(span_, now);
+  }
 }
 
 void DtnTransfer::start() {
   started_at_ = src_.host().ctx().now();
+  auto& tracer = src_.host().ctx().extension<telemetry::Tracer>();
+  if (tracer.enabled()) {
+    tracer_ = &tracer;
+    span_ = tracer_->begin(started_at_, "dtn.transfer " + file_name_, "dtn.transfer");
+    tracer_->annotate(span_, "bytes", file_size_.byteCount());
+    write_span_ = tracer_->begin(started_at_, "storage.write", "storage", span_);
+  }
 
   // Destination side: accept streams; every delivered byte is offered to
   // the write stream, whose completion defines transfer completion.
   write_stream_ = dst_.storage().openWrite(file_size_, [this] {
     write_done_ = true;
+    if (tracer_ != nullptr && write_span_.valid()) {
+      tracer_->end(write_span_, src_.host().ctx().now());
+    }
     maybeFinish();
   });
 
@@ -62,6 +77,10 @@ void DtnTransfer::maybeFinish() {
         static_cast<double>(file_size_.bitCount()) / result_.elapsed.toSeconds()));
   }
   result_.retransmits = flow_ ? flow_->retransmits() : 0;
+  if (tracer_ != nullptr && span_.valid()) {
+    tracer_->annotate(span_, "retransmits", result_.retransmits);
+    tracer_->end(span_, now);
+  }
   auto& tel = src_.host().ctx().telemetry();
   if (tel.enabled()) {
     ++tel.metrics().counter("dtn/transfers_completed");

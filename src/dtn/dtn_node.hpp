@@ -13,6 +13,7 @@
 #include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
+#include "telemetry/span.hpp"
 
 namespace scidmz::dtn {
 
@@ -108,6 +109,14 @@ class DtnTransfer {
   sim::SimTime started_at_;
   bool finished_ = false;
   Result result_;
+
+  // Span tracing: a "dtn.transfer" root over the whole move plus a
+  // "storage" child covering the destination write stream — completion
+  // means durably written, and the child makes a storage-limited tail
+  // visible in the trace.
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId span_{};
+  telemetry::SpanId write_span_{};
 };
 
 }  // namespace scidmz::dtn

@@ -11,6 +11,12 @@ BwctlTest::~BwctlTest() {
 }
 
 void BwctlTest::start() {
+  auto& tracer = src_.ctx().extension<telemetry::Tracer>();
+  if (tracer.enabled()) {
+    tracer_ = &tracer;
+    span_ = tracer_->begin(src_.ctx().now(), "bwctl " + src_.name() + "->" + dst_.name(),
+                           "perfsonar.bwctl");
+  }
   net::FlowFactory::Options flowOptions;
   flowOptions.port = options_.port;
   flowOptions.fidelity = options_.fidelity;
@@ -60,6 +66,12 @@ void BwctlTest::finish() {
   result_.retransmits = flow_ ? flow_->retransmits() : 0;
   // Tear the flow down so back-to-back scheduled tests do not overlap.
   flow_.reset();
+  if (tracer_ != nullptr && span_.valid()) {
+    tracer_->annotate(span_, "throughput_mbps", result_.throughput.toMbps());
+    tracer_->annotate(span_, "retransmits", result_.retransmits);
+    tracer_->end(span_, src_.ctx().now());
+    span_ = telemetry::SpanId{};
+  }
   if (onComplete) onComplete(result_);
 }
 

@@ -10,6 +10,7 @@
 #include "net/flow.hpp"
 #include "net/host.hpp"
 #include "tcp/connection.hpp"
+#include "telemetry/span.hpp"
 
 namespace scidmz::perfsonar {
 
@@ -63,6 +64,9 @@ class BwctlTest {
   sim::EventId watchdog_{};
   bool finished_ = false;
   BwctlResult result_;
+  /// Root "bwctl.session" span over the test (tracing only).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId span_{};
 };
 
 }  // namespace scidmz::perfsonar

@@ -34,6 +34,13 @@ OwampStream::~OwampStream() {
 void OwampStream::start() {
   if (running_) return;
   running_ = true;
+  auto& tracer = src_.ctx().extension<telemetry::Tracer>();
+  if (tracer.enabled()) {
+    tracer_ = &tracer;
+    span_ = tracer_->begin(src_.ctx().now(), "owamp " + src_.name() + "->" + dst_.name(),
+                           "perfsonar.owamp");
+    tracer_->setCorrelationKey(span_, src_.address().value(), dst_.address().value());
+  }
   sendProbe();
 }
 
@@ -42,6 +49,11 @@ void OwampStream::stop() {
   if (timer_.valid()) {
     src_.ctx().sim().cancel(timer_);
     timer_ = sim::EventId{};
+  }
+  if (tracer_ != nullptr && span_.valid()) {
+    tracer_->annotate(span_, "probes_sent", static_cast<std::uint64_t>(sent_times_.size()));
+    tracer_->end(span_, src_.ctx().now());
+    span_ = telemetry::SpanId{};
   }
 }
 

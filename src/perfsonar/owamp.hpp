@@ -13,6 +13,7 @@
 
 #include "net/host.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/span.hpp"
 
 namespace scidmz::perfsonar {
 
@@ -93,6 +94,9 @@ class OwampStream {
   sim::EventId timer_{};
   std::vector<sim::SimTime> sent_times_;
   HorizonCounts last_snapshot_;
+  /// Root "owamp.session" span over the probing window (tracing only).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId span_{};
 };
 
 }  // namespace scidmz::perfsonar

@@ -12,6 +12,7 @@
 #include "net/flow.hpp"
 #include "net/topology.hpp"
 #include "sim/log.hpp"
+#include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -19,21 +20,35 @@
 
 namespace scidmz::scenario {
 
-struct Scenario {
-  Scenario() = default;
-  explicit Scenario(std::uint64_t seed) : rng(seed) {}
+// Defined in observability.cpp; forward-declared here so the harness header
+// does not pull in the observability header (which includes this one).
+struct Scenario;
+[[nodiscard]] bool profilingRequested();
+void writeCellObservability(Scenario& s, sim::SweepCell& cell);
 
+struct Scenario {
+  Scenario() { attachProfiler(); }
+  explicit Scenario(std::uint64_t seed) : rng(seed) { attachProfiler(); }
+
+  sim::Profiler profiler;  ///< attached iff profiling was requested
   sim::Simulator simulator;
   sim::Rng rng{20130101};
   sim::Logger logger;
   net::Context ctx{simulator, rng, logger};
   net::Topology topo{ctx};
+
+ private:
+  void attachProfiler() {
+    if (profilingRequested()) simulator.setProfiler(&profiler);
+  }
 };
 
 /// Standard end-of-cell bookkeeping: record events executed and, when the
 /// scenario instrumented itself (SCIDMZ_TELEMETRY=1 or an explicit
 /// enable()), attach the telemetry snapshot so writeSweepReport() merges it
-/// into the cell's BENCH_sim.json entry.
+/// into the cell's BENCH_sim.json entry. When tracing/profiling is on,
+/// writeCellObservability() additionally correlates spans with the flight
+/// recorder, records spansEmitted, and writes per-cell trace/profile files.
 inline void finishCell(Scenario& s, sim::SweepCell& cell) {
   cell.eventsExecuted = s.simulator.eventsExecuted();
   cell.packetsForwarded = s.ctx.packetsForwarded();
@@ -41,6 +56,7 @@ inline void finishCell(Scenario& s, sim::SweepCell& cell) {
   if (s.ctx.telemetry().enabled()) {
     cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
   }
+  writeCellObservability(s, cell);
 }
 
 /// Steady-state goodput of one bulk TCP flow between two hosts: start an

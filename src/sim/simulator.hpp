@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/profiler.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::sim {
@@ -50,6 +51,7 @@ class Simulator {
     ++daemons_;
     return schedule(delay, [this, fn = std::forward<F>(cb)]() mutable {
       --daemons_;
+      if (profiler_ != nullptr) profiler_->noteDaemonEvent();
       fn();
     });
   }
@@ -73,7 +75,13 @@ class Simulator {
       auto ev = queue_.pop();
       now_ = ev.at;
       ++executed_;
-      ev.cb();
+      if (profiler_ == nullptr) {
+        ev.cb();
+      } else {
+        profiler_->beginEvent();
+        ev.cb();
+        profiler_->endEvent(queue_.size(), queue_.parkedCount());
+      }
     }
     if (!stopped_ && finite && now_ < deadline) now_ = deadline;
   }
@@ -100,12 +108,19 @@ class Simulator {
   /// Daemon events currently pending (scheduled and not yet fired).
   [[nodiscard]] std::size_t pendingDaemonCount() const { return daemons_; }
 
+  /// Attach/detach the self-profiler (nullptr = detached, zero overhead:
+  /// the hot loop takes one always-predicted branch). The profiler is not
+  /// owned and must outlive the simulator or be detached first.
+  void setProfiler(Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] Profiler* profiler() const { return profiler_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t executed_ = 0;
   std::size_t daemons_ = 0;
   bool stopped_ = false;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace scidmz::sim

@@ -83,8 +83,9 @@ struct SweepRunner::Pool {
       const double wall = secondsSince(start);
 
       lock.lock();
-      (*stats)[index] = SweepCellStats{wall, cell.eventsExecuted, cell.packetsForwarded,
-                                       cell.flowsCreated, std::move(cell.telemetryJson)};
+      (*stats)[index] =
+          SweepCellStats{wall,              cell.eventsExecuted, cell.packetsForwarded,
+                         cell.flowsCreated, cell.spansEmitted,   std::move(cell.telemetryJson)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -182,12 +183,14 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         << "      \"packets_per_second\": " << formatDouble(packetsPerSec) << ",\n"
         << "      \"flows_created\": " << run.totalFlows() << ",\n"
         << "      \"flows_per_second\": " << formatDouble(flowsPerSec) << ",\n"
+        << "      \"spans_emitted\": " << run.totalSpans() << ",\n"
         << "      \"cell_stats\": [";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "{\"wall_seconds\": " << formatDouble(run.cells[i].wallSeconds)
           << ", \"events\": " << run.cells[i].eventsExecuted
           << ", \"packets\": " << run.cells[i].packetsForwarded
-          << ", \"flows\": " << run.cells[i].flowsCreated;
+          << ", \"flows\": " << run.cells[i].flowsCreated
+          << ", \"spans\": " << run.cells[i].spansEmitted;
       // telemetryJson is already a JSON object (scidmz.telemetry.v1);
       // embed it raw so the cell's counters/series land in BENCH_sim.json.
       if (!run.cells[i].telemetryJson.empty()) {

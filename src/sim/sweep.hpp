@@ -33,6 +33,8 @@ struct SweepCellStats {
   /// Flows created through net::FlowFactory — the numerator of the
   /// flows/sec model-throughput column (the hybrid-fidelity headline).
   std::uint64_t flowsCreated = 0;
+  /// Spans opened by the cell's telemetry::Tracer; 0 when tracing was off.
+  std::uint64_t spansEmitted = 0;
   /// Pre-serialized telemetry snapshot (scidmz.telemetry.v1 JSON), empty
   /// when the cell did not instrument itself. Opaque to the runner — sim
   /// stays independent of the telemetry layer.
@@ -61,6 +63,11 @@ struct SweepRunStats {
     for (const auto& c : cells) total += c.flowsCreated;
     return total;
   }
+  [[nodiscard]] std::uint64_t totalSpans() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells) total += c.spansEmitted;
+    return total;
+  }
   /// Sum of per-cell wall clock — the serial-equivalent cost; divided by
   /// wallSeconds it is the realized parallel speedup.
   [[nodiscard]] double cellSecondsSum() const {
@@ -81,6 +88,9 @@ struct SweepCell {
   /// Cell sets this (typically FlowFactory::flowsCreated()) before
   /// returning; reported as the flows/sec model-throughput column.
   std::uint64_t flowsCreated = 0;
+  /// Cell sets this to its tracer's spansEmitted() when tracing is on;
+  /// reported as the spans_emitted column.
+  std::uint64_t spansEmitted = 0;
   /// Cell may set this to its telemetry snapshot JSON
   /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
   std::string telemetryJson;

@@ -69,6 +69,11 @@ TcpConnection::TcpConnection(net::Host& host, const net::Packet& syn, TcpConfig 
 }
 
 TcpConnection::~TcpConnection() {
+  if (tracer_ != nullptr) {
+    const auto now = host_.ctx().now();
+    if (episode_span_.valid()) tracer_->end(episode_span_, now);
+    if (phase_span_.valid()) tracer_->end(phase_span_, now);
+  }
   cancelRto();
   if (pace_timer_.valid()) {
     host_.ctx().sim().cancel(pace_timer_);
@@ -83,9 +88,60 @@ TcpConnection::~TcpConnection() {
 }
 
 void TcpConnection::start() {
+  if (tracer_ != nullptr) traceSetPhase(TracePhase::kHandshake, host_.ctx().now());
   state_ = State::kSynSent;
   sendSyn();
   armRto();
+}
+
+void TcpConnection::setTrace(telemetry::Tracer* tracer, telemetry::SpanId parent, int stream) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  trace_parent_ = parent;
+  trace_stream_ = stream;
+}
+
+void TcpConnection::traceSetPhase(TracePhase phase, sim::SimTime now) {
+  if (phase == trace_phase_) return;
+  if (phase_span_.valid()) tracer_->end(phase_span_, now);
+  trace_phase_ = phase;
+  phase_span_ = telemetry::SpanId{};
+  const char* name = nullptr;
+  switch (phase) {
+    case TracePhase::kNone: return;
+    case TracePhase::kHandshake: name = "handshake"; break;
+    case TracePhase::kSlowStart: name = "slow_start"; break;
+    case TracePhase::kCwndLimited: name = "cwnd_limited"; break;
+    case TracePhase::kRwndLimited: name = "rwnd_limited"; break;
+    case TracePhase::kLossRecovery: name = "loss_recovery"; break;
+  }
+  phase_span_ = tracer_->begin(now, name, "tcp.phase", trace_parent_);
+  tracer_->annotate(phase_span_, "stream", static_cast<std::uint64_t>(trace_stream_));
+}
+
+TcpConnection::TracePhase TcpConnection::steadyPhase() const {
+  // Loss recovery is sticky: it runs from the loss until cwnd regrows to
+  // its pre-loss reference, so the phase covers the whole AIMD sawtooth
+  // valley (on a chronically lossy path cwnd never gets back and the
+  // entire stretch is attributed to loss recovery — the paper's point).
+  if (trace_phase_ == TracePhase::kLossRecovery &&
+      (in_recovery_ || hot_.cwnd(hot_row_) < loss_cwnd_ref_)) {
+    return TracePhase::kLossRecovery;
+  }
+  // Eq. 2: the window is min(cwnd, peer rwnd, sndbuf); the binding term
+  // names the phase.
+  const auto cwnd = static_cast<std::uint64_t>(std::max(hot_.cwnd(hot_row_), 0.0));
+  if (peer_wnd_ < std::min(cwnd, config_.sndBuf.byteCount())) return TracePhase::kRwndLimited;
+  if (hot_.cwnd(hot_row_) < hot_.ssthresh(hot_row_)) return TracePhase::kSlowStart;
+  return TracePhase::kCwndLimited;
+}
+
+void TcpConnection::traceOnAck(sim::SimTime now) {
+  if (episode_span_.valid() && !in_recovery_) {
+    tracer_->end(episode_span_, now);
+    episode_span_ = telemetry::SpanId{};
+  }
+  traceSetPhase(steadyPhase(), now);
 }
 
 void TcpConnection::sendData(sim::DataSize bytes) {
@@ -329,6 +385,7 @@ void TcpConnection::becomeEstablished() {
   if (state_ == State::kEstablished) return;
   state_ = State::kEstablished;
   if (host_.ctx().telemetry().enabled() && !tel_init_) initTelemetry();
+  if (tracer_ != nullptr) traceSetPhase(steadyPhase(), host_.ctx().now());
   if (onEstablished) onEstablished();
 }
 
@@ -393,6 +450,7 @@ void TcpConnection::handleAck(const net::TcpHeader& header) {
     if (sndNxt() > sndUna()) armRto();
     trySend();
     checkSendComplete();
+    if (tracer_ != nullptr) traceOnAck(now);
     return;
   }
 
@@ -483,6 +541,16 @@ void TcpConnection::sackRetransmit() {
 
 void TcpConnection::enterRecovery() {
   const auto now = host_.ctx().now();
+  if (tracer_ != nullptr) {
+    // Pre-loss cwnd, captured before the CC reaction halves it.
+    if (trace_phase_ != TracePhase::kLossRecovery) loss_cwnd_ref_ = hot_.cwnd(hot_row_);
+    traceSetPhase(TracePhase::kLossRecovery, now);
+    if (!episode_span_.valid()) {
+      episode_span_ = tracer_->begin(now, "fast_retransmit", "tcp.recovery", trace_parent_);
+      tracer_->annotate(episode_span_, "stream", static_cast<std::uint64_t>(trace_stream_));
+      tracer_->annotate(episode_span_, "cwnd_at_loss", hot_.cwnd(hot_row_));
+    }
+  }
   recover_ = sndNxt();
   CcState st = ccLoad();
   cc_->onPacketLoss(st, now);
@@ -650,6 +718,17 @@ void TcpConnection::onRtoFire() {
     if (tel.enabled()) {
       if (!tel_init_) initTelemetry();
       ++*tel_rtos_;
+    }
+  }
+  if (tracer_ != nullptr) {
+    const auto now = host_.ctx().now();
+    if (trace_phase_ != TracePhase::kLossRecovery) loss_cwnd_ref_ = hot_.cwnd(hot_row_);
+    traceSetPhase(TracePhase::kLossRecovery, now);
+    if (!episode_span_.valid()) {
+      episode_span_ = tracer_->begin(now, "rto", "tcp.recovery", trace_parent_);
+      tracer_->annotate(episode_span_, "stream", static_cast<std::uint64_t>(trace_stream_));
+    } else {
+      tracer_->bump(episode_span_, "rtos", 1);
     }
   }
   {

@@ -21,6 +21,7 @@
 #include "sim/arena.hpp"
 #include "tcp/congestion.hpp"
 #include "tcp/hot_table.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace scidmz::tcp {
@@ -93,6 +94,14 @@ class TcpConnection : public net::PacketSink {
 
   /// Client: begin the handshake.
   void start();
+
+  /// Attach span tracing: this connection emits contiguous TCP-phase child
+  /// spans (handshake / slow_start / cwnd_limited / rwnd_limited /
+  /// loss_recovery) plus per-episode recovery spans under `parent` (the
+  /// flow's root span). Sender-side instrumentation: the factory calls this
+  /// on client connections only, before start(). No-op if the tracer is
+  /// null or disabled.
+  void setTrace(telemetry::Tracer* tracer, telemetry::SpanId parent, int stream);
 
   /// Queue `bytes` of bulk data for transmission (callable repeatedly).
   void sendData(sim::DataSize bytes);
@@ -175,6 +184,24 @@ class TcpConnection : public net::PacketSink {
   /// the destructor so a closing connection stops being sampled.
   void initTelemetry();
   void checkSendComplete();
+
+  /// Span-tracing phase machine (active only when setTrace armed it).
+  /// Phases are contiguous: exactly one phase span is open from start()
+  /// until destruction, so the critical-path report can attribute the
+  /// flow's whole lifetime. Transitions are evaluated at establishment, on
+  /// loss (fast retransmit / RTO) and at each new-data ACK.
+  enum class TracePhase : std::uint8_t {
+    kNone,
+    kHandshake,
+    kSlowStart,     ///< cwnd < ssthresh, window not receiver-limited.
+    kCwndLimited,   ///< congestion avoidance; cwnd is the binding term.
+    kRwndLimited,   ///< peer window binds Eq. 2's min(cwnd, rwnd, sndbuf).
+    kLossRecovery,  ///< from loss until cwnd regrows to its pre-loss value.
+  };
+  void traceSetPhase(TracePhase phase, sim::SimTime now);
+  [[nodiscard]] TracePhase steadyPhase() const;
+  void traceOnAck(sim::SimTime now);
+
   void sampleRtt(sim::Duration sample);
   void armRto();
   void cancelRto();
@@ -260,6 +287,17 @@ class TcpConnection : public net::PacketSink {
   bool delivered_any_ = false;
 
   TcpStats stats_;
+
+  // Span tracing (armed by setTrace; null tracer = zero cost).
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId trace_parent_{};
+  int trace_stream_ = 0;
+  TracePhase trace_phase_ = TracePhase::kNone;
+  telemetry::SpanId phase_span_{};
+  telemetry::SpanId episode_span_{};
+  /// cwnd at the loss that opened the current loss-recovery phase; the
+  /// phase ends when cwnd regrows past it (or the connection dies).
+  double loss_cwnd_ref_ = 0.0;
 
   // Telemetry (armed lazily; zero cost while the hub is disabled).
   bool tel_init_ = false;

@@ -18,6 +18,7 @@
 #include "sim/arena.hpp"
 #include "tcp/connection.hpp"
 #include "tcp/fluid.hpp"
+#include "telemetry/span.hpp"
 
 namespace scidmz::tcp {
 
@@ -37,6 +38,23 @@ net::FlowPtr makeHandle(net::Context& ctx, Args&&... args) {
   }
 }
 
+/// Open the flow's root span (both fidelities route through here so a
+/// trace always has one root per created flow). Returns a disarmed pair
+/// when tracing is off.
+std::pair<telemetry::Tracer*, telemetry::SpanId> beginFlowSpan(
+    net::Context& ctx, net::Host& src, net::Host& dst, net::FlowFidelity fidelity, int streams,
+    const net::FlowFactory::Options& options) {
+  telemetry::Tracer& tracer = ctx.extension<telemetry::Tracer>();
+  if (!tracer.enabled()) return {nullptr, telemetry::SpanId{}};
+  const telemetry::SpanId root =
+      tracer.begin(ctx.now(), "flow " + src.name() + "->" + dst.name(), "flow");
+  tracer.annotate(root, "fidelity", net::toString(fidelity));
+  tracer.annotate(root, "streams", static_cast<std::uint64_t>(streams));
+  tracer.annotate(root, "port", static_cast<std::uint64_t>(options.port));
+  tracer.setCorrelationKey(root, src.address().value(), dst.address().value());
+  return {&tracer, root};
+}
+
 class PacketFlowHandle final : public net::FlowHandle {
  public:
   PacketFlowHandle(net::Context& ctx, net::Host& src, net::Host& dst, const TcpConfig& config,
@@ -49,15 +67,23 @@ class PacketFlowHandle final : public net::FlowHandle {
     servers_.assign(static_cast<std::size_t>(streams), nullptr);
     pending_.assign(static_cast<std::size_t>(streams), 0);
     clients_.reserve(static_cast<std::size_t>(streams));
+    const auto [tracer, root] =
+        beginFlowSpan(ctx, src, dst, net::FlowFidelity::kPacket, streams, options);
+    tracer_ = tracer;
+    root_ = root;
     for (int i = 0; i < streams; ++i) {
       auto client = ctx.arena().make<TcpConnection>(src, dst.address(), options.port, config);
       client->onEstablished = [this, i] { onStreamUp(i); };
       client->onSendComplete = [this, i] { onStreamDrained(i); };
+      if (tracer_ != nullptr) client->setTrace(tracer_, root_, i);
       clients_.push_back(std::move(client));
     }
   }
 
-  ~PacketFlowHandle() override { deregisterPath(); }
+  ~PacketFlowHandle() override {
+    deregisterPath();
+    endRootSpan();
+  }
 
   void start() override {
     // Register with the fluid engine so capacity entitlement on shared
@@ -93,6 +119,7 @@ class PacketFlowHandle final : public net::FlowHandle {
     for (auto& client : clients_) client.reset();
     listener_.reset();
     for (auto& server : servers_) server = nullptr;
+    endRootSpan();
   }
 
   [[nodiscard]] net::FlowFidelity fidelity() const override {
@@ -210,6 +237,15 @@ class PacketFlowHandle final : public net::FlowHandle {
     }
   }
 
+  void endRootSpan() {
+    if (tracer_ != nullptr && root_.valid()) {
+      tracer_->end(root_, ctx_.now());
+      root_ = telemetry::SpanId{};
+    }
+  }
+
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId root_{};
   net::Context& ctx_;
   net::Host& src_;
   net::Host& dst_;
@@ -233,8 +269,19 @@ class FluidFlowHandle final : public net::FlowHandle {
     engine_.attach(ctx);
     streams_ = options.streams < 1 ? 1 : options.streams;
     id_ = engine_.addFlow(src, dst, config, streams_);
+    const auto [tracer, root] =
+        beginFlowSpan(ctx, src, dst, net::FlowFidelity::kFluid, streams_, options);
+    tracer_ = tracer;
+    root_ = root;
     auto& cb = engine_.callbacks(id_);
     cb.onEstablished = [this] {
+      if (tracer_ != nullptr && !phase_.valid()) {
+        if (handshake_.valid()) tracer_->end(handshake_, ctx_.now());
+        // The analytic model has no per-ACK window dynamics: its whole
+        // established lifetime reads as one cwnd-limited phase.
+        phase_ = tracer_->begin(ctx_.now(), "cwnd_limited", "tcp.phase", root_);
+        tracer_->annotate(phase_, "model", "fluid");
+      }
       for (int i = 0; i < streams_; ++i) {
         if (onAccepted) onAccepted(i);
         if (onStreamEstablished) onStreamEstablished(i);
@@ -252,9 +299,15 @@ class FluidFlowHandle final : public net::FlowHandle {
     };
   }
 
-  ~FluidFlowHandle() override { engine_.removeFlow(id_); }
+  ~FluidFlowHandle() override {
+    engine_.removeFlow(id_);
+    endSpans();
+  }
 
   void start() override {
+    if (tracer_ != nullptr && root_.valid() && !handshake_.valid()) {
+      handshake_ = tracer_->begin(ctx_.now(), "handshake", "tcp.phase", root_);
+    }
     syncDeliveryCallback();
     engine_.startFlow(id_);
   }
@@ -263,6 +316,7 @@ class FluidFlowHandle final : public net::FlowHandle {
   void abort() override {
     engine_.removeFlow(id_);
     id_ = 0;
+    endSpans();
   }
 
   [[nodiscard]] net::FlowFidelity fidelity() const override { return net::FlowFidelity::kFluid; }
@@ -305,10 +359,23 @@ class FluidFlowHandle final : public net::FlowHandle {
     }
   }
 
+  void endSpans() {
+    if (tracer_ == nullptr) return;
+    const auto now = ctx_.now();
+    if (handshake_.valid() && tracer_->isOpen(handshake_)) tracer_->end(handshake_, now);
+    if (phase_.valid()) tracer_->end(phase_, now);
+    if (root_.valid()) tracer_->end(root_, now);
+    root_ = phase_ = handshake_ = telemetry::SpanId{};
+  }
+
   net::Context& ctx_;
   FluidEngine& engine_;
   FluidEngine::FlowId id_ = 0;
   int streams_ = 1;
+  telemetry::Tracer* tracer_ = nullptr;
+  telemetry::SpanId root_{};
+  telemetry::SpanId handshake_{};
+  telemetry::SpanId phase_{};
 };
 
 }  // namespace

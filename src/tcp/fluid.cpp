@@ -264,6 +264,9 @@ void FluidEngine::ensureTicker() {
 }
 
 void FluidEngine::onTick() {
+  if (sim::Profiler* prof = ctx_->sim().profiler(); prof != nullptr) {
+    prof->setSource("fluid.tick");
+  }
   const auto now = ctx_->sim().now();
   const double dt = (now - last_tick_).toSeconds();
   integrate(dt);

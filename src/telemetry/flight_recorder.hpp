@@ -81,6 +81,21 @@ class FlightRecorder {
     for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
   }
 
+  /// Visit retained events with t0 <= at <= t1, oldest-first. Retained
+  /// events are chronological (recorded in simulated-time order), so the
+  /// scan skips the prefix before t0 and stops at the first event past t1 —
+  /// span correlation over many windows stays linear in the ring size.
+  template <typename F>
+  void forEachInWindow(sim::SimTime t0, sim::SimTime t1, F&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlightEvent& ev = ring_[(head_ + i) % n];
+      if (ev.at < t0) continue;
+      if (ev.at > t1) break;
+      fn(ev);
+    }
+  }
+
   /// One JSON object per line; deterministic for a given scenario + seed.
   void exportJsonl(std::ostream& out) const;
   /// Same columns, CSV with a header row.

@@ -1,0 +1,273 @@
+#include "telemetry/span.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace scidmz::telemetry {
+
+namespace {
+
+bool g_process_tracing = false;
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+std::string jsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  appendEscaped(out, s);
+  out.push_back('"');
+  return out;
+}
+
+std::string jsonNumber(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string jsonNumber(double v) {
+  // %.17g round-trips doubles and is locale-independent for the values we
+  // emit (the C locale is never changed by the simulator).
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void setProcessTracingEnabled(bool enabled) { g_process_tracing = enabled; }
+
+bool processTracingEnabled() { return g_process_tracing; }
+
+Tracer::Tracer() {
+  enabled_ = g_process_tracing || std::getenv("SCIDMZ_TRACE") != nullptr;
+}
+
+SpanId Tracer::begin(sim::SimTime at, std::string name, std::string category, SpanId parent) {
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.parent = parent.value <= spans_.size() ? parent.value : 0;
+  span.t0 = at;
+  span.t1 = at;
+  spans_.push_back(std::move(span));
+  ++open_count_;
+  return SpanId{static_cast<std::uint32_t>(spans_.size())};
+}
+
+void Tracer::end(SpanId id, sim::SimTime at) {
+  Span* span = mutableSpan(id);
+  if (span == nullptr || !span->open) return;
+  span->t1 = at < span->t0 ? span->t0 : at;
+  span->open = false;
+  --open_count_;
+}
+
+bool Tracer::isOpen(SpanId id) const {
+  const Span* span = find(id);
+  return span != nullptr && span->open;
+}
+
+void Tracer::annotate(SpanId id, std::string_view key, std::string_view value) {
+  Span* span = mutableSpan(id);
+  if (span != nullptr) span->args.emplace_back(std::string(key), jsonString(value));
+}
+
+void Tracer::annotate(SpanId id, std::string_view key, std::uint64_t value) {
+  Span* span = mutableSpan(id);
+  if (span != nullptr) span->args.emplace_back(std::string(key), jsonNumber(value));
+}
+
+void Tracer::annotate(SpanId id, std::string_view key, double value) {
+  Span* span = mutableSpan(id);
+  if (span != nullptr) span->args.emplace_back(std::string(key), jsonNumber(value));
+}
+
+void Tracer::bump(SpanId id, std::string_view key, std::uint64_t delta) {
+  Span* span = mutableSpan(id);
+  if (span == nullptr) return;
+  for (auto& [k, v] : span->args) {
+    if (k == key) {
+      v = jsonNumber(static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10)) + delta);
+      return;
+    }
+  }
+  span->args.emplace_back(std::string(key), jsonNumber(delta));
+}
+
+void Tracer::setCorrelationKey(SpanId id, std::uint32_t srcAddr, std::uint32_t dstAddr) {
+  Span* span = mutableSpan(id);
+  if (span == nullptr) return;
+  span->corrSrc = srcAddr;
+  span->corrDst = dstAddr;
+}
+
+void Tracer::correlate(const FlightRecorder& recorder, sim::SimTime now) {
+  for (auto& span : spans_) {
+    if (span.correlated || (span.corrSrc == 0 && span.corrDst == 0)) continue;
+    span.correlated = true;
+    const sim::SimTime t1 = span.open ? now : span.t1;
+    std::uint64_t drops = 0;
+    std::uint64_t linkLoss = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t maxDepth = 0;
+    recorder.forEachInWindow(span.t0, t1, [&](const FlightEvent& ev) {
+      const bool fwd = ev.flow.src == span.corrSrc && ev.flow.dst == span.corrDst;
+      const bool rev = ev.flow.src == span.corrDst && ev.flow.dst == span.corrSrc;
+      if (!fwd && !rev) return;
+      switch (ev.kind) {
+        case FlightEventKind::kDrop: ++drops; break;
+        case FlightEventKind::kLinkLoss: ++linkLoss; break;
+        case FlightEventKind::kRetransmit: ++retransmits; break;
+        case FlightEventKind::kEnqueue:
+          if (ev.aux2 > maxDepth) maxDepth = ev.aux2;
+          break;
+        default: break;
+      }
+    });
+    span.args.emplace_back("fr_drops", jsonNumber(drops));
+    span.args.emplace_back("fr_link_loss", jsonNumber(linkLoss));
+    span.args.emplace_back("fr_retransmits", jsonNumber(retransmits));
+    span.args.emplace_back("fr_max_queue_bytes", jsonNumber(maxDepth));
+  }
+}
+
+const Tracer::Span* Tracer::find(SpanId id) const {
+  if (id.value == 0 || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+Tracer::Span* Tracer::mutableSpan(SpanId id) {
+  if (id.value == 0 || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+std::size_t Tracer::rootOf(std::size_t i) const {
+  while (spans_[i].parent != 0) i = spans_[i].parent - 1;
+  return i;
+}
+
+void Tracer::exportSpansJsonl(std::ostream& out, sim::SimTime now,
+                              const std::string& headerExtra) const {
+  std::string line;
+  line += "{\"schema\": \"scidmz.spans.v1\"";
+  line += headerExtra;
+  line += ", \"spans\": ";
+  line += jsonNumber(static_cast<std::uint64_t>(spans_.size()));
+  line += ", \"open\": ";
+  line += jsonNumber(static_cast<std::uint64_t>(open_count_));
+  line += ", \"now_ns\": ";
+  line += jsonNumber(static_cast<std::uint64_t>(now.ns()));
+  line += "}";
+  out << line << '\n';
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    const sim::SimTime t1 = s.open ? now : s.t1;
+    line.clear();
+    line += "{\"id\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(i + 1));
+    line += ", \"parent\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(s.parent));
+    line += ", \"name\": ";
+    line += jsonString(s.name);
+    line += ", \"cat\": ";
+    line += jsonString(s.category);
+    line += ", \"t0_ns\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(s.t0.ns()));
+    line += ", \"t1_ns\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(t1.ns()));
+    line += ", \"open\": ";
+    line += s.open ? "true" : "false";
+    if (!s.args.empty()) {
+      line += ", \"args\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.args) {
+        if (!first) line += ", ";
+        first = false;
+        line += jsonString(k);
+        line += ": ";
+        line += v;
+      }
+      line += "}";
+    }
+    line += "}";
+    out << line << '\n';
+  }
+}
+
+void Tracer::exportChromeTrace(std::ostream& out, sim::SimTime now) const {
+  // Chrome trace-event "X" (complete) events: ts/dur are microseconds, as
+  // doubles, relative to simulation start. pid 1; each root span gets its
+  // own tid (track) named after the root, so a flow and all its phases
+  // stack on one Perfetto track.
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  std::string line;
+  char buf[64];
+  // One metadata record per root span, in first-appearance order.
+  std::vector<std::uint32_t> rootTid(spans_.size(), 0);
+  std::uint32_t nextTid = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const std::size_t root = rootOf(i);
+    if (i == root) {
+      rootTid[i] = ++nextTid;
+      line.clear();
+      line += first ? "" : ",\n";
+      first = false;
+      line += "{\"ph\": \"M\", \"pid\": 1, \"tid\": ";
+      line += jsonNumber(static_cast<std::uint64_t>(rootTid[i]));
+      line += ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+      line += jsonString(spans_[i].name);
+      line += "}}";
+      out << line;
+    } else {
+      rootTid[i] = rootTid[root];
+    }
+  }
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    const sim::SimTime t1 = s.open ? now : s.t1;
+    line.clear();
+    line += first ? "" : ",\n";
+    first = false;
+    line += "{\"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(rootTid[i]));
+    line += ", \"name\": ";
+    line += jsonString(s.name);
+    line += ", \"cat\": ";
+    line += jsonString(s.category);
+    std::snprintf(buf, sizeof buf, ", \"ts\": %.3f, \"dur\": %.3f",
+                  static_cast<double>(s.t0.ns()) / 1000.0,
+                  static_cast<double>((t1 - s.t0).ns()) / 1000.0);
+    line += buf;
+    line += ", \"args\": {\"span_id\": ";
+    line += jsonNumber(static_cast<std::uint64_t>(i + 1));
+    if (s.open) line += ", \"open\": true";
+    for (const auto& [k, v] : s.args) {
+      line += ", ";
+      line += jsonString(k);
+      line += ": ";
+      line += v;
+    }
+    line += "}}";
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace scidmz::telemetry

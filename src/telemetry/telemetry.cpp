@@ -95,6 +95,7 @@ void Telemetry::armTick() {
 
 void Telemetry::tick() {
   tick_armed_ = false;
+  if (sim::Profiler* prof = sim_.profiler(); prof != nullptr) prof->setSource("telemetry.tick");
   // Sample by id, not iterator: a sampler callback may register or remove
   // samplers (e.g. a TCP connection closing mid-run).
   for (std::size_t i = 0; i < samplers_.size(); ++i) {

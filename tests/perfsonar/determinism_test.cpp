@@ -1,0 +1,97 @@
+// Determinism of the monitoring pipeline output: the dashboard render and
+// the alert stream for a measured path must be byte-identical whether the
+// sweep runs on 1 worker or 8. Each cell simulates its own owamp + bwctl
+// session on an impaired path, folds the measurements into an archive, and
+// renders; the renders are compared across worker counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "net/loss.hpp"
+#include "net/topology.hpp"
+#include "perfsonar/alerts.hpp"
+#include "perfsonar/bwctl.hpp"
+#include "perfsonar/dashboard.hpp"
+#include "perfsonar/owamp.hpp"
+#include "sim/sweep.hpp"
+
+#include "../net/test_util.hpp"
+
+namespace scidmz::perfsonar {
+namespace {
+
+using namespace scidmz::sim::literals;
+using testutil::Scenario;
+
+/// One monitored path with a failing line card: owamp all along, one bwctl
+/// test, dashboard + alerts rendered to a string.
+std::string runMonitoredCell() {
+  Scenario s;
+  auto& src = s.topo.addHost("ps-a", net::Address(198, 129, 0, 1));
+  auto& dst = s.topo.addHost("ps-b", net::Address(198, 129, 0, 2));
+  net::LinkParams lp;
+  lp.rate = 1_Gbps;
+  lp.delay = 10_ms;
+  lp.mtu = 9000_B;
+  auto& link = s.topo.connect(src, dst, lp);
+  link.setLossModel(0, std::make_unique<net::PeriodicLoss>(2000));
+  s.topo.computeRoutes();
+
+  MeasurementArchive archive;
+  OwampStream::Options owampOptions;
+  owampOptions.interval = 10_ms;
+  OwampStream owamp{src, dst, owampOptions};
+  owamp.start();
+
+  BwctlTest::Options bwctlOptions;
+  bwctlOptions.duration = 5_s;
+  BwctlTest bwctl{src, dst, bwctlOptions};
+  bwctl.onComplete = [&](const BwctlResult& result) {
+    archive.record("a", "b", kMetricThroughputMbps, s.simulator.now(),
+                   result.throughput.toMbps());
+  };
+  bwctl.start();
+
+  s.simulator.runFor(10_s);
+  owamp.stop();
+  const OwampReport report = owamp.report();
+  archive.record("a", "b", kMetricLossFraction, s.simulator.now(), report.lossFraction);
+
+  SoftFailureDetector detector{archive};
+  detector.evaluate(s.simulator.now());
+
+  Dashboard dash{archive, {"a", "b"}, 900.0};
+  std::ostringstream out;
+  out << dash.render();
+  for (const Alert& alert : detector.alerts()) {
+    out << alert.at.ns() << " " << alert.src << "->" << alert.dst << " " << alert.metric << " "
+        << alert.value << " " << alert.message << "\n";
+  }
+  out << "sent=" << report.sent << " received=" << report.received << "\n";
+  return out.str();
+}
+
+TEST(MonitoringDeterminism, DashboardAndAlertsByteIdenticalAcrossWorkerCounts) {
+  auto runCells = [](int workers) {
+    sim::SweepRunner runner(workers);
+    return runner.run<std::string>(
+        4, [](sim::SweepCell&) { return runMonitoredCell(); }, "monitoring_determinism");
+  };
+  const auto serial = runCells(1);
+  const auto parallel = runCells(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+    EXPECT_FALSE(serial[i].empty());
+  }
+  // Identical cells agree with each other: no leakage between cells.
+  EXPECT_EQ(serial[0], serial[3]);
+  // The impairment is actually visible: loss above threshold raises at
+  // least one alert, so the comparison is over meaningful output.
+  EXPECT_NE(serial[0].find(kMetricLossFraction), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidmz::perfsonar

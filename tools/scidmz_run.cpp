@@ -9,6 +9,13 @@
 //                                         # SCIDMZ_* env vars already say else)
 //   scidmz_run --fidelity=fluid --run ... # override flow model fidelity for
 //                                         # every non-pinned flow this run
+//   scidmz_run --trace=BASE --run ...     # causal span traces per cell:
+//                                         # BASE.cellN.spans.jsonl + Perfetto
+//                                         # BASE.cellN.trace.json
+//   scidmz_run --profile=BASE --run ...   # event-loop self-profile per cell:
+//                                         # BASE.cellN.profile.json
+//   scidmz_run report SPANS.jsonl...      # per-transfer critical-path
+//                                         # breakdown from span traces
 //
 // Catalog runs produce byte-identical output to the legacy bench binaries;
 // ad-hoc specs print every engine metric per sweep cell and mirror them
@@ -17,12 +24,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "net/flow.hpp"
 #include "scenario/bench_io.hpp"
+#include "scenario/observability.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
 
@@ -35,9 +44,11 @@ using scenario::ScenarioSpec;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--list] [--dump] \\\n"
-               "          [--run NAME]... [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n",
-               argv0);
+               "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--trace BASE] \\\n"
+               "          [--profile BASE] [--list] [--dump] [--run NAME]... \\\n"
+               "          [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n"
+               "       %s report SPANS.jsonl [SPANS.jsonl ...]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -202,6 +213,16 @@ int runSpecFile(const std::string& file, const std::vector<SweepArg>& sweeps) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `scidmz_run report FILE...` — offline analysis, no simulation.
+  if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "scidmz_run: report needs at least one spans.jsonl file\n");
+      return usage(argv[0]);
+    }
+    std::vector<std::string> files(argv + 2, argv + argc);
+    return scenario::printCriticalPathReport(files, std::cout) ? 0 : 1;
+  }
+
   bool list = false;
   bool dump = false;
   std::vector<std::string> runs;
@@ -257,6 +278,14 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       net::setProcessFidelityOverride(*parsed);
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      const std::string base =
+          arg == "--trace" ? operand("an output base path") : arg.substr(std::strlen("--trace="));
+      scenario::setTraceOutput(base);
+    } else if (arg == "--profile" || arg.rfind("--profile=", 0) == 0) {
+      const std::string base = arg == "--profile" ? operand("an output base path")
+                                                  : arg.substr(std::strlen("--profile="));
+      scenario::setProfileOutput(base);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

@@ -2,17 +2,29 @@
 """Validate telemetry artifacts against their schemas (stdlib only).
 
 Usage: validate_trace.py FILE [FILE ...]
+       validate_trace.py --profile-diff A.json B.json
 
 Dispatch is by content:
   *.jsonl                       -> scidmz.trace.v1 (one flight event per line)
+  *.jsonl whose header line is
+  {"schema": "scidmz.spans.v1"} -> causal span export (scidmz_run --trace)
   {"schema": "scidmz.telemetry.v1"}    -> snapshot
+  {"schema": "scidmz.profile.v1"}      -> self-profiler export
+                                          (scidmz_run --profile)
   {"schema": "scidmz.bench.table.v1"}  -> bench table
   {"schema": "scidmz.scenario.v1"}     -> declarative scenario spec
   {"schema": "scidmz.scenario.v2"}     -> spec with per-flow fidelity fields
   {"schema": "scidmz.scenario.catalog.v1"} -> scidmz_run --dump catalog
                                           (embedded specs validated too)
   {"benchmark": ..., "runs": [...]}    -> BENCH_sim.json sweep report
-                                          (embedded telemetry validated too)
+                                          (embedded telemetry validated too;
+                                          spans_emitted cross-checked against
+                                          per-cell spans and flows_created)
+
+--profile-diff compares two scidmz.profile.v1 files after discarding the
+machine-dependent "host" object: the deterministic remainder (event counts,
+source attribution, occupancy, high-water marks) must be identical. CI uses
+this to prove profiles agree across SCIDMZ_SWEEP_THREADS settings.
 
 Exits non-zero on the first structural violation, printing file:line context.
 Used by the CI telemetry smoke job; handy locally after any bench run.
@@ -123,6 +135,137 @@ def validate_trace(path):
     require(count > 0, path, "trace contains no events")
     return (f"scidmz.trace.v1, {count} events, time monotone, "
             f"{len(depths)} queue points depth-consistent")
+
+
+def validate_spans_line(span, where, span_count, spans_by_id, now_ns):
+    span_id = check_uint(span, "id", where)
+    require(span_id == span_count + 1, where,
+            f"id {span_id} out of sequence (expected {span_count + 1})")
+    parent = check_uint(span, "parent", where)
+    require(parent < span_id, where,
+            f"parent {parent} does not precede span {span_id}")
+    check_str(span, "name", where)
+    check_str(span, "cat", where)
+    t0 = check_uint(span, "t0_ns", where)
+    t1 = check_uint(span, "t1_ns", where)
+    require(t0 <= t1, where, f"t0_ns={t0} > t1_ns={t1}")
+    is_open = span.get("open")
+    require(isinstance(is_open, bool), where, "'open' must be a boolean")
+    if is_open:
+        require(t1 == now_ns, where,
+                f"open span must be virtually closed at now_ns={now_ns}, got t1_ns={t1}")
+    if "args" in span:
+        require(isinstance(span["args"], dict) and span["args"], where,
+                "'args' must be a non-empty object when present")
+    if parent != 0:
+        require(parent in spans_by_id, where, f"parent {parent} not seen")
+        p_t0, p_t1 = spans_by_id[parent]
+        # Children nest inside their parent's bounds (open spans compare
+        # against the parent's virtual close at now_ns).
+        require(p_t0 <= t0 and t1 <= p_t1, where,
+                f"span {span_id} [{t0}, {t1}] escapes parent {parent} "
+                f"[{p_t0}, {p_t1}]")
+    spans_by_id[span_id] = (t0, t1)
+    return is_open
+
+
+def validate_spans(path):
+    span_count = 0
+    open_count = 0
+    header = None
+    spans_by_id = {}
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(where, f"invalid JSON: {err}")
+            require(isinstance(doc, dict), where, "line is not a JSON object")
+            if header is None:
+                require(doc.get("schema") == "scidmz.spans.v1", where,
+                        "first line must carry the scidmz.spans.v1 header")
+                check_uint(doc, "spans", where)
+                check_uint(doc, "open", where)
+                check_uint(doc, "now_ns", where)
+                header = doc
+                continue
+            if validate_spans_line(doc, where, span_count, spans_by_id, header["now_ns"]):
+                open_count += 1
+            span_count += 1
+    require(header is not None, path, "missing scidmz.spans.v1 header")
+    require(span_count == header["spans"], path,
+            f"header says {header['spans']} spans, file has {span_count}")
+    require(open_count == header["open"], path,
+            f"header says {header['open']} open spans, file has {open_count}")
+    return (f"scidmz.spans.v1, {span_count} spans ({open_count} open), "
+            f"ids dense, children nested within parents")
+
+
+def validate_profile(doc, where):
+    require(doc.get("schema") == "scidmz.profile.v1", where, "wrong schema")
+    events = check_uint(doc, "events_profiled", where)
+    sources = doc.get("sources")
+    require(isinstance(sources, dict), where, "'sources' must be an object")
+    counted = 0
+    for name, stats in sources.items():
+        require(isinstance(stats, dict), where, f"source {name!r} must be an object")
+        counted += check_uint(stats, "count", where)
+    require(counted == events, where,
+            f"source counts sum to {counted}, events_profiled is {events}")
+    occupancy = doc.get("occupancy")
+    require(isinstance(occupancy, dict), where, "'occupancy' must be an object")
+    samples = check_uint(occupancy, "samples", where)
+    check_uint(occupancy, "max_pending", where)
+    check_uint(occupancy, "max_parked", where)
+    log2 = occupancy.get("log2_pending")
+    require(isinstance(log2, list), where, "'log2_pending' must be a list")
+    require(all(isinstance(b, int) and b >= 0 for b in log2), where,
+            "'log2_pending' buckets must be non-negative integers")
+    require(sum(log2) == samples, where,
+            f"log2_pending buckets sum to {sum(log2)}, samples is {samples}")
+    high_water = doc.get("high_water")
+    require(isinstance(high_water, dict), where, "'high_water' must be an object")
+    for name in high_water:
+        check_uint(high_water, name, where)
+    host = doc.get("host")
+    require(isinstance(host, dict), where, "'host' must be an object")
+    host_sources = host.get("sources")
+    require(isinstance(host_sources, dict), where, "'host.sources' must be an object")
+    require(set(host_sources) == set(sources), where,
+            "host.sources does not mirror the deterministic sources")
+    for name, stats in host_sources.items():
+        check_uint(stats, "total_ns", where)
+        latency = stats.get("latency_log2_ns")
+        require(isinstance(latency, list), where,
+                f"host source {name!r}: 'latency_log2_ns' must be a list")
+        require(sum(latency) == sources[name]["count"], where,
+                f"host source {name!r}: latency buckets sum to {sum(latency)}, "
+                f"count is {sources[name]['count']}")
+    return (f"scidmz.profile.v1, {events} events across {len(sources)} sources, "
+            f"{samples} occupancy samples, {len(high_water)} high-water marks")
+
+
+def strip_host(doc):
+    return {key: value for key, value in doc.items() if key != "host"}
+
+
+def profile_diff(path_a, path_b):
+    docs = []
+    for path in (path_a, path_b):
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        validate_profile(doc, path)
+        docs.append(strip_host(doc))
+    if docs[0] != docs[1]:
+        keys = [key for key in docs[0]
+                if docs[0].get(key) != docs[1].get(key)]
+        fail(f"{path_a} vs {path_b}",
+             f"deterministic profile fields differ: {', '.join(keys)}")
+    return f"{path_a} == {path_b} (ignoring host)"
 
 
 def validate_snapshot(doc, where):
@@ -261,9 +404,12 @@ def validate_bench_report(doc, where):
         require(len(cell_stats) == run.get("cells"), where,
                 f"cell_stats length {len(cell_stats)} != cells {run.get('cells')}")
         cell_flows = 0
+        cell_spans = 0
         for cell in cell_stats:
             if "flows" in cell:
                 cell_flows += check_uint(cell, "flows", where)
+            if "spans" in cell:
+                cell_spans += check_uint(cell, "spans", where)
             if "telemetry" in cell:
                 validate_snapshot(cell["telemetry"], where)
                 cells_with_telemetry += 1
@@ -274,12 +420,39 @@ def validate_bench_report(doc, where):
                     f"sum of cell flows {cell_flows}")
             require(isinstance(run.get("flows_per_second"), (int, float)), where,
                     f"run {run['name']!r}: missing numeric flows_per_second")
+        if "spans_emitted" in run:
+            total_spans = check_uint(run, "spans_emitted", where)
+            require(cell_spans == total_spans, where,
+                    f"run {run['name']!r}: spans_emitted {total_spans} != "
+                    f"sum of cell spans {cell_spans}")
+            # Every traced flow opens a root span, so with tracing on the
+            # span count bounds the flow count from above.
+            if total_spans > 0 and "flows_created" in run:
+                require(total_spans >= run["flows_created"], where,
+                        f"run {run['name']!r}: {total_spans} spans < "
+                        f"{run['flows_created']} flows (each flow opens a root span)")
     return (f"BENCH_sim.json, benchmark {doc['benchmark']!r}, {len(runs)} runs, "
             f"{cells_with_telemetry} instrumented cells")
 
 
+def first_line_schema(path):
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            return doc.get("schema") if isinstance(doc, dict) else None
+    return None
+
+
 def validate_file(path):
     if path.endswith(".jsonl"):
+        if first_line_schema(path) == "scidmz.spans.v1":
+            return validate_spans(path)
         return validate_trace(path)
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
@@ -287,6 +460,8 @@ def validate_file(path):
     schema = doc.get("schema")
     if schema == "scidmz.telemetry.v1":
         return validate_snapshot(doc, path)
+    if schema == "scidmz.profile.v1":
+        return validate_profile(doc, path)
     if schema == "scidmz.bench.table.v1":
         return validate_table(doc, path)
     if schema in ("scidmz.scenario.v1", "scidmz.scenario.v2"):
@@ -302,6 +477,20 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if argv[1] == "--profile-diff":
+        if len(argv) != 4:
+            print("usage: validate_trace.py --profile-diff A.json B.json", file=sys.stderr)
+            return 2
+        try:
+            summary = profile_diff(argv[2], argv[3])
+        except ValidationError as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        except OSError as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        print(f"OK   {summary}")
+        return 0
     for path in argv[1:]:
         try:
             summary = validate_file(path)
