@@ -11,6 +11,7 @@
 
 #include "net/packet_pool.hpp"
 #include "sim/arena.hpp"
+#include "sim/codec.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -91,6 +92,26 @@ class Context {
   /// in parallel without races or cross-cell id drift.
   [[nodiscard]] std::uint32_t nextStreamId() { return ++stream_id_; }
 
+  // --- Snapshot/restore seam -----------------------------------------------
+
+  /// Arm in-flight packet tracking. Event closures are opaque to the
+  /// snapshot layer, so when armed the datapath (Interface tx-complete,
+  /// Link delivery, Switch forward-latency) records each in-flight packet
+  /// alongside its event handle. Must be armed from the start of a run that
+  /// intends to snapshot; costs nothing when disarmed (one bool load per
+  /// scheduled datapath event).
+  void armSnapshots() { snapshots_armed_ = true; }
+  [[nodiscard]] bool snapshotsArmed() const { return snapshots_armed_; }
+
+  /// Plain-counter state (packet ids, stream ids, forwarded count). The id
+  /// counters feed packet identity in traces, so they must continue the
+  /// snapshotted numbering exactly.
+  void serialize(sim::Codec& c) {
+    c.vu64(packet_id_);
+    c.vu64(packets_forwarded_);
+    c.vu32(stream_id_);
+  }
+
  private:
   struct Extension {
     void* ptr = nullptr;
@@ -131,6 +152,7 @@ class Context {
   std::uint64_t packet_id_ = 0;
   std::uint64_t packets_forwarded_ = 0;
   std::uint32_t stream_id_ = 0;
+  bool snapshots_armed_ = false;
 };
 
 }  // namespace scidmz::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "net/codec.hpp"
 #include "net/link.hpp"
 #include "net/trace.hpp"
 
@@ -28,19 +29,21 @@ void Interface::initTelemetry() {
   tel.addSampler("queue/" + base + "/depth_bytes",
                  [this] { return static_cast<double>(queue_.depth().byteCount()); });
   // Utilization over the last sampling interval: bits transmitted since the
-  // previous tick divided by what the link could have carried.
-  tel.addSampler("link/" + base + "/utilization",
-                 [this, lastBytes = std::uint64_t{0}, lastNs = std::int64_t{0}]() mutable {
-                   const std::int64_t nowNs = ctx_.now().ns();
-                   const std::uint64_t bytes = stats_.txBytes.byteCount();
-                   const auto dBytes = static_cast<double>(bytes - lastBytes);
-                   const auto dNs = static_cast<double>(nowNs - lastNs);
-                   lastBytes = bytes;
-                   lastNs = nowNs;
-                   const std::uint64_t bps = link_ != nullptr ? link_->rate().bps() : 0;
-                   if (dNs <= 0.0 || bps == 0) return 0.0;
-                   return dBytes * 8.0 * 1e9 / (dNs * static_cast<double>(bps));
-                 });
+  // previous tick divided by what the link could have carried. The
+  // accumulator lives in Interface members (not lambda captures) so a
+  // snapshot carries it and a restored run's next sample sees the same
+  // baseline.
+  tel.addSampler("link/" + base + "/utilization", [this]() {
+    const std::int64_t nowNs = ctx_.now().ns();
+    const std::uint64_t bytes = stats_.txBytes.byteCount();
+    const auto dBytes = static_cast<double>(bytes - util_last_bytes_);
+    const auto dNs = static_cast<double>(nowNs - util_last_ns_);
+    util_last_bytes_ = bytes;
+    util_last_ns_ = nowNs;
+    const std::uint64_t bps = link_ != nullptr ? link_->rate().bps() : 0;
+    if (dNs <= 0.0 || bps == 0) return 0.0;
+    return dBytes * 8.0 * 1e9 / (dNs * static_cast<double>(bps));
+  });
   tel_init_ = true;
 }
 
@@ -89,12 +92,59 @@ void Interface::startNextTransmission() {
   const auto txTime = link_->effectiveRate(end_).transmissionTime(next->wireSize());
   ++stats_.txPackets;
   stats_.txBytes += next->wireSize();
+  if (ctx_.snapshotsArmed()) tx_pkt_ = *next;
   // Move the handle into the completion event; when serialization is done,
   // hand it to the link and immediately start on the next queued packet.
-  ctx_.sim().schedule(txTime, [this, pkt = std::move(next)]() mutable {
+  const auto id = ctx_.sim().schedule(txTime, [this, pkt = std::move(next)]() mutable {
     link_->transmitComplete(end_, std::move(pkt));
     startNextTransmission();
   });
+  if (ctx_.snapshotsArmed()) tx_event_ = id;
+}
+
+std::uint64_t Interface::serialize(sim::Codec& c) {
+  c.vu64(stats_.txPackets);
+  sim::codecSize(c, stats_.txBytes);
+  c.vu64(util_last_bytes_);
+  c.vi64(util_last_ns_);
+  queue_.serialize(c, ctx_.pool());
+  bool tx = transmitting_;
+  c.b(tx);
+  if (!c.writing()) transmitting_ = tx;
+  if (!tx) return 0;
+  if (c.writing()) {
+    // tx_event_/tx_pkt_ are only maintained while snapshots are armed; the
+    // orchestrator refuses to snapshot an unarmed context before we get here.
+    auto key = ctx_.sim().eventKey(tx_event_);
+    bool valid = key.valid;
+    sim::SimTime at = key.at;
+    std::uint64_t seq = key.seq;
+    c.b(valid);
+    sim::codecTime(c, at);
+    c.vu64(seq);
+    codecPacket(c, tx_pkt_);
+  } else {
+    bool valid = false;
+    sim::SimTime at = sim::SimTime::zero();
+    std::uint64_t seq = 0;
+    c.b(valid);
+    sim::codecTime(c, at);
+    c.vu64(seq);
+    Packet p;
+    codecPacket(c, p);
+    if (!valid) {
+      c.reader().markFailed();
+      return 0;
+    }
+    tx_pkt_ = p;
+    PacketRef ref = ctx_.pool().acquire(std::move(p));
+    tx_event_ = ctx_.sim().restoreSchedule(
+        at, seq, [this, pkt = std::move(ref)]() mutable {
+          link_->transmitComplete(end_, std::move(pkt));
+          startNextTransmission();
+        });
+  }
+  return 1;
 }
 
 Device::Device(Context& ctx, std::string name) : ctx_(ctx), name_(std::move(name)) {}
@@ -191,6 +241,21 @@ void Device::forward(PacketRef packet) {
   }
   ctx_.countForwarded();
   interface(static_cast<std::size_t>(*egress)).send(std::move(packet));
+}
+
+std::uint64_t Device::serialize(sim::Codec& c) {
+  stats_.serialize(c);
+  // Interface count is structural: a mismatch means the rebuilt scenario
+  // differs from the one snapshotted, so the blob is refused.
+  std::uint64_t n = interfaces_.size();
+  c.vu64(n);
+  if (!c.writing() && n != interfaces_.size()) {
+    c.reader().markFailed();
+    return 0;
+  }
+  std::uint64_t claimed = 0;
+  for (auto& iface : interfaces_) claimed += iface->serialize(c);
+  return claimed;
 }
 
 }  // namespace scidmz::net

@@ -15,6 +15,8 @@
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
+#include "sim/codec.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::net {
@@ -52,6 +54,12 @@ class Interface {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot/restore: tx stats, utilization-probe accumulator, the egress
+  /// queue contents, and (when mid-serialization) the in-flight tx-complete
+  /// event re-armed under its original key. Returns the number of pending
+  /// events claimed (0 or 1).
+  std::uint64_t serialize(sim::Codec& c);
+
  private:
   void startNextTransmission();
   /// Lazily interns this port's emit point, caches its drop counter, and
@@ -71,6 +79,15 @@ class Interface {
   bool tel_init_ = false;
   std::uint32_t tel_point_ = 0;
   std::uint64_t* tel_drops_ = nullptr;
+  // Utilization-sampler accumulator (bytes/time at the previous sample).
+  // Members rather than lambda captures so snapshots can carry them — a
+  // restored run's first utilization sample must see the same baseline.
+  std::uint64_t util_last_bytes_ = 0;
+  std::int64_t util_last_ns_ = 0;
+  // In-flight tx-complete record, maintained only while snapshots are armed:
+  // at most one serialization completes per port, so a single slot suffices.
+  sim::EventId tx_event_{};
+  Packet tx_pkt_{};
 };
 
 struct DeviceStats {
@@ -80,6 +97,15 @@ struct DeviceStats {
   std::uint64_t dropsTtl = 0;
   std::uint64_t dropsAcl = 0;
   std::uint64_t dropsOther = 0;
+
+  void serialize(sim::Codec& c) {
+    c.vu64(rxPackets);
+    sim::codecSize(c, rxBytes);
+    c.vu64(dropsNoRoute);
+    c.vu64(dropsTtl);
+    c.vu64(dropsAcl);
+    c.vu64(dropsOther);
+  }
 };
 
 /// Base class for hosts, switches, routers and firewalls.
@@ -128,6 +154,13 @@ class Device {
   /// receives, before any forwarding decision. Zero data-path cost.
   using Tap = std::function<void(const Packet&, const Interface&)>;
   void setTap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Snapshot/restore of mutable device state: stats plus every interface.
+  /// Routes, the compiled FIB and the flow cache are derived state, rebuilt
+  /// by scenario reconstruction. Subclasses with extra mutable state
+  /// (Switch defect latch, Host ephemeral-port counter) override and chain.
+  /// Returns the number of pending events claimed by this device.
+  virtual std::uint64_t serialize(sim::Codec& c);
 
  protected:
   void notifyTap(const Packet& packet, const Interface& in) {

@@ -1,10 +1,22 @@
 #include "net/firewall.hpp"
 
 #include <algorithm>
+#include <tuple>
+#include <vector>
 
+#include "net/codec.hpp"
 #include "net/trace.hpp"
 
 namespace scidmz::net {
+
+namespace {
+
+[[nodiscard]] auto flowKeyTuple(const FlowKey& k) {
+  return std::make_tuple(k.src.value(), k.dst.value(), k.srcPort, k.dstPort,
+                         static_cast<int>(k.proto));
+}
+
+}  // namespace
 
 void FirewallDevice::initTelemetry() {
   auto& tel = ctx_.telemetry();
@@ -116,6 +128,70 @@ void FirewallDevice::receive(PacketRef packet, Interface& in) {
     }
     forward(std::move(pkt));
   });
+}
+
+std::uint64_t FirewallDevice::serialize(sim::Codec& c) {
+  std::uint64_t claimed = Device::serialize(c);
+  c.vu64(fw_stats_.inspected);
+  c.vu64(fw_stats_.dropsInputBuffer);
+  c.vu64(fw_stats_.dropsPolicy);
+  c.vu64(fw_stats_.dropsSessionTable);
+  c.vu64(fw_stats_.synsRewritten);
+  c.size(fw_stats_.peakSessions);
+  std::uint64_t engineCount = engines_.size();
+  c.vu64(engineCount);
+  if (!c.writing() && engineCount != engines_.size()) {
+    c.reader().markFailed();
+    return claimed;
+  }
+  for (Engine& e : engines_) sim::codecTime(c, e.busyUntil);
+  sim::codecSize(c, buffered_);
+  // Session and bypass tables: unordered maps, written in sorted key order
+  // so the snapshot bytes are independent of hash-table iteration order.
+  std::uint64_t sessionCount = sessions_.size();
+  c.vu64(sessionCount);
+  if (c.writing()) {
+    std::vector<std::pair<FlowKey, sim::SimTime>> rows(sessions_.begin(), sessions_.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return flowKeyTuple(a.first) < flowKeyTuple(b.first);
+    });
+    for (auto& [key, at] : rows) {
+      FlowKey k = key;
+      sim::SimTime t = at;
+      codecFlowKey(c, k);
+      sim::codecTime(c, t);
+    }
+  } else {
+    sessions_.clear();
+    for (std::uint64_t i = 0; i < sessionCount && c.ok(); ++i) {
+      FlowKey k;
+      sim::SimTime t = sim::SimTime::zero();
+      codecFlowKey(c, k);
+      sim::codecTime(c, t);
+      sessions_.emplace(k, t);
+    }
+  }
+  std::uint64_t bypassCount = bypass_.map.size();
+  c.vu64(bypassCount);
+  if (c.writing()) {
+    std::vector<FlowKey> keys;
+    keys.reserve(bypass_.map.size());
+    for (const auto& [key, unused] : bypass_.map) keys.push_back(key);
+    std::sort(keys.begin(), keys.end(), [](const FlowKey& a, const FlowKey& b) {
+      return flowKeyTuple(a) < flowKeyTuple(b);
+    });
+    for (FlowKey& k : keys) codecFlowKey(c, k);
+  } else {
+    bypass_.clear();
+    for (std::uint64_t i = 0; i < bypassCount && c.ok(); ++i) {
+      FlowKey k;
+      codecFlowKey(c, k);
+      bypass_.map.emplace(k, 0);
+    }
+  }
+  // Runtime policy toggle (the Penn State fix flips it mid-scenario).
+  c.b(profile_.tcpSequenceChecking);
+  return claimed;
 }
 
 }  // namespace scidmz::net

@@ -98,6 +98,16 @@ class FirewallDevice : public Device {
 
   void receive(PacketRef packet, Interface& in) override;
 
+  /// Snapshot/restore of the firewall's tables: engine busy horizons, the
+  /// shared input-buffer occupancy, the session table, bypass entries and
+  /// firewall stats (maps written in sorted key order for determinism).
+  /// Packets inside the inspection pipeline are NOT claimed — their release
+  /// events capture pool handles the snapshot layer cannot re-materialize
+  /// yet — so a snapshot taken while the firewall has packets in flight is
+  /// refused by the orchestrator's event accounting rather than silently
+  /// losing them. Quiesce the firewall (or snapshot between bursts) first.
+  std::uint64_t serialize(sim::Codec& c) override;
+
  private:
   struct Engine {
     sim::SimTime busyUntil = sim::SimTime::zero();

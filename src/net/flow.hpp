@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/context.hpp"
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::tcp {
@@ -93,9 +94,11 @@ using FlowPtr = std::unique_ptr<FlowHandle, FlowDeleter>;
 /// streams at fluid fidelity. Single-stream flows are the common case;
 /// multi-stream covers GridFTP-style striping (apps::ParallelTransfer,
 /// dtn::DtnTransfer).
+class FlowFactory;
+
 class FlowHandle {
  public:
-  virtual ~FlowHandle() = default;
+  virtual ~FlowHandle();
 
   FlowHandle(const FlowHandle&) = delete;
   FlowHandle& operator=(const FlowHandle&) = delete;
@@ -134,6 +137,13 @@ class FlowHandle {
   [[nodiscard]] virtual tcp::TcpConnection* clientConnection(int stream) = 0;
   [[nodiscard]] virtual tcp::TcpConnection* serverConnection(int stream) = 0;
 
+  /// Snapshot seam (see DESIGN.md "State & serialization"): one dual-mode
+  /// pass that saves, or overlays onto an identically rebuilt handle, the
+  /// flow's dynamic state — connection/engine state, pending timers, stream
+  /// bookkeeping. Returns the number of pending events claimed, for the
+  /// snapshot's self-validating event accounting.
+  virtual std::uint64_t serializeState(sim::Codec& c) = 0;
+
   /// Fired as each stream's server side is accepted — the hook for
   /// server-push workloads (the Colorado use case). Packet fidelity fires
   /// it when the listener accepts; fluid fidelity at establishment.
@@ -155,9 +165,15 @@ class FlowHandle {
  protected:
   FlowHandle() = default;
   friend struct FlowDeleter;
+  friend class FlowFactory;
   /// Destroy this handle and return its arena block (the concrete class
   /// knows its own size).
   virtual void destroySelf() noexcept = 0;
+
+ private:
+  /// The factory that created this handle, for live-registry maintenance
+  /// (the snapshot orchestrator walks live handles in creation order).
+  FlowFactory* registry_ = nullptr;
 };
 
 inline void FlowDeleter::operator()(FlowHandle* handle) const noexcept {
@@ -193,6 +209,13 @@ class FlowFactory {
   FlowFactory(const FlowFactory&) = delete;
   FlowFactory& operator=(const FlowFactory&) = delete;
 
+  /// The factory is a Context extension and can be torn down (in ~Context)
+  /// before scenario-held FlowPtrs die; detach the survivors so their
+  /// destructors do not deregister into a dead registry.
+  ~FlowFactory() {
+    for (FlowHandle* handle : live_) handle->registry_ = nullptr;
+  }
+
   /// Process-wide overrides (e.g. `scidmz_run --fidelity=fluid`) land here
   /// per cell; kAuto still resolves per path.
   void setOverride(std::optional<FlowFidelity> fidelity) { override_ = fidelity; }
@@ -214,11 +237,51 @@ class FlowFactory {
   [[nodiscard]] std::uint64_t flowsCreated() const { return flows_created_; }
   [[nodiscard]] std::uint64_t fluidFlowsCreated() const { return fluid_flows_created_; }
 
+  /// Handles created through create() and not yet destroyed, in creation
+  /// order — the snapshot orchestrator's walk order for the TCP section.
+  [[nodiscard]] const std::vector<FlowHandle*>& liveHandles() const { return live_; }
+
+  /// Snapshot/restore: factory counters plus every live handle's state, in
+  /// creation order (the rebuild created the same handles in the same
+  /// order). Returns claimed pending events.
+  std::uint64_t serialize(sim::Codec& c) {
+    c.vu64(flows_created_);
+    c.vu64(fluid_flows_created_);
+    std::uint64_t handleCount = live_.size();
+    c.vu64(handleCount);
+    if (!c.writing() && handleCount != live_.size()) {
+      c.reader().markFailed();
+      return 0;
+    }
+    std::uint64_t claimed = 0;
+    for (FlowHandle* handle : live_) claimed += handle->serializeState(c);
+    return claimed;
+  }
+
  private:
+  friend class FlowHandle;
+  void noteHandleCreated(FlowHandle* handle) {
+    handle->registry_ = this;
+    live_.push_back(handle);
+  }
+  void noteHandleDestroyed(FlowHandle* handle) {
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (*it == handle) {
+        live_.erase(it);
+        return;
+      }
+    }
+  }
+
   std::optional<FlowFidelity> override_;
   std::uint64_t flows_created_ = 0;
   std::uint64_t fluid_flows_created_ = 0;
+  std::vector<FlowHandle*> live_;
 };
+
+inline FlowHandle::~FlowHandle() {
+  if (registry_ != nullptr) registry_->noteHandleDestroyed(this);
+}
 
 [[nodiscard]] inline FlowFactory& flowFactory(Context& ctx) {
   return ctx.extension<FlowFactory>();

@@ -55,6 +55,15 @@ class Host : public Device {
   /// its origination point (the one copy a packet ever pays).
   void send(Packet packet) { send(ctx_.pool().acquire(std::move(packet))); }
 
+  /// Snapshot/restore: device state plus the ephemeral-port counter, so
+  /// client connections opened after a restore draw the same source ports
+  /// an uninterrupted run would. Sinks re-bind during scenario rebuild.
+  std::uint64_t serialize(sim::Codec& c) override {
+    const std::uint64_t claimed = Device::serialize(c);
+    c.u16(next_port_);
+    return claimed;
+  }
+
   void receive(PacketRef packet, Interface& in) override {
     notifyTap(*packet, in);
     ++stats_.rxPackets;

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "net/codec.hpp"
 #include "net/device.hpp"
 #include "net/trace.hpp"
 
@@ -60,9 +61,89 @@ void Link::transmitComplete(int fromEnd, PacketRef packet) {
     tel.recorder().record(ev);
   }
   Interface& dst = peer(fromEnd);
+  if (ctx_.snapshotsArmed()) {
+    const int d = fromEnd & 1;
+    Packet copy = *packet;
+    const auto id = ctx_.sim().schedule(
+        params_.delay, [this, d, &dst, pkt = std::move(packet)]() mutable {
+          in_flight_[d].pop_front();
+          dst.owner().receive(std::move(pkt), dst);
+        });
+    in_flight_[d].push_back(InFlight{id, std::move(copy)});
+    return;
+  }
   ctx_.sim().schedule(params_.delay, [&dst, pkt = std::move(packet)]() mutable {
     dst.owner().receive(std::move(pkt), dst);
   });
+}
+
+std::uint64_t Link::serialize(sim::Codec& c) {
+  std::uint64_t claimed = 0;
+  for (int d = 0; d < 2; ++d) {
+    c.vu64(stats_[d].delivered);
+    c.vu64(stats_[d].lost);
+    sim::codecSize(c, stats_[d].bytesDelivered);
+    sim::codecRate(c, fluid_demand_[d]);
+
+    // Loss-model *state* only; parameters come from scenario rebuild. A
+    // snapshot taken after repair() clears the rebuilt model; a snapshot
+    // holding state for a model the rebuild lacks is refused.
+    bool hasLoss = loss_[d] != nullptr;
+    c.b(hasLoss);
+    if (hasLoss) {
+      if (!c.writing() && !loss_[d]) {
+        c.reader().markFailed();
+        return claimed;
+      }
+      loss_[d]->serializeState(c);
+    } else if (!c.writing()) {
+      loss_[d].reset();
+    }
+
+    if (c.writing()) {
+      std::uint64_t n = in_flight_[d].size();
+      c.vu64(n);
+      for (auto& rec : in_flight_[d]) {
+        auto key = ctx_.sim().eventKey(rec.id);
+        sim::SimTime at = key.at;
+        std::uint64_t seq = key.seq;
+        c.b(key.valid);
+        sim::codecTime(c, at);
+        c.vu64(seq);
+        codecPacket(c, rec.packet);
+        ++claimed;
+      }
+    } else {
+      in_flight_[d].clear();
+      std::uint64_t n = 0;
+      c.vu64(n);
+      Interface& dst = peer(d);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        bool valid = false;
+        sim::SimTime at = sim::SimTime::zero();
+        std::uint64_t seq = 0;
+        c.b(valid);
+        sim::codecTime(c, at);
+        c.vu64(seq);
+        Packet p;
+        codecPacket(c, p);
+        if (!valid) {
+          c.reader().markFailed();
+          return claimed;
+        }
+        Packet copy = p;
+        PacketRef ref = ctx_.pool().acquire(std::move(p));
+        const auto id = ctx_.sim().restoreSchedule(
+            at, seq, [this, d, &dst, pkt = std::move(ref)]() mutable {
+              in_flight_[d].pop_front();
+              dst.owner().receive(std::move(pkt), dst);
+            });
+        in_flight_[d].push_back(InFlight{id, std::move(copy)});
+        ++claimed;
+      }
+    }
+  }
+  return claimed;
 }
 
 }  // namespace scidmz::net

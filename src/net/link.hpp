@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -10,6 +11,8 @@
 #include "net/loss.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/codec.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::net {
@@ -93,6 +96,13 @@ class Link {
   };
   [[nodiscard]] const DirectionStats& stats(int fromEnd) const { return stats_[fromEnd & 1]; }
 
+  /// Snapshot/restore of mutable link state: per-direction stats, loss-model
+  /// state, published fluid demand, and the packets currently in flight
+  /// (propagating) with their original event keys. Requires snapshots to be
+  /// armed on the owning Context from run start (Context::armSnapshots()).
+  /// Returns the number of pending delivery events this link accounts for.
+  std::uint64_t serialize(sim::Codec& c);
+
  private:
   /// Lazily interned per-direction emit point + cached counters.
   struct DirTelemetry {
@@ -103,6 +113,16 @@ class Link {
   };
   void initTelemetry(int dir);
 
+  /// A packet propagating in one direction: the delivery event's id (to
+  /// recover its (at, seq) key at snapshot time) plus a copy of the packet.
+  /// Propagation delay is per-direction constant, so deliveries fire in
+  /// schedule order and the record is a FIFO popped on fire. Only populated
+  /// while snapshots are armed.
+  struct InFlight {
+    sim::EventId id{};
+    Packet packet;
+  };
+
   Context& ctx_;
   LinkParams params_;
   Interface& endA_;
@@ -111,6 +131,7 @@ class Link {
   DirectionStats stats_[2];
   DirTelemetry tel_[2];
   sim::DataRate fluid_demand_[2];
+  std::deque<InFlight> in_flight_[2];
 };
 
 }  // namespace scidmz::net

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "net/packet.hpp"
+#include "sim/codec.hpp"
 #include "sim/random.hpp"
 
 namespace scidmz::net {
@@ -27,6 +28,12 @@ class LossModel {
   /// equations assume. Bursty/patterned models return false, which steers
   /// `auto`-fidelity flows to packet-level simulation.
   [[nodiscard]] virtual bool memoryless() const { return false; }
+
+  /// Snapshot/restore of mutable decision state (Rng position, burst
+  /// state, periodic counters). Parameters (rates, intervals) are rebuilt
+  /// by scenario reconstruction, not serialized. Stateless models inherit
+  /// the no-op.
+  virtual void serializeState(sim::Codec&) {}
 };
 
 /// Never drops. The default for healthy links.
@@ -44,6 +51,7 @@ class RandomLoss final : public LossModel {
   bool shouldDrop(const Packet&) override { return rng_.chance(p_); }
   [[nodiscard]] double dropRate() const override { return p_; }
   [[nodiscard]] bool memoryless() const override { return true; }
+  void serializeState(sim::Codec& c) override { rng_.serialize(c); }
 
  private:
   double p_;
@@ -65,6 +73,7 @@ class PeriodicLoss final : public LossModel {
   [[nodiscard]] double dropRate() const override {
     return 1.0 / static_cast<double>(interval_);
   }
+  void serializeState(sim::Codec& c) override { c.vu64(count_); }
 
  private:
   std::uint64_t interval_;
@@ -90,6 +99,10 @@ class GilbertElliottLoss final : public LossModel {
     // Steady-state fraction of time in the bad state, times its loss rate.
     const double denom = p_gb_ + p_bg_;
     return denom <= 0.0 ? 0.0 : (p_gb_ / denom) * loss_bad_;
+  }
+  void serializeState(sim::Codec& c) override {
+    rng_.serialize(c);
+    c.b(bad_);
   }
 
  private:

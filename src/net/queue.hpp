@@ -16,7 +16,9 @@
 #include <utility>
 #include <vector>
 
+#include "net/codec.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/codec.hpp"
 #include "sim/stats.hpp"
 #include "sim/units.hpp"
 
@@ -44,6 +46,24 @@ class HandleRing {
     head_ = (head_ + 1) & (slots_.size() - 1);
     --size_;
     return out;
+  }
+
+  /// Visit queued packets head-first without consuming them (snapshots).
+  template <typename F>
+  void forEach(F&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(*slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+  }
+
+  /// Drop every queued handle (restore resets queue contents before
+  /// re-filling from the snapshot; refs release into the live pool).
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) {
+      slots_[(head_ + i) & (slots_.size() - 1)] = PacketRef{};
+    }
+    head_ = 0;
+    size_ = 0;
   }
 
  private:
@@ -75,6 +95,15 @@ struct QueueStats {
   [[nodiscard]] double dropFraction() const {
     const auto offered = enqueued + dropped;
     return offered == 0 ? 0.0 : static_cast<double>(dropped) / static_cast<double>(offered);
+  }
+
+  void serialize(sim::Codec& c) {
+    c.vu64(enqueued);
+    c.vu64(dropped);
+    sim::codecSize(c, bytesEnqueued);
+    sim::codecSize(c, bytesDropped);
+    sim::codecSize(c, peakDepth);
+    depthOverTime.serialize(c);
   }
 };
 
@@ -132,6 +161,34 @@ class DropTailQueue {
 
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
   void resetStats() { stats_ = QueueStats{}; }
+
+  /// Snapshot/restore: capacity, stats, and the queued packets themselves
+  /// (head-first, so a restored queue drains in the original order). On
+  /// restore the ring is cleared first — restoring twice into the same
+  /// queue is deterministic — and packets are re-acquired from `pool`.
+  void serialize(sim::Codec& c, PacketPool& pool) {
+    sim::codecSize(c, capacity_);
+    stats_.serialize(c);
+    if (c.writing()) {
+      std::uint64_t n = ring_.size();
+      c.vu64(n);
+      ring_.forEach([&](const Packet& p) {
+        Packet copy = p;
+        codecPacket(c, copy);
+      });
+    } else {
+      ring_.clear();
+      depth_ = sim::DataSize::zero();
+      std::uint64_t n = 0;
+      c.vu64(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Packet p;
+        codecPacket(c, p);
+        depth_ += p.wireSize();
+        ring_.push(pool.acquire(std::move(p)));
+      }
+    }
+  }
 
  private:
   sim::DataSize capacity_;

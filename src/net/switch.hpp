@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/acl.hpp"
 #include "net/device.hpp"
@@ -76,9 +77,24 @@ class SwitchDevice : public Device {
 
   void receive(PacketRef packet, Interface& in) override;
 
+  /// Snapshot/restore: device state, the defect latch and its load window,
+  /// and packets sitting in the forwarding pipeline. Pipeline latency is
+  /// size-dependent, so completions are not FIFO — each record carries a
+  /// token its completion event erases on fire.
+  std::uint64_t serialize(sim::Codec& c) override;
+
  private:
   void trackLoad(const Packet& packet);
   [[nodiscard]] sim::Duration forwardingLatency(const Packet& packet, const Interface& in) const;
+  void eraseInFlight(std::uint64_t token);
+
+  /// A packet in the forwarding pipeline (only tracked while snapshots are
+  /// armed): the completion event's id plus a copy of the packet.
+  struct InFlight {
+    std::uint64_t token = 0;
+    sim::EventId id{};
+    Packet packet;
+  };
 
   SwitchProfile profile_;
   std::optional<ForwardingMode> mode_override_;
@@ -89,6 +105,8 @@ class SwitchDevice : public Device {
   bool defect_fixed_ = false;
   sim::SimTime window_start_ = sim::SimTime::zero();
   sim::DataSize window_bytes_ = sim::DataSize::zero();
+  std::vector<InFlight> in_flight_;
+  std::uint64_t next_fwd_token_ = 0;
 };
 
 /// Routers share the switch forwarding machinery; the distinct type exists

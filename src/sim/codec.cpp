@@ -1,0 +1,19 @@
+#include "sim/codec.hpp"
+
+namespace scidmz::sim {
+
+// The magic header is ASCII-identifiable (`head -c 16 file` names the
+// format) and newline-terminated so text tools stop cleanly.
+void writeMagic(BitWriter& w, const char* magic) {
+  for (const char* p = magic; *p != '\0'; ++p) w.writeU8(static_cast<std::uint8_t>(*p));
+  w.writeU8('\n');
+}
+
+bool readMagic(BitReader& r, const char* magic) {
+  for (const char* p = magic; *p != '\0'; ++p) {
+    if (r.readU8() != static_cast<std::uint8_t>(*p)) return false;
+  }
+  return r.readU8() == '\n' && r.ok();
+}
+
+}  // namespace scidmz::sim

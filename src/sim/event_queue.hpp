@@ -47,6 +47,16 @@ struct EventId {
   [[nodiscard]] constexpr bool valid() const { return value != 0; }
 };
 
+/// A pending event's ordering key, exposed for snapshot/restore: the
+/// (time, sequence) pair is the event's identity across a serialization
+/// boundary — restoring with the original key reproduces pop order exactly,
+/// no matter what order components re-arm in.
+struct EventKey {
+  SimTime at;
+  std::uint64_t seq = 0;
+  bool valid = false;
+};
+
 /// Time-ordered event queue.
 class EventQueue {
  public:
@@ -127,6 +137,53 @@ class EventQueue {
   }
 
   [[nodiscard]] std::uint64_t scheduledTotal() const { return next_seq_; }
+
+  /// The (time, sequence) key of a pending event, for snapshotting. Returns
+  /// an invalid key for fired/cancelled/stale handles. O(pending) — scans
+  /// the heap and the wheel buckets; snapshots are rare, so the slot table
+  /// carries no extra per-event bytes on the schedule hot path.
+  [[nodiscard]] EventKey eventKey(EventId id) const {
+    if (!id.valid()) return {};
+    const std::uint32_t slot = unpackSlot(id.value);
+    if (slot >= slots_.size()) return {};
+    const Slot& s = slots_[slot];
+    if (!s.active || s.tombstone || s.generation != unpackGeneration(id.value)) return {};
+    for (const HeapEntry& e : heap_) {
+      if (e.slot == slot) return {e.at, e.seq, true};
+    }
+    EventKey found;
+    wheel_.forEach([&](const HeapEntry& e) {
+      if (e.slot == slot) found = {e.at, e.seq, true};
+    });
+    return found;
+  }
+
+  /// Restore-side twin of schedule(): re-arm a callback under its original
+  /// (time, sequence) key from a snapshot. Does not advance next_seq_ — the
+  /// sequence was already allocated before the snapshot; beginRestore()
+  /// re-seeds the counter so post-restore schedules continue the original
+  /// numbering. Pop order is strictly (at, seq), so the order components
+  /// re-arm in is irrelevant.
+  template <typename F>
+  EventId restoreSchedule(SimTime at, std::uint64_t seq, F&& cb) {
+    const std::uint32_t slot = acquireSlot(std::forward<F>(cb));
+    const HeapEntry entry{at, seq, slot};
+    if (!wheel_.park(entry)) heapPush(entry);
+    ++live_;
+    return EventId{pack(slot, slots_[slot].generation)};
+  }
+
+  /// Reset the queue for a restore: drop every pending event (releasing
+  /// captured resources — pool handles die into a still-alive pool) and
+  /// re-seed the sequence counter so restored and post-restore events share
+  /// one numbering with the snapshotted run. The wheel base catches up to
+  /// the restored clock; the wheel itself needs no restoration (placement
+  /// is a performance detail — ensureFront() proves pop order regardless).
+  void beginRestore(SimTime now, std::uint64_t nextSeq) {
+    clear();
+    next_seq_ = nextSeq;
+    wheel_.advanceBase(now.ns());
+  }
 
   /// Entries currently tombstoned, in the heap or parked in wheel buckets
   /// (observability/tests).

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cmath>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::sim {
@@ -99,6 +100,14 @@ class Rng {
   /// stream's seed lineage and `salt`, not on draw history).
   [[nodiscard]] Rng fork(std::uint64_t salt) const {
     return Rng{seed_ ^ (salt * 0xD1B54A32D192ED03ull + 0x8CB92BA72F3D8DD7ull)};
+  }
+
+  /// Snapshot/restore: the seed (fork() lineage) plus the four state words
+  /// (draw position). Restoring both makes future draws *and* future forks
+  /// match the uninterrupted run exactly.
+  void serialize(Codec& c) {
+    c.u64(seed_);
+    for (auto& word : state_) c.u64(word);
   }
 
  private:

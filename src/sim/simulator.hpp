@@ -5,6 +5,7 @@
 #include <functional>
 #include <utility>
 
+#include "sim/codec.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/profiler.hpp"
 #include "sim/units.hpp"
@@ -102,7 +103,54 @@ class Simulator {
     daemons_ = 0;
   }
 
+  // --- Snapshot/restore seam -----------------------------------------------
+  //
+  // Restore is rebuild-then-overlay: the caller first reconstructs the
+  // scenario identically in code (closures cannot be serialized), then
+  // beginRestore() drops every construction-time event and resets the
+  // clock, and each component re-arms its own pending events under their
+  // original (time, sequence) keys via restoreSchedule(). Pop order is
+  // strictly (at, seq), so re-arm call order is irrelevant and the restored
+  // run is byte-identical to the uninterrupted one.
+
+  /// The (time, sequence) key of a pending event (invalid for fired,
+  /// cancelled, or stale handles). Components serialize this key alongside
+  /// their armed-timer state.
+  [[nodiscard]] EventKey eventKey(EventId id) const { return queue_.eventKey(id); }
+
+  /// Reset clock, executed-event count, and sequence numbering to the
+  /// snapshotted values, dropping every pending event. Components then
+  /// re-arm via restoreSchedule()/restoreScheduleDaemon().
+  void beginRestore(SimTime now, std::uint64_t executed, std::uint64_t nextSeq) {
+    queue_.beginRestore(now, nextSeq);
+    daemons_ = 0;
+    stopped_ = false;
+    now_ = now;
+    executed_ = executed;
+  }
+
+  /// Re-arm an event under its snapshotted key.
+  template <typename F>
+  EventId restoreSchedule(SimTime at, std::uint64_t seq, F&& cb) {
+    return queue_.restoreSchedule(at, seq, std::forward<F>(cb));
+  }
+
+  /// Re-arm a daemon event under its snapshotted key: re-applies the same
+  /// accounting wrapper scheduleDaemon() installs, so run() termination and
+  /// profiler attribution behave identically after a restore.
+  template <typename F>
+  EventId restoreScheduleDaemon(SimTime at, std::uint64_t seq, F&& cb) {
+    ++daemons_;
+    return queue_.restoreSchedule(at, seq, [this, fn = std::forward<F>(cb)]() mutable {
+      --daemons_;
+      if (profiler_ != nullptr) profiler_->noteDaemonEvent();
+      fn();
+    });
+  }
+
   [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
+  /// Sequence counter state for snapshots (total events ever scheduled).
+  [[nodiscard]] std::uint64_t scheduledTotal() const { return queue_.scheduledTotal(); }
   [[nodiscard]] bool pendingEvents() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pendingEventCount() const { return queue_.size(); }
   /// Daemon events currently pending (scheduled and not yet fired).
@@ -122,5 +170,36 @@ class Simulator {
   bool stopped_ = false;
   Profiler* profiler_ = nullptr;
 };
+
+/// Serialize one optional pending timer through `c`: writes armed-ness plus
+/// the (at, seq) key; on read, re-arms `cb` under the original key and
+/// stores the fresh handle in `slot`. Returns the number of pending events
+/// claimed (0 or 1) for the snapshot's event accounting.
+template <typename F>
+std::uint64_t codecTimer(Codec& c, Simulator& sim, EventId& slot, F&& cb) {
+  if (c.writing()) {
+    const EventKey key = sim.eventKey(slot);
+    bool armed = key.valid;
+    SimTime at = key.at;
+    std::uint64_t seq = key.seq;
+    c.b(armed);
+    if (!armed) return 0;
+    codecTime(c, at);
+    c.vu64(seq);
+    return 1;
+  }
+  bool armed = false;
+  c.b(armed);
+  if (!armed) {
+    slot = EventId{};
+    return 0;
+  }
+  SimTime at = SimTime::zero();
+  std::uint64_t seq = 0;
+  codecTime(c, at);
+  c.vu64(seq);
+  slot = sim.restoreSchedule(at, seq, std::forward<F>(cb));
+  return 1;
+}
 
 }  // namespace scidmz::sim

@@ -8,6 +8,7 @@
 #include <limits>
 #include <vector>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::sim {
@@ -75,6 +76,16 @@ class TimeWeightedMean {
   }
 
   [[nodiscard]] double current() const { return value_; }
+
+  /// Snapshot/restore: doubles round-trip bit-exact through the codec, so
+  /// a restored mean continues accumulating byte-identically.
+  void serialize(Codec& c) {
+    c.b(has_);
+    c.f64(value_);
+    c.f64(area_);
+    c.f64(span_);
+    codecTime(c, last_t_);
+  }
 
  private:
   bool has_ = false;

@@ -84,8 +84,9 @@ struct SweepRunner::Pool {
 
       lock.lock();
       (*stats)[index] =
-          SweepCellStats{wall,              cell.eventsExecuted, cell.packetsForwarded,
-                         cell.flowsCreated, cell.spansEmitted,   std::move(cell.telemetryJson)};
+          SweepCellStats{wall,           cell.eventsExecuted, cell.packetsForwarded,
+                         cell.flowsCreated, cell.spansEmitted, cell.snapshotBytes,
+                         std::move(cell.telemetryJson)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -184,13 +185,15 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
         << "      \"flows_created\": " << run.totalFlows() << ",\n"
         << "      \"flows_per_second\": " << formatDouble(flowsPerSec) << ",\n"
         << "      \"spans_emitted\": " << run.totalSpans() << ",\n"
+        << "      \"snapshot_bytes\": " << run.totalSnapshotBytes() << ",\n"
         << "      \"cell_stats\": [";
     for (std::size_t i = 0; i < run.cells.size(); ++i) {
       out << (i == 0 ? "" : ", ") << "{\"wall_seconds\": " << formatDouble(run.cells[i].wallSeconds)
           << ", \"events\": " << run.cells[i].eventsExecuted
           << ", \"packets\": " << run.cells[i].packetsForwarded
           << ", \"flows\": " << run.cells[i].flowsCreated
-          << ", \"spans\": " << run.cells[i].spansEmitted;
+          << ", \"spans\": " << run.cells[i].spansEmitted
+          << ", \"snapshot_bytes\": " << run.cells[i].snapshotBytes;
       // telemetryJson is already a JSON object (scidmz.telemetry.v1);
       // embed it raw so the cell's counters/series land in BENCH_sim.json.
       if (!run.cells[i].telemetryJson.empty()) {

@@ -35,6 +35,9 @@ struct SweepCellStats {
   std::uint64_t flowsCreated = 0;
   /// Spans opened by the cell's telemetry::Tracer; 0 when tracing was off.
   std::uint64_t spansEmitted = 0;
+  /// Size of the scidmz.snap.v1 blob the cell saved or restored; 0 when the
+  /// cell did not touch the snapshot seam.
+  std::uint64_t snapshotBytes = 0;
   /// Pre-serialized telemetry snapshot (scidmz.telemetry.v1 JSON), empty
   /// when the cell did not instrument itself. Opaque to the runner — sim
   /// stays independent of the telemetry layer.
@@ -68,6 +71,11 @@ struct SweepRunStats {
     for (const auto& c : cells) total += c.spansEmitted;
     return total;
   }
+  [[nodiscard]] std::uint64_t totalSnapshotBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells) total += c.snapshotBytes;
+    return total;
+  }
   /// Sum of per-cell wall clock — the serial-equivalent cost; divided by
   /// wallSeconds it is the realized parallel speedup.
   [[nodiscard]] double cellSecondsSum() const {
@@ -91,6 +99,9 @@ struct SweepCell {
   /// Cell sets this to its tracer's spansEmitted() when tracing is on;
   /// reported as the spans_emitted column.
   std::uint64_t spansEmitted = 0;
+  /// Cell sets this to the scidmz.snap.v1 blob size it saved or restored;
+  /// reported as the snapshot_bytes column.
+  std::uint64_t snapshotBytes = 0;
   /// Cell may set this to its telemetry snapshot JSON
   /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
   std::string telemetryJson;

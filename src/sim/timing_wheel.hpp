@@ -150,6 +150,15 @@ class TimingWheel {
     earliest_ = Cursor{};
   }
 
+  /// Visit every parked entry (bucket order, not time order) — snapshot
+  /// key lookup and diagnostics; never on the hot path.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& bucket : buckets_) {
+      for (const Entry& e : bucket) fn(e);
+    }
+  }
+
   /// Remove every parked entry matching `pred`, invoking `reclaim` on each —
   /// the event queue's compact() uses this so tombstones parked in wheel
   /// buckets are reclaimed with the same trigger as heap tombstones.

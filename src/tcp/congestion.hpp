@@ -8,6 +8,7 @@
 #include <memory>
 #include <string_view>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::tcp {
@@ -57,6 +58,11 @@ class CongestionControl {
 
   /// Fresh RTT sample (for delay-adaptive algorithms like H-TCP's beta).
   virtual void onRttSample(sim::Duration rtt) { (void)rtt; }
+
+  /// Snapshot/restore of algorithm-internal state (loss epochs, RTT range).
+  /// CcState itself is serialized by the connection; stateless algorithms
+  /// inherit the no-op.
+  virtual void serializeState(sim::Codec& c) { (void)c; }
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 };

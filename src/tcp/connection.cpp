@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <tuple>
+#include <vector>
 
+#include "net/codec.hpp"
 #include "net/trace.hpp"
 
 namespace scidmz::tcp {
@@ -16,6 +19,36 @@ std::uint8_t scaleFor(sim::DataSize rcvBuf) {
   std::uint64_t win = rcvBuf.byteCount();
   while (s < 14 && (win >> s) > 65535) ++s;
   return s;
+}
+
+/// Disjoint sorted sequence-range map (SACK scoreboard, reassembly buffer).
+void codecSeqMap(sim::Codec& c, std::map<std::uint64_t, std::uint64_t>& m) {
+  if (c.writing()) {
+    std::uint64_t n = m.size();
+    c.vu64(n);
+    for (auto& [start, end] : m) {
+      std::uint64_t s = start;
+      std::uint64_t e = end;
+      c.vu64(s);
+      c.vu64(e);
+    }
+  } else {
+    m.clear();
+    std::uint64_t n = 0;
+    c.vu64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t s = 0;
+      std::uint64_t e = 0;
+      c.vu64(s);
+      c.vu64(e);
+      m.emplace(s, e);
+    }
+  }
+}
+
+[[nodiscard]] auto flowKeyTuple(const net::FlowKey& k) {
+  return std::make_tuple(k.src.value(), k.dst.value(), k.srcPort, k.dstPort,
+                         static_cast<int>(k.proto));
 }
 
 }  // namespace
@@ -66,6 +99,18 @@ TcpConnection::TcpConnection(net::Host& host, const net::Packet& syn, TcpConfig 
   state_ = State::kSynReceived;
   sendSynAck();
   armRto();
+}
+
+TcpConnection::TcpConnection(net::Host& host, net::FlowKey flow, TcpConfig config, RestoreTag)
+    : host_(host),
+      config_(config),
+      hot_(host.ctx().extension<FlowHotTable>()),
+      hot_row_(hot_.acquire()),
+      rto_(config.initialRto) {
+  client_side_ = false;
+  flow_ = flow;
+  cc_ = makeCongestionControl(config_.algorithm);
+  mss_ = host_.mss();
 }
 
 TcpConnection::~TcpConnection() {
@@ -743,6 +788,145 @@ void TcpConnection::onRtoFire() {
   sndNxt() = sndUna();  // go-back-N from the last cumulative ACK
   trySend();
   if (!rto_timer_.valid()) armRto();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore
+
+void TcpConnection::restoreTelemetry(std::uint32_t point) {
+  if (tel_init_) return;  // restore-twice: samplers already registered
+  auto& tel = host_.ctx().telemetry();
+  const std::string base = "tcp/" + flow_.toString();
+  tel_point_ = point;
+  tel_retransmits_ = &tel.metrics().counter(base + "/retransmits");
+  tel_rtos_ = &tel.metrics().counter(base + "/rtos");
+  tel_samplers_[0] = tel.addSampler(base + "/cwnd_bytes", [this] { return hot_.cwnd(hot_row_); });
+  tel_samplers_[1] =
+      tel.addSampler(base + "/ssthresh_bytes", [this] { return hot_.ssthresh(hot_row_); });
+  tel_samplers_[2] = tel.addSampler(base + "/srtt_ms", [this] { return srtt().toMillis(); });
+  tel_samplers_[3] = tel.addSampler(base + "/inflight_bytes", [this] {
+    return sndNxt() >= sndUna() ? static_cast<double>(sndNxt() - sndUna()) : 0.0;
+  });
+  tel_init_ = true;
+}
+
+std::uint64_t TcpConnection::serialize(sim::Codec& c) {
+  std::uint64_t claimed = 0;
+  std::uint8_t state = static_cast<std::uint8_t>(state_);
+  c.u8(state);
+  if (!c.writing()) state_ = static_cast<State>(state);
+  c.b(scaling_ok_);
+  c.u8(snd_wscale_);
+  c.u8(rcv_wscale_);
+
+  // Hot-table row (this connection's SoA cells).
+  c.f64(hot_.cwnd(hot_row_));
+  c.f64(hot_.ssthresh(hot_row_));
+  c.vint(hot_.srttNs(hot_row_));
+  c.vu64(hot_.sndUna(hot_row_));
+  c.vu64(hot_.sndNxt(hot_row_));
+
+  // Sender state.
+  c.vu64(send_target_);
+  c.b(fin_pending_);
+  c.b(send_complete_notified_);
+  c.vu64(peer_wnd_);
+  c.vint(dup_acks_);
+  c.b(in_recovery_);
+  c.vu64(recover_);
+  c.vu64(high_rxt_);
+  codecSeqMap(c, sacked_);
+  sim::codecTime(c, first_send_at_);
+  sim::codecTime(c, last_ack_at_);
+  c.b(sent_any_);
+
+  // RTO machinery.
+  sim::codecDuration(c, rttvar_);
+  c.b(have_rtt_);
+  sim::codecDuration(c, rto_);
+
+  // Receiver state.
+  c.vu64(rcv_nxt_);
+  c.vu64(ts_recent_);
+  codecSeqMap(c, ooo_);
+  bool hasFin = fin_seq_.has_value();
+  c.b(hasFin);
+  std::uint64_t finSeq = hasFin ? *fin_seq_ : 0;
+  c.vu64(finSeq);
+  if (!c.writing()) {
+    fin_seq_.reset();
+    if (hasFin) fin_seq_ = finSeq;
+  }
+  sim::codecSize(c, delivered_);
+  sim::codecTime(c, first_delivery_at_);
+  sim::codecTime(c, last_delivery_at_);
+  c.b(delivered_any_);
+
+  c.vu64(stats_.dataSegmentsSent);
+  c.vu64(stats_.retransmits);
+  c.vu64(stats_.fastRetransmits);
+  c.vu64(stats_.rtos);
+  sim::codecSize(c, stats_.bytesAcked);
+
+  cc_->serializeState(c);
+
+  // Telemetry registration: a restored established connection must resume
+  // per-tick sampling immediately, under the snapshot's emit-point id (the
+  // flight-recorder overlay re-installs the matching intern table).
+  bool telInit = tel_init_;
+  c.b(telInit);
+  std::uint32_t telPoint = tel_point_;
+  c.vu32(telPoint);
+  if (!c.writing() && telInit && host_.ctx().telemetry().enabled()) {
+    restoreTelemetry(telPoint);
+  }
+
+  // Pending timers, re-armed under their original keys.
+  claimed += sim::codecTimer(c, host_.ctx().sim(), rto_timer_, [this] {
+    rto_timer_ = sim::EventId{};
+    onRtoFire();
+  });
+  claimed += sim::codecTimer(c, host_.ctx().sim(), pace_timer_, [this] {
+    pace_timer_ = sim::EventId{};
+    if (state_ == State::kEstablished) pacedSend();
+  });
+  return claimed;
+}
+
+std::uint64_t TcpListener::serialize(sim::Codec& c) {
+  std::uint64_t claimed = 0;
+  if (c.writing()) {
+    std::vector<std::pair<net::FlowKey, TcpConnection*>> sorted;
+    sorted.reserve(connections_.size());
+    for (auto& [key, conn] : connections_) sorted.emplace_back(key, conn.get());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return flowKeyTuple(a.first) < flowKeyTuple(b.first);
+    });
+    std::uint64_t n = sorted.size();
+    c.vu64(n);
+    for (auto& [key, conn] : sorted) {
+      net::FlowKey k = key;
+      net::codecFlowKey(c, k);
+      claimed += conn->serialize(c);
+    }
+  } else {
+    connections_.clear();  // restore-twice: drop previously restored shells
+    std::uint64_t n = 0;
+    c.vu64(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      net::FlowKey key{};
+      net::codecFlowKey(c, key);
+      auto conn = host_.ctx().arena().make<TcpConnection>(
+          host_, key.reversed(), config_, TcpConnection::RestoreTag{});
+      auto& ref = *conn;
+      ref.onEstablished = [this, &ref] {
+        if (onAccept) onAccept(ref);
+      };
+      claimed += ref.serialize(c);
+      connections_.emplace(key, std::move(conn));
+    }
+  }
+  return claimed;
 }
 
 // ---------------------------------------------------------------------------

@@ -87,6 +87,12 @@ class TcpConnection : public net::PacketSink {
   TcpConnection(net::Host& host, net::Address remote, std::uint16_t remotePort, TcpConfig config);
   /// Passive open (server side), constructed by TcpListener from a SYN.
   TcpConnection(net::Host& host, const net::Packet& syn, TcpConfig config);
+  /// Snapshot-restore construction (server side): a bare shell with the
+  /// given local-perspective flow key and no wire side effects — every
+  /// remaining field is overlaid by serialize() in read mode. Used by
+  /// TcpListener when re-materializing accepted connections from a blob.
+  struct RestoreTag {};
+  TcpConnection(net::Host& host, net::FlowKey flow, TcpConfig config, RestoreTag);
   ~TcpConnection() override;
 
   TcpConnection(const TcpConnection&) = delete;
@@ -154,6 +160,15 @@ class TcpConnection : public net::PacketSink {
   /// for server sides).
   void onPacket(const net::Packet& packet) override;
 
+  /// Snapshot/restore of the full connection state: handshake results, the
+  /// hot-table row, sender/receiver sequence state, SACK scoreboard, RTO
+  /// machinery, stats, CC-internal state, telemetry registration, and the
+  /// pending RTO/pacing timers (re-armed under their original keys).
+  /// Span tracing is not snapshotted — the orchestrator refuses to
+  /// snapshot runs with an enabled tracer. Returns the number of pending
+  /// events claimed.
+  std::uint64_t serialize(sim::Codec& c);
+
  private:
   enum class State { kIdle, kSynSent, kSynReceived, kEstablished, kClosed };
 
@@ -183,6 +198,11 @@ class TcpConnection : public net::PacketSink {
   /// establishment when telemetry is enabled; samplers are unregistered in
   /// the destructor so a closing connection stops being sampled.
   void initTelemetry();
+  /// Restore-path variant of initTelemetry(): trusts the snapshotted emit
+  /// point id (the flight-recorder overlay re-installs the matching intern
+  /// table) instead of interning a fresh one, and skips re-registration
+  /// when samplers are already armed (restore-twice into one Context).
+  void restoreTelemetry(std::uint32_t point);
   void checkSendComplete();
 
   /// Span-tracing phase machine (active only when setTrace armed it).
@@ -323,6 +343,19 @@ class TcpListener : public net::PacketSink {
   void onPacket(const net::Packet& packet) override;
 
   [[nodiscard]] std::size_t connectionCount() const { return connections_.size(); }
+
+  /// Accepted connection for a client→server packet flow key, or nullptr.
+  /// Flow handles use this after a restore to re-wire per-stream callbacks.
+  [[nodiscard]] TcpConnection* find(const net::FlowKey& packetFlow) {
+    const auto it = connections_.find(packetFlow);
+    return it == connections_.end() ? nullptr : it->second.get();
+  }
+
+  /// Snapshot/restore of the accept table. Connections are written in a
+  /// deterministic (sorted-key) order; on read the table is rebuilt from
+  /// scratch with restore-constructed connections, each overlaid by its own
+  /// serialize(). Returns the number of pending events claimed.
+  std::uint64_t serialize(sim::Codec& c);
 
  private:
   net::Host& host_;

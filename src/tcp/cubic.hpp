@@ -13,6 +13,11 @@ class CubicCc final : public CongestionControl {
                     sim::SimTime now) override;
   void onPacketLoss(CcState& state, sim::SimTime now) override;
   void onRto(CcState& state, sim::SimTime now) override;
+  void serializeState(sim::Codec& c) override {
+    c.f64(w_max_);
+    sim::codecTime(c, epoch_start_);
+    c.b(in_epoch_);
+  }
   [[nodiscard]] std::string_view name() const override { return "cubic"; }
 
  private:

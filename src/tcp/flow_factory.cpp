@@ -190,6 +190,80 @@ class PacketFlowHandle final : public net::FlowHandle {
     return servers_[static_cast<std::size_t>(stream)];
   }
 
+  std::uint64_t serializeState(sim::Codec& c) override {
+    std::uint64_t claimed = 0;
+    bool hasListener = static_cast<bool>(listener_);
+    c.b(hasListener);
+    if (!c.writing()) {
+      if (!hasListener) {
+        listener_.reset();  // the flow was aborted before the snapshot
+      } else if (!listener_) {
+        c.reader().markFailed();
+        return claimed;
+      }
+    }
+    if (hasListener) claimed += listener_->serialize(c);
+    std::uint64_t clientCount = clients_.size();
+    c.vu64(clientCount);
+    if (!c.writing() && clientCount != clients_.size()) {
+      c.reader().markFailed();
+      return claimed;
+    }
+    for (auto& client : clients_) {
+      bool alive = static_cast<bool>(client);
+      c.b(alive);
+      if (!c.writing() && !alive) {
+        client.reset();
+        continue;
+      }
+      if (!alive) continue;
+      if (!client) {  // snapshot has a live client the rebuild lacks
+        c.reader().markFailed();
+        return claimed;
+      }
+      claimed += client->serialize(c);
+    }
+    for (auto& p : pending_) {
+      std::uint8_t v = static_cast<std::uint8_t>(p);
+      c.u8(v);
+      if (!c.writing()) p = static_cast<char>(v);
+    }
+    c.vint(pending_count_);
+    c.vint(established_count_);
+    c.vint(next_stream_);
+    c.b(queued_any_);
+    bool registered = registered_;
+    c.b(registered);
+    if (!c.writing()) {
+      // Re-derive servers_: the listener restored its accepted connections
+      // under their packet-flow keys; match each client's ephemeral port
+      // and re-wire delivery, exactly as onServerAccept() did originally.
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        servers_[i] = nullptr;
+        if (!clients_[i] || !listener_) continue;
+        TcpConnection* server = listener_->find(clients_[i]->flow());
+        if (server != nullptr && server->established()) {
+          servers_[i] = server;
+          server->onDelivered = [this](sim::DataSize bytes) {
+            if (onDelivered) onDelivered(bytes);
+          };
+        }
+      }
+      // Re-register with the fluid engine (pure bookkeeping; the FLU
+      // section overlays the authoritative per-link counts afterwards, but
+      // the registration keeps link_dirs_'s first-touch set complete).
+      deregisterPath();
+      if (registered) {
+        path_ = net::traceFlowPath(src_, dst_);
+        if (path_.complete()) {
+          ctx_.extension<FluidEngine>().registerPacketPath(path_);
+          registered_ = true;
+        }
+      }
+    }
+    return claimed;
+  }
+
  protected:
   void destroySelf() noexcept override {
     sim::Arena& arena = ctx_.arena();
@@ -337,6 +411,27 @@ class FluidFlowHandle final : public net::FlowHandle {
   [[nodiscard]] TcpConnection* clientConnection(int) override { return nullptr; }
   [[nodiscard]] TcpConnection* serverConnection(int) override { return nullptr; }
 
+  std::uint64_t serializeState(sim::Codec& c) override {
+    // The engine-side flow record is carried wholesale by the FLU section;
+    // the handle only overlays its id (0 after an abort) and re-registers
+    // its delivery callback, which cannot cross the wire.
+    std::uint32_t id = id_;
+    c.vu32(id);
+    if (!c.writing()) {
+      if (id == 0 && id_ != 0) {
+        engine_.removeFlow(id_);  // aborted before the snapshot (FLU re-overlays)
+        id_ = 0;
+      } else if (id != id_) {
+        c.reader().markFailed();
+        return 0;
+      }
+    }
+    bool notify = id_ != 0 && static_cast<bool>(engine_.callbacks(id_).onDelivered);
+    c.b(notify);
+    if (!c.writing() && notify) syncDeliveryCallback();
+    return 0;
+  }
+
  protected:
   void destroySelf() noexcept override {
     sim::Arena& arena = ctx_.arena();
@@ -390,11 +485,15 @@ FlowPtr FlowFactory::create(Host& src, Host& dst, const tcp::TcpConfig& tcp,
   const int streams = options.streams < 1 ? 1 : options.streams;
   flows_created_ += static_cast<std::uint64_t>(streams);
   Context& ctx = src.ctx();
+  FlowPtr handle;
   if (fidelity == FlowFidelity::kFluid) {
     fluid_flows_created_ += static_cast<std::uint64_t>(streams);
-    return tcp::makeHandle<tcp::FluidFlowHandle>(ctx, ctx, src, dst, tcp, options);
+    handle = tcp::makeHandle<tcp::FluidFlowHandle>(ctx, ctx, src, dst, tcp, options);
+  } else {
+    handle = tcp::makeHandle<tcp::PacketFlowHandle>(ctx, ctx, src, dst, tcp, options);
   }
-  return tcp::makeHandle<tcp::PacketFlowHandle>(ctx, ctx, src, dst, tcp, options);
+  noteHandleCreated(handle.get());
+  return handle;
 }
 
 }  // namespace scidmz::net

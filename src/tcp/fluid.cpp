@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "net/device.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "tcp/connection.hpp"
@@ -129,16 +131,20 @@ void FluidEngine::startFlow(FlowId id) {
   // One path RTT of handshake (SYN out, SYN|ACK back), like the client side
   // of the packet model.
   const auto epoch = f->epoch;
-  ctx_->sim().schedule(f->path.rtt(), [this, id, epoch] {
-    Flow* flow = flowFor(id);
-    if (flow == nullptr || flow->epoch != epoch) return;
-    flow->established = true;
-    flow->establishedAt = ctx_->sim().now();
-    flow->lastDeliveryAt = flow->establishedAt;
-    rates_dirty_ = true;
-    if (flow->cb.onEstablished) flow->cb.onEstablished();
-    if (activeSendingAt(id - 1)) ensureTicker();
-  });
+  f->establishEpoch = epoch;
+  f->establishEvent =
+      ctx_->sim().schedule(f->path.rtt(), [this, id, epoch] { establishmentFire(id, epoch); });
+}
+
+void FluidEngine::establishmentFire(FlowId id, std::uint32_t epoch) {
+  Flow* flow = flowFor(id);
+  if (flow == nullptr || flow->epoch != epoch) return;
+  flow->established = true;
+  flow->establishedAt = ctx_->sim().now();
+  flow->lastDeliveryAt = flow->establishedAt;
+  rates_dirty_ = true;
+  if (flow->cb.onEstablished) flow->cb.onEstablished();
+  if (activeSendingAt(id - 1)) ensureTicker();
 }
 
 void FluidEngine::queueData(FlowId id, sim::DataSize bytes) {
@@ -260,7 +266,7 @@ void FluidEngine::ensureTicker() {
   }
   recomputeRates();
   rates_dirty_ = false;
-  ctx_->sim().schedule(tick_, [this] { onTick(); });
+  ticker_event_ = ctx_->sim().schedule(tick_, [this] { onTick(); });
 }
 
 void FluidEngine::onTick() {
@@ -280,7 +286,7 @@ void FluidEngine::onTick() {
     rates_dirty_ = false;
   }
   if (active_left_ > 0) {
-    ctx_->sim().schedule(tick_, [this] { onTick(); });
+    ticker_event_ = ctx_->sim().schedule(tick_, [this] { onTick(); });
   } else {
     withdrawDemand();
     ticker_armed_ = false;
@@ -447,6 +453,143 @@ void FluidEngine::withdrawDemand() {
     dir.publishBps = 0.0;
     dir.link->setFluidDemand(dir.end, sim::DataRate::zero());
   }
+}
+
+std::uint64_t FluidEngine::serialize(sim::Codec& c) {
+  std::uint64_t claimed = 0;
+  bool bound = ctx_ != nullptr;
+  c.b(bound);
+  if (!c.writing() && bound != (ctx_ != nullptr)) {
+    c.reader().markFailed();
+    return claimed;
+  }
+  if (!bound) return claimed;
+
+  // Per-flow dynamic state, id order. The rebuild created the same flows in
+  // the same slots, so everything derived from the path or config (hopIdx,
+  // response/window/bottleneck rates, weight) is already correct.
+  std::uint64_t flowCount = flows_.size();
+  c.vu64(flowCount);
+  if (!c.writing() && flowCount != flows_.size()) {
+    c.reader().markFailed();
+    return claimed;
+  }
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    c.b(f.inUse);
+    c.vu32(f.epoch);
+    c.b(f.started);
+    c.b(f.established);
+    c.b(f.completeNotified);
+    c.vu32(f.establishEpoch);
+    sim::codecTime(c, f.establishedAt);
+    sim::codecTime(c, f.lastDeliveryAt);
+    c.f64(hot_rate_[i]);
+    c.f64(hot_carry_[i]);
+    c.vu64(hot_target_[i]);
+    c.vu64(hot_delivered_[i]);
+    const FlowId id = static_cast<FlowId>(i + 1);
+    const std::uint32_t epoch = f.establishEpoch;
+    claimed += sim::codecTimer(c, ctx_->sim(), f.establishEvent,
+                               [this, id, epoch] { establishmentFire(id, epoch); });
+  }
+
+  // Free-list, so slot recycling continues identically.
+  std::uint64_t freeCount = free_ids_.size();
+  c.vu64(freeCount);
+  if (c.writing()) {
+    for (const FlowId id : free_ids_) {
+      std::uint32_t v = id;
+      c.vu32(v);
+    }
+  } else {
+    free_ids_.clear();
+    free_ids_.reserve(static_cast<std::size_t>(freeCount));
+    for (std::uint64_t k = 0; k < freeCount; ++k) {
+      std::uint32_t v = 0;
+      c.vu32(v);
+      free_ids_.push_back(v);
+    }
+  }
+
+  // Per-link-direction aggregates, matched by endpoint-name key rather than
+  // position: the rebuild's first-touch order can interleave packet-path
+  // registrations differently than the original run did. Parallel links
+  // between the same device pair disambiguate by first-touch ordinal.
+  auto dirKeys = [this] {
+    std::vector<std::string> keys;
+    std::unordered_map<std::string, int> seen;
+    keys.reserve(link_dirs_.size());
+    for (const LinkDir& dir : link_dirs_) {
+      std::string base = dir.link->end(0).owner().name() + "|" +
+                         dir.link->end(1).owner().name() + "|" + std::to_string(dir.end);
+      const int ord = seen[base]++;
+      keys.push_back(base + "#" + std::to_string(ord));
+    }
+    return keys;
+  };
+  std::uint64_t dirCount = link_dirs_.size();
+  c.vu64(dirCount);
+  if (c.writing()) {
+    const auto keys = dirKeys();
+    for (std::size_t i = 0; i < link_dirs_.size(); ++i) {
+      LinkDir& dir = link_dirs_[i];
+      std::string key = keys[i];
+      c.str(key);
+      c.vint(dir.packetFlows);
+      c.vu64(dir.baselineBytes);
+      c.f64(dir.measuredWireBps);
+      c.f64(dir.fluidWeight);
+      c.f64(dir.availWireBps);
+      c.f64(dir.wireDemandBps);
+      c.f64(dir.publishBps);
+    }
+  } else {
+    if (dirCount != link_dirs_.size()) {
+      c.reader().markFailed();
+      return claimed;
+    }
+    const auto keys = dirKeys();
+    std::unordered_map<std::string, std::uint32_t> byKey;
+    for (std::uint32_t i = 0; i < keys.size(); ++i) byKey.emplace(keys[i], i);
+    for (std::uint64_t k = 0; k < dirCount; ++k) {
+      std::string key;
+      c.str(key);
+      const auto it = byKey.find(key);
+      if (it == byKey.end()) {
+        c.reader().markFailed();
+        return claimed;
+      }
+      LinkDir& dir = link_dirs_[it->second];
+      c.vint(dir.packetFlows);
+      c.vu64(dir.baselineBytes);
+      c.f64(dir.measuredWireBps);
+      c.f64(dir.fluidWeight);
+      c.f64(dir.availWireBps);
+      c.f64(dir.wireDemandBps);
+      c.f64(dir.publishBps);
+    }
+  }
+
+  // Active list and tick scheduling state.
+  std::uint64_t activeCount = active_.size();
+  c.vu64(activeCount);
+  if (!c.writing()) active_.resize(static_cast<std::size_t>(activeCount));
+  for (auto& e : active_) {
+    c.vu32(e.idx);
+    c.b(e.notify);
+  }
+  c.size(active_left_);
+  c.b(rates_dirty_);
+  sim::codecTime(c, last_tick_);
+  c.vu64(flows_completed_);
+  c.f64(total_rate_bps_);
+  bool telInit = tel_init_;
+  c.b(telInit);
+  if (!c.writing() && telInit && !tel_init_ && ctx_->telemetry().enabled()) initTelemetry();
+  claimed += sim::codecTimer(c, ctx_->sim(), ticker_event_, [this] { onTick(); });
+  if (!c.writing()) ticker_armed_ = ticker_event_.valid();
+  return claimed;
 }
 
 void FluidEngine::initTelemetry() {

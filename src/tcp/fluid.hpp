@@ -44,6 +44,8 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "sim/codec.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/units.hpp"
 #include "tcp/congestion.hpp"
 
@@ -131,6 +133,16 @@ class FluidEngine {
   [[nodiscard]] std::size_t activeFlowCount() const;
   [[nodiscard]] std::uint64_t flowsCompleted() const { return flows_completed_; }
 
+  /// Snapshot/restore overlay (see DESIGN.md "State & serialization").
+  /// The rebuild re-created the same flows in the same order, so paths,
+  /// response functions, and slot layout are re-derived; this carries only
+  /// the dynamic state (delivery progress, measured link loads, pending
+  /// establishment events, the ticker). Link-direction aggregates are
+  /// matched by endpoint-name key, not position: the rebuild's first-touch
+  /// order may interleave packet-path registrations differently. Returns
+  /// the number of pending events claimed.
+  std::uint64_t serialize(sim::Codec& c);
+
  private:
   /// Per (link, direction) aggregate state. Stored in a vector in
   /// first-touch order (deterministic — flows are created in program
@@ -168,6 +180,11 @@ class FluidEngine {
     bool started = false;
     bool established = false;
     bool completeNotified = false;
+    /// Pending establishment event (armed between startFlow and +RTT) and
+    /// the epoch its closure captured — snapshots re-arm with the same
+    /// staleness check.
+    sim::EventId establishEvent{};
+    std::uint32_t establishEpoch = 0;
     sim::SimTime establishedAt;
     /// Completion stamp, back-dated to the analytic finish instant within
     /// the tick. Only valid once the flow has drained; goodput() uses the
@@ -194,6 +211,9 @@ class FluidEngine {
 
   void ensureTicker();
   void onTick();
+  /// Body of the deferred-establishment event (shared by startFlow and the
+  /// snapshot re-arm path so both fire identically).
+  void establishmentFire(FlowId id, std::uint32_t epoch);
   /// Advance delivered bytes by the previous tick's rates over `dtSeconds`.
   void integrate(double dtSeconds);
   /// Measure per-link packet traffic over the elapsed interval; returns
@@ -220,6 +240,7 @@ class FluidEngine {
   std::vector<LinkDir> link_dirs_;
   std::unordered_map<std::uint64_t, std::uint32_t> link_dir_index_;
   bool ticker_armed_ = false;
+  sim::EventId ticker_event_{};
   sim::SimTime last_tick_;
   std::uint64_t flows_completed_ = 0;
 

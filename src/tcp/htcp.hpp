@@ -16,6 +16,12 @@ class HtcpCc final : public CongestionControl {
   void onPacketLoss(CcState& state, sim::SimTime now) override;
   void onRto(CcState& state, sim::SimTime now) override;
   void onRttSample(sim::Duration rtt) override;
+  void serializeState(sim::Codec& c) override {
+    sim::codecTime(c, last_loss_);
+    c.b(had_loss_);
+    c.f64(rtt_min_s_);
+    c.f64(rtt_max_s_);
+  }
   [[nodiscard]] std::string_view name() const override { return "htcp"; }
 
  private:

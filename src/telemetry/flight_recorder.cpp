@@ -1,11 +1,107 @@
 #include "telemetry/flight_recorder.hpp"
 
 #include <cstdio>
+#include <istream>
+#include <iterator>
 #include <ostream>
+#include <tuple>
 
 namespace scidmz::telemetry {
 
 namespace {
+
+constexpr const char* kFrbinMagic = "scidmz.frbin.v1";
+
+/// A trace repeats a handful of 5-tuples across millions of events, so
+/// flows are interned the same way emit points are: the first sighting of
+/// a tuple carries it in full (its ref equals the table size so far) and
+/// every later event pays one varint. Both directions grow the table in
+/// stream order, so no separate dictionary section is needed.
+struct FlowInterner {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t, std::uint8_t>,
+           std::uint32_t>
+      index;
+  std::vector<FlowRef> flows;
+};
+
+void codecFlowTuple(sim::Codec& c, FlowRef& f) {
+  c.vu32(f.src);
+  c.vu32(f.dst);
+  std::uint32_t sport = f.srcPort;
+  std::uint32_t dport = f.dstPort;
+  c.vu32(sport);
+  c.vu32(dport);
+  if (!c.writing()) {
+    f.srcPort = static_cast<std::uint16_t>(sport);
+    f.dstPort = static_cast<std::uint16_t>(dport);
+  }
+  c.u8(f.proto);
+}
+
+void codecFlowRef(sim::Codec& c, FlowRef& f, FlowInterner& interner) {
+  if (c.writing()) {
+    const auto key = std::make_tuple(f.src, f.dst, f.srcPort, f.dstPort, f.proto);
+    const auto it = interner.index.find(key);
+    std::uint32_t ref = it != interner.index.end()
+                            ? it->second
+                            : static_cast<std::uint32_t>(interner.flows.size());
+    c.vu32(ref);
+    if (it == interner.index.end()) {
+      interner.index.emplace(key, ref);
+      interner.flows.push_back(f);
+      codecFlowTuple(c, f);
+    }
+    return;
+  }
+  std::uint32_t ref = 0;
+  c.vu32(ref);
+  if (ref == interner.flows.size()) {
+    codecFlowTuple(c, f);
+    interner.flows.push_back(f);
+  } else if (ref < interner.flows.size()) {
+    f = interner.flows[ref];
+  } else {
+    c.reader().markFailed();
+  }
+}
+
+/// One event through the codec. Used by both the snapshot overlay and the
+/// frbin export; `prevNs` delta-encodes the (chronological) timestamps and
+/// `interner` compresses the repeated 5-tuples.
+void codecEvent(sim::Codec& c, FlightEvent& e, std::int64_t& prevNs, FlowInterner& interner) {
+  std::int64_t deltaNs = e.at.ns() - prevNs;
+  c.vi64(deltaNs);
+  if (!c.writing()) e.at = sim::SimTime::fromNs(prevNs + deltaNs);
+  prevNs = e.at.ns();
+  c.vu64(e.packetId);
+  c.vu64(e.aux);
+  c.vu64(e.aux2);
+  codecFlowRef(c, e.flow, interner);
+  c.vu32(e.bytes);
+  c.vu32(e.point);
+  std::uint8_t kind = static_cast<std::uint8_t>(e.kind);
+  c.u8(kind);
+  if (!c.writing()) e.kind = static_cast<FlightEventKind>(kind);
+}
+
+void codecPoints(sim::Codec& c, std::vector<std::string>& points,
+                 std::map<std::string, std::uint32_t>& index) {
+  std::uint64_t n = points.size();
+  c.vu64(n);
+  if (c.writing()) {
+    for (std::string& p : points) c.str(p);
+  } else {
+    points.clear();
+    index.clear();
+    points.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string name;
+      c.str(name);
+      index.emplace(name, static_cast<std::uint32_t>(points.size()));
+      points.push_back(std::move(name));
+    }
+  }
+}
 
 void appendEscaped(std::string& out, const std::string& s) {
   for (const char c : s) {
@@ -119,6 +215,76 @@ void FlightRecorder::exportJsonl(std::ostream& out) const {
     line += buf;
     out << line << '\n';
   });
+}
+
+void FlightRecorder::serialize(sim::Codec& c) {
+  c.size(capacity_);
+  std::uint64_t retained = ring_.size();
+  c.vu64(retained);
+  if (!c.writing()) ring_.resize(static_cast<std::size_t>(retained));
+  // Ring order (not chronological order): head_ comes across verbatim, so
+  // the restored ring overwrites slots in exactly the original sequence.
+  std::int64_t prevNs = 0;
+  FlowInterner interner;
+  for (FlightEvent& e : ring_) codecEvent(c, e, prevNs, interner);
+  c.size(head_);
+  c.vu64(total_);
+  codecPoints(c, points_, point_index_);
+}
+
+void FlightRecorder::exportBinary(std::ostream& out) const {
+  sim::BitWriter w;
+  sim::writeMagic(w, kFrbinMagic);
+  sim::Codec c(w);
+  {
+    const auto cookie = w.beginSection("PTS ");
+    auto points = points_;  // codec wants mutable refs; export is const
+    std::map<std::string, std::uint32_t> index;
+    codecPoints(c, points, index);
+    w.endSection(cookie);
+  }
+  {
+    const auto cookie = w.beginSection("EVTS");
+    std::uint64_t n = ring_.size();
+    c.vu64(n);
+    std::int64_t prevNs = 0;
+    FlowInterner interner;
+    forEach([&](const FlightEvent& e) {
+      FlightEvent copy = e;  // chronological order, delta-friendly
+      codecEvent(c, copy, prevNs, interner);
+    });
+    w.endSection(cookie);
+  }
+  const auto bytes = w.take();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+bool FlightRecorder::importBinary(std::istream& in) {
+  clear();
+  std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  sim::BitReader r(blob.data(), blob.size());
+  if (!sim::readMagic(r, kFrbinMagic)) return false;
+  sim::Codec c(r);
+  if (r.enterSection("PTS ") == 0 && r.fail()) return false;
+  codecPoints(c, points_, point_index_);
+  if (r.enterSection("EVTS") == 0 && r.fail()) return false;
+  std::uint64_t n = 0;
+  c.vu64(n);
+  if (capacity_ < static_cast<std::size_t>(n)) capacity_ = static_cast<std::size_t>(n);
+  std::int64_t prevNs = 0;
+  FlowInterner interner;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    FlightEvent e;
+    codecEvent(c, e, prevNs, interner);
+    record(e);
+  }
+  if (r.fail()) {
+    clear();
+    return false;
+  }
+  return true;
 }
 
 void FlightRecorder::exportCsv(std::ostream& out) const {

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::telemetry {
@@ -100,6 +101,20 @@ class FlightRecorder {
   void exportJsonl(std::ostream& out) const;
   /// Same columns, CSV with a header row.
   void exportCsv(std::ostream& out) const;
+
+  /// Binary export (format scidmz.frbin.v1): the interned point table plus
+  /// the retained events oldest-first, bit-packed with delta-encoded
+  /// timestamps — typically an order of magnitude smaller than the JSONL.
+  void exportBinary(std::ostream& out) const;
+  /// Load a scidmz.frbin.v1 blob, replacing the recorder's contents (the
+  /// `scidmz_run convert` path back to JSONL/CSV). False on a malformed or
+  /// truncated blob; the recorder is cleared either way.
+  bool importBinary(std::istream& in);
+
+  /// Snapshot/restore overlay: ring, head, lifetime total, and the interned
+  /// point table (replacing the rebuild's table — rebuild-time interning is
+  /// a prefix of the snapshot's, so cached ids stay valid).
+  void serialize(sim::Codec& c);
 
   void clear();
 

@@ -13,6 +13,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/codec.hpp"
+
 namespace scidmz::telemetry {
 
 class MetricRegistry {
@@ -54,6 +56,48 @@ class MetricRegistry {
   template <typename F>
   void forEachGauge(F&& fn) const {
     for (const auto& [name, value] : gauges_) fn(name, value);
+  }
+
+  /// Snapshot/restore overlay: values are applied create-or-get by NAME,
+  /// never by index — the rebuild may have created a subset (or differently
+  /// ordered prefix) of the snapshot's entries, and every output path sorts
+  /// by name, so registration order is not observable. Cached references
+  /// stay valid (deque addresses are stable).
+  void serialize(sim::Codec& c) {
+    std::uint64_t counterCount = counters_.size();
+    c.vu64(counterCount);
+    if (c.writing()) {
+      for (auto& [name, value] : counters_) {
+        std::string n = name;
+        c.str(n);
+        c.vu64(value);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < counterCount; ++i) {
+        std::string n;
+        c.str(n);
+        std::uint64_t v = 0;
+        c.vu64(v);
+        counter(n) = v;
+      }
+    }
+    std::uint64_t gaugeCountN = gauges_.size();
+    c.vu64(gaugeCountN);
+    if (c.writing()) {
+      for (auto& [name, value] : gauges_) {
+        std::string n = name;
+        c.str(n);
+        c.f64(value);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < gaugeCountN; ++i) {
+        std::string n;
+        c.str(n);
+        double v = 0.0;
+        c.f64(v);
+        gauge(n) = v;
+      }
+    }
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 
 namespace scidmz::telemetry {
@@ -48,6 +49,25 @@ class TimeSeries {
     double total = 0.0;
     for (const auto& s : samples_) total += s.value;
     return total / static_cast<double>(samples_.size());
+  }
+
+  /// Snapshot/restore overlay of the sample vector (the name is the lookup
+  /// key and stays with the rebuilt object). Timestamps delta-encode.
+  void serialize(sim::Codec& c) {
+    std::uint64_t n = samples_.size();
+    c.vu64(n);
+    if (!c.writing()) {
+      samples_.clear();
+      samples_.resize(static_cast<std::size_t>(n));
+    }
+    std::int64_t prevNs = 0;
+    for (Sample& s : samples_) {
+      std::int64_t deltaNs = s.at.ns() - prevNs;
+      c.vi64(deltaNs);
+      if (!c.writing()) s.at = sim::SimTime::fromNs(prevNs + deltaNs);
+      prevNs = s.at.ns();
+      c.f64(s.value);
+    }
   }
 
  private:

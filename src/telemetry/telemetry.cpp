@@ -88,9 +88,9 @@ void Telemetry::removeSampler(SamplerId id) {
 }
 
 void Telemetry::armTick() {
-  if (tick_armed_) return;
+  if (tick_armed_ || restoring_) return;
   tick_armed_ = true;
-  sim_.scheduleDaemon(config_.sampleEvery, [this] { tick(); });
+  tick_event_ = sim_.scheduleDaemon(config_.sampleEvery, [this] { tick(); });
 }
 
 void Telemetry::tick() {
@@ -103,6 +103,75 @@ void Telemetry::tick() {
     entry.series->append(sim_.now(), entry.fn());
   }
   if (!samplers_.empty()) armTick();
+}
+
+std::uint64_t Telemetry::serialize(sim::Codec& c) {
+  std::uint64_t claimed = 0;
+  // enabled() comes from the environment / scenario code and must match
+  // between the snapshotting run and the rebuild — a mismatch would change
+  // which emit points exist at all.
+  bool enabled = enabled_;
+  c.b(enabled);
+  if (!c.writing() && enabled != enabled_) {
+    c.reader().markFailed();
+    return claimed;
+  }
+  sim::codecDuration(c, config_.sampleEvery);
+  c.size(config_.ringCapacity);
+  metrics_.serialize(c);
+  recorder_.serialize(c);
+  // Series by name (create-or-get): the rebuild plus component restores
+  // created a subset of the snapshot's series; any missing ones appear now.
+  std::uint64_t seriesCountN = series_.size();
+  c.vu64(seriesCountN);
+  if (c.writing()) {
+    for (auto& sp : series_) {
+      std::string name = sp->name();
+      c.str(name);
+      sp->serialize(c);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < seriesCountN; ++i) {
+      std::string name;
+      c.str(name);
+      if (!c.ok()) return claimed;
+      series(name).serialize(c);
+    }
+  }
+  // Sampler ids continue from the snapshot's counter so ids minted after a
+  // restore match the uninterrupted run (restore-time re-registrations
+  // re-used ids the original run already minted).
+  c.vu32(next_sampler_id_);
+  // The pending sampling tick, re-armed as a daemon under its original key.
+  if (c.writing()) {
+    const sim::EventKey key = sim_.eventKey(tick_event_);
+    bool armed = key.valid;
+    c.b(armed);
+    if (armed) {
+      sim::SimTime at = key.at;
+      std::uint64_t seq = key.seq;
+      sim::codecTime(c, at);
+      c.vu64(seq);
+      claimed = 1;
+    }
+  } else {
+    restoring_ = false;
+    bool armed = false;
+    c.b(armed);
+    if (armed) {
+      sim::SimTime at = sim::SimTime::zero();
+      std::uint64_t seq = 0;
+      sim::codecTime(c, at);
+      c.vu64(seq);
+      tick_armed_ = true;
+      tick_event_ = sim_.restoreScheduleDaemon(at, seq, [this] { tick(); });
+      claimed = 1;
+    } else {
+      tick_armed_ = false;
+      tick_event_ = sim::EventId{};
+    }
+  }
+  return claimed;
 }
 
 TelemetrySnapshot Telemetry::snapshot() const {

@@ -92,6 +92,20 @@ class Telemetry {
   /// Summarize everything recorded so far (counters/gauges sorted by name).
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
+  /// Enter restore mode: component overlays (e.g. restored TCP connections)
+  /// may re-register samplers, and armTick() must not schedule fresh tick
+  /// events for them — the snapshot's TEL section re-arms the tick under
+  /// its original event key, which ends restore mode.
+  void beginRestore() { restoring_ = true; }
+
+  /// Snapshot/restore of the hub: registry, recorder, series (by name),
+  /// sampler-id counter, and the pending sampling tick. Sampler callbacks
+  /// never cross the wire — restored components re-register them before
+  /// this runs, which is why the TEL section is read LAST (the overlay then
+  /// squashes any counter/series values those re-registrations bumped).
+  /// Returns claimed pending events.
+  std::uint64_t serialize(sim::Codec& c);
+
   /// Write the flight recorder trace; returns false if the file can't be
   /// opened. Format by extension-agnostic flag: JSONL by default.
   bool writeTrace(const std::string& path, bool csv = false) const;
@@ -108,6 +122,8 @@ class Telemetry {
   sim::Arena& arena_;
   bool enabled_ = false;
   bool tick_armed_ = false;
+  bool restoring_ = false;
+  sim::EventId tick_event_{};
   TelemetryConfig config_;
 
   MetricRegistry metrics_;

@@ -1,0 +1,245 @@
+// Snapshot/restore round-trip properties: a scenario snapshotted mid-run
+// and restored onto an identically rebuilt cell must (a) match the
+// snapshotting run's state byte-for-byte at the restore point — counters,
+// connection state, queue/telemetry contents, flight-recorder ring — and
+// (b) continue to results byte-identical to the uninterrupted run, at
+// packet, fluid and mixed fidelity, at any SCIDMZ_SWEEP_THREADS.
+// Unsupported scenarios (scenario-level closures, tracing, unarmed
+// contexts) must be refused loudly, never silently corrupted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/loss.hpp"
+#include "net/topology.hpp"
+#include "scenario/checkpoint.hpp"
+#include "scenario/harness.hpp"
+#include "sim/sweep.hpp"
+#include "sim/units.hpp"
+#include "tcp/connection.hpp"
+#include "telemetry/span.hpp"
+
+namespace scidmz::scenario {
+namespace {
+
+using namespace scidmz::sim::literals;
+
+/// One snapshot-compatible cell: a 1 Gbps two-hop path with a periodic-loss
+/// "failing line card" on the egress hop, one 48 MB flow (packet or fluid),
+/// telemetry on. Construction is fully deterministic, so building two Cells
+/// from the same arguments yields the identical rebuild the restore
+/// protocol requires.
+struct Cell {
+  explicit Cell(net::FlowFidelity fidelity, int flows = 1) : s(20260809) {
+    s.ctx.armSnapshots();
+    telemetry::TelemetryConfig tel;
+    tel.sampleEvery = 10_ms;
+    tel.ringCapacity = 4096;
+    s.ctx.telemetry().enable(tel);
+
+    auto& a = s.topo.addHost("a", net::Address(10, 0, 0, 1));
+    auto& sw = s.topo.addSwitch("sw");
+    auto& b = s.topo.addHost("b", net::Address(10, 0, 0, 2));
+    net::LinkParams p;
+    p.rate = 1_Gbps;
+    p.delay = 5_ms;
+    p.mtu = 9000_B;
+    s.topo.connect(a, sw, p);
+    net::Link& egress = s.topo.connect(sw, b, p);
+    egress.setLossModel(0, std::make_unique<net::PeriodicLoss>(5000));
+    s.topo.computeRoutes();
+
+    tcp::TcpConfig cfg;
+    cfg.algorithm = tcp::CcAlgorithm::kHtcp;
+    cfg.sndBuf = 8_MB;
+    cfg.rcvBuf = 8_MB;
+    cfg.pacing = true;
+    for (int i = 0; i < flows; ++i) {
+      net::FlowFactory::Options options;
+      options.port = static_cast<std::uint16_t>(5001 + i);
+      // Alternate fidelities when running a mixed cell.
+      options.fidelity = (flows > 1 && i % 2 == 1) ? net::FlowFidelity::kFluid : fidelity;
+      options.pinned = true;
+      net::FlowPtr flow = net::flowFactory(s.ctx).create(a, b, cfg, options);
+      net::FlowHandle& ref = *flow;
+      flow->onEstablished = [&ref] { ref.sendData(48_MB); };
+      flow->start();
+      flowsHeld.push_back(std::move(flow));
+    }
+  }
+
+  Scenario s;
+  std::vector<net::FlowPtr> flowsHeld;
+};
+
+/// Everything observable about a cell, as one comparable string: clock and
+/// event accounting, per-flow transfer state, the sorted telemetry
+/// snapshot, and the full flight-recorder JSONL export (packet-level event
+/// stream — the strongest pop-order witness available).
+std::string signature(Cell& c) {
+  std::ostringstream out;
+  out << "now=" << c.s.simulator.now().ns()
+      << " executed=" << c.s.simulator.eventsExecuted()
+      << " scheduled=" << c.s.simulator.scheduledTotal()
+      << " pending=" << c.s.simulator.pendingEventCount()
+      << " daemons=" << c.s.simulator.pendingDaemonCount()
+      << " forwarded=" << c.s.ctx.packetsForwarded() << '\n';
+  for (const auto& flow : c.flowsHeld) {
+    out << "flow delivered=" << flow->deliveredBytes().byteCount()
+        << " acked=" << flow->ackedBytes().byteCount() << " retx=" << flow->retransmits()
+        << " rate=" << flow->currentRate().bps()
+        << " established=" << flow->established() << " complete=" << flow->sendComplete()
+        << '\n';
+  }
+  out << c.s.ctx.telemetry().snapshot().toJson() << '\n';
+  c.s.ctx.telemetry().recorder().exportJsonl(out);
+  return out.str();
+}
+
+void expectSameSignature(const std::string& got, const std::string& want, const char* what) {
+  EXPECT_TRUE(got == want) << what << ": signatures diverge (" << got.size() << " vs "
+                           << want.size() << " bytes)\n--- got (first 400) ---\n"
+                           << got.substr(0, 400) << "\n--- want (first 400) ---\n"
+                           << want.substr(0, 400);
+}
+
+/// The core round trip at one fidelity: run to t1, snapshot; keep running
+/// the original to t2. Rebuild, restore, check state byte-match at t1,
+/// continue to t2, check byte-match again.
+void roundTrip(net::FlowFidelity fidelity, int flows) {
+  Cell original(fidelity, flows);
+  original.s.simulator.runFor(300_ms);
+  const SnapshotBlob blob = saveSnapshot(original.s);
+  ASSERT_TRUE(blob.ok()) << blob.error;
+  ASSERT_FALSE(blob.bytes.empty());
+  const std::string atSnapshot = signature(original);
+  original.s.simulator.runFor(700_ms);
+  const std::string uninterrupted = signature(original);
+
+  Cell rebuilt(fidelity, flows);
+  std::string error;
+  ASSERT_TRUE(restoreSnapshot(rebuilt.s, blob.bytes, &error)) << error;
+  expectSameSignature(signature(rebuilt), atSnapshot, "state at restore point");
+  rebuilt.s.simulator.runFor(700_ms);
+  expectSameSignature(signature(rebuilt), uninterrupted, "continuation");
+}
+
+TEST(SnapshotRoundTrip, PacketFidelityContinuesByteIdentical) {
+  roundTrip(net::FlowFidelity::kPacket, 1);
+}
+
+TEST(SnapshotRoundTrip, FluidFidelityContinuesByteIdentical) {
+  roundTrip(net::FlowFidelity::kFluid, 1);
+}
+
+TEST(SnapshotRoundTrip, MixedFidelityContinuesByteIdentical) {
+  roundTrip(net::FlowFidelity::kPacket, 2);
+}
+
+TEST(SnapshotRoundTrip, RestoringTwiceIntoSameContextIsDeterministic) {
+  // The ~Context/teardown satellite's behavioral half: a second restore of
+  // the same blob into the same (already continued) Context must destroy
+  // the first restore's server connections/samplers cleanly and land in
+  // the same state — byte-identical continuation both times.
+  Cell original(net::FlowFidelity::kPacket, 1);
+  original.s.simulator.runFor(300_ms);
+  const SnapshotBlob blob = saveSnapshot(original.s);
+  ASSERT_TRUE(blob.ok()) << blob.error;
+
+  Cell rebuilt(net::FlowFidelity::kPacket, 1);
+  std::string error;
+  ASSERT_TRUE(restoreSnapshot(rebuilt.s, blob.bytes, &error)) << error;
+  rebuilt.s.simulator.runFor(500_ms);
+  const std::string firstContinuation = signature(rebuilt);
+
+  ASSERT_TRUE(restoreSnapshot(rebuilt.s, blob.bytes, &error)) << error;
+  rebuilt.s.simulator.runFor(500_ms);
+  expectSameSignature(signature(rebuilt), firstContinuation, "second restore");
+}
+
+TEST(SnapshotRoundTrip, SnapshotBytesAreDeterministic) {
+  auto snap = [] {
+    Cell cell(net::FlowFidelity::kPacket, 1);
+    cell.s.simulator.runFor(200_ms);
+    SnapshotBlob blob = saveSnapshot(cell.s);
+    EXPECT_TRUE(blob.ok()) << blob.error;
+    return blob.bytes;
+  };
+  EXPECT_EQ(snap(), snap());
+}
+
+TEST(SnapshotRoundTrip, ByteIdenticalAtAnyWorkerCount) {
+  // Whole save+restore+continue pipelines run as sweep cells: results must
+  // not depend on SCIDMZ_SWEEP_THREADS (cells share no state).
+  auto runCells = [](int workers) {
+    sim::SweepRunner sweep{workers};
+    return sweep.run<std::string>(
+        4,
+        [](sim::SweepCell& cell) {
+          const net::FlowFidelity fidelity =
+              cell.index % 2 == 0 ? net::FlowFidelity::kPacket : net::FlowFidelity::kFluid;
+          Cell original(fidelity, 1);
+          original.s.simulator.runFor(250_ms);
+          const SnapshotBlob blob = saveSnapshot(original.s);
+          if (!blob.ok()) return std::string("refused: ") + blob.error;
+          Cell rebuilt(fidelity, 1);
+          std::string error;
+          if (!restoreSnapshot(rebuilt.s, blob.bytes, &error)) return "failed: " + error;
+          rebuilt.s.simulator.runFor(400_ms);
+          return signature(rebuilt);
+        },
+        "snapshot_workers");
+  };
+  const auto serial = runCells(1);
+  const auto parallel = runCells(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i]) << "cell " << i << " diverged across worker counts";
+    EXPECT_TRUE(serial[i].rfind("refused:", 0) != 0 && serial[i].rfind("failed:", 0) != 0)
+        << serial[i].substr(0, 200);
+  }
+}
+
+TEST(SnapshotRefusal, UnarmedContextIsRefused) {
+  Scenario s(1);
+  net::Topology& topo = s.topo;
+  (void)topo;
+  const SnapshotBlob blob = saveSnapshot(s);
+  EXPECT_FALSE(blob.ok());
+  EXPECT_NE(blob.error.find("armSnapshots"), std::string::npos) << blob.error;
+}
+
+TEST(SnapshotRefusal, ScenarioLevelClosureIsRefusedNotDropped) {
+  // An event the snapshot layer cannot re-materialize (a raw scenario
+  // closure) must make saveSnapshot() refuse via the claimed-count check.
+  Cell cell(net::FlowFidelity::kPacket, 1);
+  cell.s.simulator.runFor(100_ms);
+  cell.s.simulator.schedule(10_s, [] {});
+  const SnapshotBlob blob = saveSnapshot(cell.s);
+  EXPECT_FALSE(blob.ok());
+  EXPECT_NE(blob.error.find("pending events"), std::string::npos) << blob.error;
+}
+
+TEST(SnapshotRefusal, TracedRunIsRefused) {
+  Cell cell(net::FlowFidelity::kPacket, 1);
+  cell.s.ctx.extension<telemetry::Tracer>().enable();
+  cell.s.simulator.runFor(100_ms);
+  const SnapshotBlob blob = saveSnapshot(cell.s);
+  EXPECT_FALSE(blob.ok());
+  EXPECT_NE(blob.error.find("tracing"), std::string::npos) << blob.error;
+}
+
+TEST(SnapshotRefusal, GarbageBlobIsRefused) {
+  Cell cell(net::FlowFidelity::kPacket, 1);
+  const std::vector<std::uint8_t> garbage{0xde, 0xad, 0xbe, 0xef};
+  std::string error;
+  EXPECT_FALSE(restoreSnapshot(cell.s, garbage, &error));
+  EXPECT_NE(error.find("snap.v1"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace scidmz::scenario

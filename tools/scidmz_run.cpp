@@ -31,9 +31,13 @@
 
 #include "net/flow.hpp"
 #include "scenario/bench_io.hpp"
+#include "scenario/checkpoint.hpp"
+#include "scenario/harness.hpp"
+#include "scenario/json.hpp"
 #include "scenario/observability.hpp"
 #include "scenario/run.hpp"
 #include "scenario/spec.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace {
 
@@ -46,9 +50,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--trace BASE] \\\n"
                "          [--profile BASE] [--list] [--dump] [--run NAME]... \\\n"
-               "          [--spec FILE [--sweep dotted.path=v1,v2,...]...]\n"
-               "       %s report SPANS.jsonl [SPANS.jsonl ...]\n",
-               argv0, argv0);
+               "          [--spec FILE [--sweep dotted.path=v1,v2,...]...] \\\n"
+               "          [--snapshot BASE] [--restore FILE]\n"
+               "       %s report SPANS.jsonl [SPANS.jsonl ...]\n"
+               "       %s convert IN OUT    # flight trace .jsonl <-> .frbin\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -210,9 +216,146 @@ int runSpecFile(const std::string& file, const std::vector<SweepArg>& sweeps) {
   return 0;
 }
 
+/// `--snapshot BASE`: run the canonical demo cell to the snapshot point,
+/// write the scidmz.snap.v1 blob, then continue to the end and print the
+/// reference table a later --restore must reproduce byte-for-byte.
+int runSnapshotDemo(const std::string& base) {
+  scenario::DemoCell cell;
+  cell.scenario().simulator.runFor(sim::Duration::milliseconds(300));
+  std::string error;
+  if (!scenario::saveSnapshotFile(cell.scenario(), base, &error)) {
+    std::fprintf(stderr, "scidmz_run: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("snapshot written: %s (at t=0.3s)\n", base.c_str());
+  cell.scenario().simulator.runFor(sim::Duration::milliseconds(700));
+  std::printf("--- uninterrupted run to t=1.0s ---\n%s", cell.table().c_str());
+  return 0;
+}
+
+/// `--restore FILE`: rebuild the demo cell, overlay the snapshot, continue
+/// to the same end point. The printed table must match --snapshot's.
+int runRestoreDemo(const std::string& file) {
+  scenario::DemoCell cell;
+  std::string error;
+  if (!scenario::restoreSnapshotFile(cell.scenario(), file, &error)) {
+    std::fprintf(stderr, "scidmz_run: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("snapshot restored: %s (t=%.3fs)\n", file.c_str(),
+              static_cast<double>(cell.scenario().simulator.now().ns()) * 1e-9);
+  cell.scenario().simulator.runFor(sim::Duration::milliseconds(700));
+  std::printf("--- restored run to t=1.0s ---\n%s", cell.table().c_str());
+  return 0;
+}
+
+// --- `scidmz_run convert` — flight trace .jsonl <-> .frbin ----------------
+
+std::uint32_t parseIp(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d);
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+bool kindFromString(const std::string& text, telemetry::FlightEventKind& out) {
+  using K = telemetry::FlightEventKind;
+  for (const K k : {K::kEnqueue, K::kDequeue, K::kDrop, K::kLinkLoss, K::kRetransmit,
+                    K::kDeliver}) {
+    if (text == telemetry::toString(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+int convertTrace(const std::string& inPath, const std::string& outPath) {
+  std::ifstream in(inPath, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "scidmz_run: cannot read %s\n", inPath.c_str());
+    return 1;
+  }
+  telemetry::FlightRecorder recorder(1);
+  // Sniff the format: binary blobs start with the frbin magic.
+  char head[16] = {};
+  in.read(head, sizeof head);
+  in.clear();
+  in.seekg(0);
+  const bool binaryInput = std::memcmp(head, "scidmz.frbin.v1", 15) == 0;
+  if (binaryInput) {
+    if (!recorder.importBinary(in)) {
+      std::fprintf(stderr, "scidmz_run: %s is not a valid scidmz.frbin.v1 blob\n",
+                   inPath.c_str());
+      return 1;
+    }
+  } else {
+    // JSONL input (schema scidmz.trace.v1, one event per line).
+    std::string line;
+    std::size_t lineNo = 0;
+    std::vector<telemetry::FlightEvent> events;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      if (line.empty()) continue;
+      try {
+        const Json doc = Json::parse(line);
+        telemetry::FlightEvent e;
+        e.at = sim::SimTime::fromNs(static_cast<std::int64_t>(doc.get("t_ns").asNumber()));
+        if (!kindFromString(doc.get("ev").asString(), e.kind)) {
+          throw scenario::JsonError("unknown event kind \"" + doc.get("ev").asString() + "\"");
+        }
+        e.point = recorder.internPoint(doc.get("point").asString());
+        e.packetId = static_cast<std::uint64_t>(doc.get("pkt").asNumber());
+        e.flow.src = parseIp(doc.get("src").asString());
+        e.flow.dst = parseIp(doc.get("dst").asString());
+        e.flow.srcPort = static_cast<std::uint16_t>(doc.get("sport").asNumber());
+        e.flow.dstPort = static_cast<std::uint16_t>(doc.get("dport").asNumber());
+        const std::string& proto = doc.get("proto").asString();
+        e.flow.proto = proto == "tcp" ? 6 : proto == "udp" ? 17 : 0;
+        e.bytes = static_cast<std::uint32_t>(doc.get("bytes").asNumber());
+        e.aux = static_cast<std::uint64_t>(doc.get("seq").asNumber());
+        e.aux2 = static_cast<std::uint64_t>(doc.get("depth").asNumber());
+        events.push_back(e);
+      } catch (const scenario::JsonError& err) {
+        std::fprintf(stderr, "scidmz_run: %s:%zu: %s\n", inPath.c_str(), lineNo, err.what());
+        return 1;
+      }
+    }
+    recorder.setCapacity(events.empty() ? 1 : events.size());
+    for (const auto& e : events) recorder.record(e);
+  }
+
+  std::ofstream out(outPath, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "scidmz_run: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  // Output format: the opposite of the input (frbin in -> JSONL out).
+  if (binaryInput) {
+    recorder.exportJsonl(out);
+  } else {
+    recorder.exportBinary(out);
+  }
+  if (!out) {
+    std::fprintf(stderr, "scidmz_run: short write to %s\n", outPath.c_str());
+    return 1;
+  }
+  std::printf("%s -> %s: %zu events, %zu emit points (%s)\n", inPath.c_str(), outPath.c_str(),
+              recorder.size(), recorder.pointCount(),
+              binaryInput ? "frbin -> jsonl" : "jsonl -> frbin");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `scidmz_run convert IN OUT` — offline trace format conversion.
+  if (argc >= 2 && std::strcmp(argv[1], "convert") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "scidmz_run: convert needs IN and OUT paths\n");
+      return usage(argv[0]);
+    }
+    return convertTrace(argv[2], argv[3]);
+  }
   // `scidmz_run report FILE...` — offline analysis, no simulation.
   if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
     if (argc < 3) {
@@ -229,6 +372,8 @@ int main(int argc, char** argv) {
   std::string specFile;
   std::vector<SweepArg> sweeps;
   std::string outDir;
+  std::string snapshotBase;
+  std::string restoreFile;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -286,6 +431,12 @@ int main(int argc, char** argv) {
       const std::string base = arg == "--profile" ? operand("an output base path")
                                                   : arg.substr(std::strlen("--profile="));
       scenario::setProfileOutput(base);
+    } else if (arg == "--snapshot" || arg.rfind("--snapshot=", 0) == 0) {
+      snapshotBase =
+          arg == "--snapshot" ? operand("an output path") : arg.substr(std::strlen("--snapshot="));
+    } else if (arg == "--restore" || arg.rfind("--restore=", 0) == 0) {
+      restoreFile =
+          arg == "--restore" ? operand("a snapshot file") : arg.substr(std::strlen("--restore="));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -294,7 +445,10 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (!list && !dump && runs.empty() && specFile.empty()) return usage(argv[0]);
+  if (!list && !dump && runs.empty() && specFile.empty() && snapshotBase.empty() &&
+      restoreFile.empty()) {
+    return usage(argv[0]);
+  }
   if (!sweeps.empty() && specFile.empty()) {
     std::fprintf(stderr, "scidmz_run: --sweep only applies to --spec runs\n");
     return usage(argv[0]);
@@ -309,6 +463,12 @@ int main(int argc, char** argv) {
   try {
     if (list) listCatalog();
     if (dump) dumpCatalog();
+    if (!snapshotBase.empty()) {
+      if (const int rc = runSnapshotDemo(snapshotBase); rc != 0) return rc;
+    }
+    if (!restoreFile.empty()) {
+      if (const int rc = runRestoreDemo(restoreFile); rc != 0) return rc;
+    }
     for (const auto& name : runs) {
       if (const int rc = scenario::runScenarioMain(name); rc != 0) return rc;
     }

@@ -5,6 +5,10 @@ Usage: validate_trace.py FILE [FILE ...]
        validate_trace.py --profile-diff A.json B.json
 
 Dispatch is by content:
+  binary starting "scidmz.snap.v1\\n"  -> simulation snapshot blob
+                                          (section framing + clock header)
+  binary starting "scidmz.frbin.v1\\n" -> binary flight-recorder export
+                                          (fully decoded and cross-checked)
   *.jsonl                       -> scidmz.trace.v1 (one flight event per line)
   *.jsonl whose header line is
   {"schema": "scidmz.spans.v1"} -> causal span export (scidmz_run --trace)
@@ -435,6 +439,127 @@ def validate_bench_report(doc, where):
             f"{cells_with_telemetry} instrumented cells")
 
 
+SNAP_MAGIC = b"scidmz.snap.v1\n"
+FRBIN_MAGIC = b"scidmz.frbin.v1\n"
+FRBIN_KINDS = 6  # enqueue, dequeue, drop, link_loss, retransmit, deliver
+
+
+class BlobReader:
+    """Byte-aligned reader for the sim::Codec wire format (varints are
+    LEB128, signed values zigzag, sections are fourcc + u32le length)."""
+
+    def __init__(self, data, where):
+        self.data = data
+        self.pos = 0
+        self.where = where
+
+    def take(self, n):
+        require(self.pos + n <= len(self.data), self.where,
+                f"truncated at byte {self.pos} (need {n} more)")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def u32(self):
+        return int.from_bytes(self.take(4), "little")
+
+    def varint(self):
+        out = 0
+        for shift in range(0, 70, 7):
+            group = self.u8()
+            out |= (group & 0x7F) << shift
+            if not group & 0x80:
+                return out
+        fail(self.where, "unterminated varint")
+
+    def zigzag(self):
+        z = self.varint()
+        return (z >> 1) ^ -(z & 1)
+
+    def string(self):
+        return self.take(self.varint()).decode("utf-8", errors="replace")
+
+    def section(self, fourcc):
+        got = self.take(4)
+        require(got == fourcc, self.where,
+                f"expected section {fourcc!r} at byte {self.pos - 4}, got {got!r}")
+        length = self.u32()
+        require(self.pos + length <= len(self.data), self.where,
+                f"section {fourcc!r} claims {length} bytes, "
+                f"only {len(self.data) - self.pos} remain")
+        return length
+
+
+def validate_snap_blob(data, path):
+    reader = BlobReader(data[len(SNAP_MAGIC):], path)
+    clk_len = reader.section(b"CLK ")
+    clk_end = reader.pos + clk_len
+    now_ns = reader.zigzag()
+    require(now_ns >= 0, path, f"clock now_ns={now_ns} is negative")
+    executed = reader.varint()
+    next_seq = reader.varint()
+    pending = reader.varint()
+    daemons = reader.varint()
+    require(reader.pos <= clk_end, path, "CLK body overran its declared length")
+    require(next_seq >= executed + pending, path,
+            f"sequence counter {next_seq} < executed {executed} + pending {pending}")
+    require(daemons <= pending, path,
+            f"daemon count {daemons} exceeds pending events {pending}")
+    reader.pos = clk_end
+    body_len = reader.section(b"BODY")
+    reader.pos += body_len
+    require(reader.pos == len(reader.data), path,
+            f"{len(reader.data) - reader.pos} trailing bytes after BODY section")
+    return (f"scidmz.snap.v1, t={now_ns} ns, {executed} events executed, "
+            f"{pending} pending ({daemons} daemons), BODY {body_len} bytes")
+
+
+def validate_frbin(data, path):
+    reader = BlobReader(data[len(FRBIN_MAGIC):], path)
+    pts_len = reader.section(b"PTS ")
+    pts_end = reader.pos + pts_len
+    n_points = reader.varint()
+    points = [reader.string() for _ in range(n_points)]
+    require(reader.pos <= pts_end, path, "PTS body overran its declared length")
+    reader.pos = pts_end
+    evts_len = reader.section(b"EVTS")
+    evts_end = reader.pos + evts_len
+    n_events = reader.varint()
+    prev_ns = 0
+    n_flows = 0  # flow tuples are interned in stream order (no dictionary section)
+    for i in range(n_events):
+        where = f"{path} (event {i})"
+        t_ns = prev_ns + reader.zigzag()
+        require(t_ns >= prev_ns, where,
+                f"t_ns={t_ns} goes backwards (previous {prev_ns})")
+        prev_ns = t_ns
+        for _ in range(3):   # packetId, aux, aux2
+            reader.varint()
+        flow_ref = reader.varint()
+        require(flow_ref <= n_flows, where,
+                f"flow ref {flow_ref} out of range ({n_flows} interned)")
+        if flow_ref == n_flows:  # first sighting carries the full 5-tuple
+            for _ in range(4):   # src, dst, sport, dport
+                reader.varint()
+            reader.u8()          # proto
+            n_flows += 1
+        reader.varint()      # bytes
+        point = reader.varint()
+        require(point < n_points, where,
+                f"point index {point} out of range ({n_points} interned)")
+        kind = reader.u8()
+        require(kind < FRBIN_KINDS, where, f"unknown event kind {kind}")
+    require(reader.pos <= evts_end, path, "EVTS body overran its declared length")
+    reader.pos = evts_end
+    require(reader.pos == len(reader.data), path,
+            f"{len(reader.data) - reader.pos} trailing bytes after EVTS section")
+    return (f"scidmz.frbin.v1, {n_events} events over {len(points)} points "
+            f"and {n_flows} flows, time monotone, refs in range")
+
+
 def first_line_schema(path):
     with open(path, encoding="utf-8") as handle:
         for line in handle:
@@ -450,6 +575,14 @@ def first_line_schema(path):
 
 
 def validate_file(path):
+    with open(path, "rb") as handle:
+        head = handle.read(max(len(SNAP_MAGIC), len(FRBIN_MAGIC)))
+    if head.startswith(SNAP_MAGIC) or head.startswith(FRBIN_MAGIC):
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if head.startswith(SNAP_MAGIC):
+            return validate_snap_blob(data, path)
+        return validate_frbin(data, path)
     if path.endswith(".jsonl"):
         if first_line_schema(path) == "scidmz.spans.v1":
             return validate_spans(path)
