@@ -1,0 +1,5 @@
+// Thin wrapper: the scenario lives in the catalog (src/scenario/) and can
+// also be driven via `scidmz_run --run esnet_scale [--domains N]`.
+#include "scenario/run.hpp"
+
+int main() { return scidmz::scenario::runScenarioMain("esnet_scale"); }

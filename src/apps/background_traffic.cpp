@@ -1,8 +1,19 @@
 #include "apps/background_traffic.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "scenario/callback_registry.hpp"
 
 namespace scidmz::apps {
+
+namespace {
+/// Stable snapshot name for one generator's arrival process; the port
+/// block distinguishes generators sharing a Context.
+std::string arrivalName(std::uint16_t basePort) {
+  return "background_traffic/" + std::to_string(basePort) + "/arrival";
+}
+}  // namespace
 
 BackgroundTraffic::BackgroundTraffic(net::Context& ctx, std::vector<net::Host*> clients,
                                      std::vector<net::Host*> servers, std::uint16_t basePort,
@@ -22,20 +33,21 @@ void BackgroundTraffic::start() {
 
 void BackgroundTraffic::stop() {
   running_ = false;
-  if (arrival_timer_.valid()) {
-    ctx_.sim().cancel(arrival_timer_);
-    arrival_timer_ = sim::EventId{};
-  }
+  ctx_.extension<scenario::CallbackRegistry>().cancelNamed(ctx_.sim(), arrivalName(base_port_));
 }
 
 void BackgroundTraffic::scheduleNextArrival() {
   if (!running_) return;
+  auto& callbacks = ctx_.extension<scenario::CallbackRegistry>();
+  const std::string name = arrivalName(base_port_);
+  if (!callbacks.registered(name)) {
+    callbacks.registerNamed(name, [this] {
+      launchFlow();
+      scheduleNextArrival();
+    });
+  }
   const auto gap = rng_.exponential(sim::Duration::fromSeconds(1.0 / profile_.flowsPerSecond));
-  arrival_timer_ = ctx_.sim().schedule(gap, [this] {
-    arrival_timer_ = sim::EventId{};
-    launchFlow();
-    scheduleNextArrival();
-  });
+  callbacks.scheduleNamed(ctx_.sim(), name, gap);
 }
 
 void BackgroundTraffic::launchFlow() {

@@ -68,7 +68,6 @@ class BackgroundTraffic {
   BackgroundProfile profile_;
   sim::Rng rng_;
   bool running_ = false;
-  sim::EventId arrival_timer_{};
   std::uint16_t next_port_offset_ = 0;
   std::vector<std::unique_ptr<BulkTransfer>> active_;
   Stats stats_;

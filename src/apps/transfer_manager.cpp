@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "scenario/callback_registry.hpp"
+
 namespace scidmz::apps {
 
 TransferManager::TransferManager(net::Host& src, net::Host& dst, tcp::TcpConfig tcpConfig,
@@ -69,30 +71,35 @@ void TransferManager::launch(std::size_t slotIndex, FileSpec file, int attempts)
   armWatchdog(slotIndex);
 }
 
+std::string TransferManager::callbackName(const char* kind, std::size_t slotIndex) const {
+  return "transfer_manager/" + src_.name() + "->" + dst_.name() + "/" + kind + "/" +
+         std::to_string(slotIndex);
+}
+
 void TransferManager::armWatchdog(std::size_t slotIndex) {
-  auto& slot = slots_[slotIndex];
-  if (slot.watchdog.valid()) src_.ctx().sim().cancel(slot.watchdog);
-  slot.watchdog = src_.ctx().sim().schedule(options_.stallTimeout, [this, slotIndex] {
-    auto& s = slots_[slotIndex];
-    s.watchdog = sim::EventId{};
-    if (!s.busy || s.transfer == nullptr) return;
-    const auto progress = s.transfer->progress();
-    if (progress > s.lastProgress) {
-      // Still moving; keep watching.
-      s.lastProgress = progress;
-      armWatchdog(slotIndex);
-      return;
-    }
-    onSlotStalled(slotIndex);
-  });
+  auto& callbacks = src_.ctx().extension<scenario::CallbackRegistry>();
+  const std::string name = callbackName("watchdog", slotIndex);
+  if (!callbacks.registered(name)) {
+    callbacks.registerNamed(name, [this, slotIndex] {
+      auto& s = slots_[slotIndex];
+      if (!s.busy || s.transfer == nullptr) return;
+      const auto progress = s.transfer->progress();
+      if (progress > s.lastProgress) {
+        // Still moving; keep watching.
+        s.lastProgress = progress;
+        armWatchdog(slotIndex);
+        return;
+      }
+      onSlotStalled(slotIndex);
+    });
+  }
+  callbacks.scheduleNamed(src_.ctx().sim(), name, options_.stallTimeout);
 }
 
 void TransferManager::onSlotComplete(std::size_t slotIndex, const BulkTransfer::Result& result) {
   auto& slot = slots_[slotIndex];
-  if (slot.watchdog.valid()) {
-    src_.ctx().sim().cancel(slot.watchdog);
-    slot.watchdog = sim::EventId{};
-  }
+  auto& callbacks = src_.ctx().extension<scenario::CallbackRegistry>();
+  callbacks.cancelNamed(src_.ctx().sim(), callbackName("watchdog", slotIndex));
   ++report_.filesDone;
   report_.bytesMoved += result.bytes;
   endSlotSpan(slot, "complete");
@@ -100,11 +107,15 @@ void TransferManager::onSlotComplete(std::size_t slotIndex, const BulkTransfer::
   --active_count_;
   // Defer teardown and refill: we are inside the transfer's own callback
   // chain, so destroying it here would free the object under our feet.
-  src_.ctx().sim().schedule(sim::Duration::zero(), [this, slotIndex] {
-    slots_[slotIndex].transfer.reset();
-    fillSlots();
-    finishIfDrained();
-  });
+  const std::string teardown = callbackName("teardown", slotIndex);
+  if (!callbacks.registered(teardown)) {
+    callbacks.registerNamed(teardown, [this, slotIndex] {
+      slots_[slotIndex].transfer.reset();
+      fillSlots();
+      finishIfDrained();
+    });
+  }
+  callbacks.scheduleNamed(src_.ctx().sim(), teardown, sim::Duration::zero());
 }
 
 void TransferManager::onSlotStalled(std::size_t slotIndex) {

@@ -74,13 +74,16 @@ class TransferManager {
     FileSpec file;
     int attempts = 0;
     sim::DataSize lastProgress = sim::DataSize::zero();
-    sim::EventId watchdog{};
     bool busy = false;
     /// Root "transfer" span covering this file attempt (tracing only).
     telemetry::SpanId span{};
   };
 
   void endSlotSpan(Slot& slot, const char* outcome);
+
+  /// Stable snapshot name for this manager's per-slot closures
+  /// ("transfer_manager/<src>-><dst>/<kind>/<slot>").
+  [[nodiscard]] std::string callbackName(const char* kind, std::size_t slotIndex) const;
 
   void fillSlots();
   void launch(std::size_t slotIndex, FileSpec file, int attempts);

@@ -5,6 +5,7 @@
 #include "net/codec.hpp"
 #include "net/device.hpp"
 #include "net/trace.hpp"
+#include "sim/domain.hpp"
 
 namespace scidmz::net {
 
@@ -24,7 +25,9 @@ void Link::repair() {
 }
 
 void Link::initTelemetry(int dir) {
-  auto& tel = ctx_.telemetry();
+  // Direction state belongs to the sending end's domain: its owner's ctx is
+  // ctx_ in ordinary runs and the sender domain's ctx under sharding.
+  auto& tel = end(dir).owner().ctx().telemetry();
   const std::string name =
       end(dir).owner().name() + "->" + peer(dir).owner().name();
   DirTelemetry& t = tel_[dir & 1];
@@ -37,14 +40,17 @@ void Link::initTelemetry(int dir) {
 void Link::transmitComplete(int fromEnd, PacketRef packet) {
   auto& dir = stats_[fromEnd & 1];
   auto& loss = loss_[fromEnd & 1];
-  auto& tel = ctx_.telemetry();
+  // Per-direction state (stats, loss, telemetry) lives with the sending
+  // end's domain; sctx is ctx_ whenever the topology is unsharded.
+  Context& sctx = end(fromEnd).owner().ctx();
+  auto& tel = sctx.telemetry();
   const bool traced = tel.enabled();
   if (traced && !tel_[fromEnd & 1].init) initTelemetry(fromEnd & 1);
   if (loss && loss->shouldDrop(*packet)) {
     ++dir.lost;
     if (traced) {
       ++*tel_[fromEnd & 1].lost;
-      telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
+      telemetry::FlightEvent ev = makeFlightEvent(sctx.now(), *packet);
       ev.kind = telemetry::FlightEventKind::kLinkLoss;
       ev.point = tel_[fromEnd & 1].point;
       tel.recorder().record(ev);
@@ -55,12 +61,24 @@ void Link::transmitComplete(int fromEnd, PacketRef packet) {
   dir.bytesDelivered += packet->wireSize();
   if (traced) {
     ++*tel_[fromEnd & 1].delivered;
-    telemetry::FlightEvent ev = makeFlightEvent(ctx_.now(), *packet);
+    telemetry::FlightEvent ev = makeFlightEvent(sctx.now(), *packet);
     ev.kind = telemetry::FlightEventKind::kDeliver;
     ev.point = tel_[fromEnd & 1].point;
     tel.recorder().record(ev);
   }
   Interface& dst = peer(fromEnd);
+  if (sharded_ != nullptr) {
+    // Boundary channel: hand a by-value copy to the destination domain
+    // (this sender's pool slot recycles here); the closure runs on the
+    // destination thread and re-acquires from that domain's pool.
+    Packet p = *packet;
+    sharded_->post(channel_[fromEnd & 1], sctx.now() + params_.delay,
+                   [&dst, p = std::move(p)]() mutable {
+                     Device& owner = dst.owner();
+                     owner.receive(owner.ctx().pool().acquire(std::move(p)), dst);
+                   });
+    return;
+  }
   if (ctx_.snapshotsArmed()) {
     const int d = fromEnd & 1;
     Packet copy = *packet;

@@ -15,6 +15,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/units.hpp"
 
+namespace scidmz::sim {
+class ShardedSimulator;
+}
+
 namespace scidmz::net {
 
 class Interface;
@@ -46,6 +50,20 @@ class Link {
   /// applies loss and schedules delivery to the far end after propagation.
   /// Takes ownership of the handle; a lost packet's slot recycles here.
   void transmitComplete(int fromEnd, PacketRef packet);
+
+  /// Sharded execution: route deliveries through per-direction boundary
+  /// channels of `sharded` instead of scheduling directly. Applied to every
+  /// cut-eligible link (delay >= the lookahead floor) at every domain
+  /// count — including links whose ends landed in the same domain — so the
+  /// event interleaving is a property of the topology, not the partition.
+  /// Incompatible with armed snapshots.
+  void setChannelMode(sim::ShardedSimulator& sharded, std::uint32_t channelAtoB,
+                      std::uint32_t channelBtoA) {
+    sharded_ = &sharded;
+    channel_[0] = channelAtoB;
+    channel_[1] = channelBtoA;
+  }
+  [[nodiscard]] bool channelMode() const { return sharded_ != nullptr; }
 
   /// Aggregate analytic-flow demand traversing this direction (wire bits/s),
   /// published by tcp::FluidEngine each tick. Packet serialization in this
@@ -127,6 +145,8 @@ class Link {
   LinkParams params_;
   Interface& endA_;
   Interface& endB_;
+  sim::ShardedSimulator* sharded_ = nullptr;
+  std::uint32_t channel_[2] = {0, 0};
   std::unique_ptr<LossModel> loss_[2];
   DirectionStats stats_[2];
   DirTelemetry tel_[2];

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
+
+#include "sim/domain.hpp"
 
 namespace scidmz::net {
 
@@ -37,31 +41,73 @@ std::string PathTrace::toString() const {
   return s;
 }
 
+void Topology::configureShards(ShardConfig config) {
+  if (!devices_.empty() || !links_.empty()) {
+    throw std::runtime_error("configureShards: topology already has devices");
+  }
+  if (config.sharded == nullptr || config.domains.empty()) {
+    throw std::runtime_error("configureShards: missing sharded simulator or domains");
+  }
+  for (const auto& [name, domain] : config.deviceDomain) {
+    if (domain < 0 || domain >= static_cast<int>(config.domains.size())) {
+      throw std::runtime_error("configureShards: domain out of range for " + name);
+    }
+  }
+  shard_ = std::move(config);
+}
+
+Context& Topology::ctxForDevice(const std::string& name) const {
+  if (shard_.sharded == nullptr) return ctx_;
+  const auto it = shard_.deviceDomain.find(name);
+  if (it == shard_.deviceDomain.end()) {
+    throw std::runtime_error("sharded topology: device missing from domain map: " + name);
+  }
+  return *shard_.domains[static_cast<std::size_t>(it->second)];
+}
+
+void Topology::noteDomain(const Device& d, const std::string& name) {
+  if (shard_.sharded == nullptr) return;
+  device_domain_[&d] = shard_.deviceDomain.at(name);
+}
+
+int Topology::deviceDomain(const Device& d) const {
+  const auto it = device_domain_.find(&d);
+  return it == device_domain_.end() ? 0 : it->second;
+}
+
 Host& Topology::addHost(std::string name, Address address) {
-  auto host = std::make_unique<Host>(ctx_, std::move(name), address);
+  Context& ctx = ctxForDevice(name);
+  auto host = std::make_unique<Host>(ctx, std::move(name), address);
   auto& ref = *host;
   devices_.push_back(std::move(host));
+  noteDomain(ref, ref.name());
   return ref;
 }
 
 SwitchDevice& Topology::addSwitch(std::string name, SwitchProfile profile) {
-  auto dev = std::make_unique<SwitchDevice>(ctx_, std::move(name), profile);
+  Context& ctx = ctxForDevice(name);
+  auto dev = std::make_unique<SwitchDevice>(ctx, std::move(name), profile);
   auto& ref = *dev;
   devices_.push_back(std::move(dev));
+  noteDomain(ref, ref.name());
   return ref;
 }
 
 RouterDevice& Topology::addRouter(std::string name, SwitchProfile profile) {
-  auto dev = std::make_unique<RouterDevice>(ctx_, std::move(name), profile);
+  Context& ctx = ctxForDevice(name);
+  auto dev = std::make_unique<RouterDevice>(ctx, std::move(name), profile);
   auto& ref = *dev;
   devices_.push_back(std::move(dev));
+  noteDomain(ref, ref.name());
   return ref;
 }
 
 FirewallDevice& Topology::addFirewall(std::string name, FirewallProfile profile) {
-  auto dev = std::make_unique<FirewallDevice>(ctx_, std::move(name), profile);
+  Context& ctx = ctxForDevice(name);
+  auto dev = std::make_unique<FirewallDevice>(ctx, std::move(name), profile);
   auto& ref = *dev;
   devices_.push_back(std::move(dev));
+  noteDomain(ref, ref.name());
   return ref;
 }
 
@@ -83,8 +129,26 @@ Link& Topology::connect(Device& a, Device& b, LinkParams params, sim::DataSize b
                         sim::DataSize bufferB) {
   auto& ifA = a.addInterface(bufferA);
   auto& ifB = b.addInterface(bufferB);
-  links_.push_back(std::make_unique<Link>(ctx_, params, ifA, ifB));
-  return *links_.back();
+  // a.ctx() == ctx_ when unsharded; under sharding an intra-domain link
+  // must schedule into its own domain's simulator.
+  links_.push_back(std::make_unique<Link>(a.ctx(), params, ifA, ifB));
+  Link& link = *links_.back();
+  if (shard_.sharded != nullptr) {
+    const int da = deviceDomain(a);
+    const int db = deviceDomain(b);
+    if (params.delay >= shard_.lookaheadFloor) {
+      // Cut-eligible: channel-route both directions regardless of whether
+      // the partition separated the ends (partition invariance — the
+      // channel ids and delivery keys depend only on construction order).
+      const std::uint32_t chAB = shard_.sharded->addChannel(db, params.delay);
+      const std::uint32_t chBA = shard_.sharded->addChannel(da, params.delay);
+      link.setChannelMode(*shard_.sharded, chAB, chBA);
+    } else if (da != db) {
+      throw std::runtime_error("sharded topology: cross-domain link below the lookahead floor: " +
+                               a.name() + " -> " + b.name());
+    }
+  }
+  return link;
 }
 
 void Topology::computeRoutes() {

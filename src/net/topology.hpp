@@ -3,10 +3,12 @@
 // the raw material the Science DMZ design-pattern library reasons over.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/context.hpp"
@@ -40,12 +42,33 @@ struct PathTrace {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Sharded construction plan: which Context (= domain) each named device is
+/// built into, the lookahead floor that decides which links become boundary
+/// channels, and the channel registry. Installed before any add*/connect.
+struct ShardConfig {
+  std::vector<Context*> domains;            ///< domain index -> per-domain Context
+  std::map<std::string, int> deviceDomain;  ///< device name -> domain index
+  sim::Duration lookaheadFloor = sim::Duration::milliseconds(1);
+  sim::ShardedSimulator* sharded = nullptr;
+};
+
 class Topology {
  public:
   explicit Topology(Context& ctx) : ctx_(ctx) {}
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
+
+  /// Arm sharded construction: subsequent factory calls build each device
+  /// into its domain's Context, and connect() routes every link with
+  /// delay >= the lookahead floor through boundary channels (at *every*
+  /// domain count — see Link::setChannelMode). A cross-domain link below
+  /// the floor is a partitioning bug and throws. Must be called on an
+  /// empty topology.
+  void configureShards(ShardConfig config);
+  [[nodiscard]] bool sharded() const { return shard_.sharded != nullptr; }
+  /// Domain a device was built into (0 when unsharded).
+  [[nodiscard]] int deviceDomain(const Device& d) const;
 
   /// Factory helpers: the topology owns every device it creates.
   Host& addHost(std::string name, Address address);
@@ -79,8 +102,13 @@ class Topology {
 
  private:
   [[nodiscard]] static sim::DataSize defaultBuffer(const Device& d);
+  /// The Context a device with this name is built into, per the shard plan.
+  [[nodiscard]] Context& ctxForDevice(const std::string& name) const;
+  void noteDomain(const Device& d, const std::string& name);
 
   Context& ctx_;
+  ShardConfig shard_;
+  std::unordered_map<const Device*, int> device_domain_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<std::unique_ptr<Link>> links_;
 };

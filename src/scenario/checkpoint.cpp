@@ -14,6 +14,7 @@
 #include "net/link.hpp"
 #include "net/loss.hpp"
 #include "net/topology.hpp"
+#include "scenario/callback_registry.hpp"
 #include "scenario/harness.hpp"
 #include "sim/codec.hpp"
 #include "sim/random.hpp"
@@ -79,6 +80,22 @@ std::uint64_t serializeComponents(sim::Codec& c, sim::Rng& rng, net::Context& ct
   if (!c.ok()) return claimed;
   claimed += ctx.extension<tcp::FluidEngine>().serialize(c);
   if (!c.ok()) return claimed;
+  // Named scenario closures (samplers, watchdogs, arrival processes): the
+  // registry claims their pending timers and re-arms them by name against
+  // whatever the rebuild registered.
+  claimed += ctx.extension<CallbackRegistry>().serialize(c, ctx.sim());
+  if (!c.ok()) return claimed;
+  // SPAN overlay: replaces whatever spans the rebuild's flow construction
+  // just opened with the snapshotting run's full span table, so a traced
+  // run and its restored continuation export one coherent trace. Kept
+  // before TEL so the telemetry overlay stays last.
+  {
+    telemetry::Tracer& tracer = ctx.extension<telemetry::Tracer>();
+    bool traced = tracer.enabled();
+    c.b(traced);
+    if (traced) tracer.serialize(c);
+  }
+  if (!c.ok()) return claimed;
   claimed += ctx.telemetry().serialize(c);
   return claimed;
 }
@@ -99,11 +116,6 @@ SnapshotBlob saveSnapshot(sim::Simulator& sim, sim::Rng& rng, net::Context& ctx,
     out.error =
         "snapshot refused: Context::armSnapshots() was not called before the run, "
         "so in-flight datapath packets were not recorded";
-    return out;
-  }
-  if (ctx.extension<telemetry::Tracer>().enabled()) {
-    out.error = "snapshot refused: span tracing state is not serializable (v1); "
-                "snapshot untraced runs and trace the continuation instead";
     return out;
   }
   sim::BitWriter w;

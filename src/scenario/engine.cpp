@@ -18,6 +18,8 @@
 #include "net/ids.hpp"
 #include "net/loss.hpp"
 #include "scenario/harness.hpp"
+#include "scenario/partition.hpp"
+#include "scenario/shard.hpp"
 #include "usecase/colorado.hpp"
 #include "usecase/nersc_olcf.hpp"
 #include "usecase/noaa.hpp"
@@ -299,10 +301,10 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
         flow->start();
         set.flows.push_back(std::move(flow));
       }
-      s.simulator.runFor(sim::Duration::fromSeconds(w.warmupS));
+      s.runFor(sim::Duration::fromSeconds(w.warmupS));
       std::vector<sim::DataSize> base(set.flows.size(), sim::DataSize::zero());
       for (std::size_t i = 0; i < set.flows.size(); ++i) base[i] = set.flows[i]->deliveredBytes();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.windowS));
+      s.runFor(sim::Duration::fromSeconds(w.windowS));
       sim::DataSize packetDelta = sim::DataSize::zero();
       sim::DataSize fluidDelta = sim::DataSize::zero();
       for (std::size_t i = 0; i < set.flows.size(); ++i) {
@@ -328,13 +330,15 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       net::FlowFactory::Options options;
       options.port = port;
       options.fidelity = w.fidelity;
-      auto flow = net::flowFactory(s.ctx).create(*m.src, *m.dst, cfg, options);
+      // Create through the src host's context: under sharding the flow's
+      // client side (timers, arena blocks) must live in src's domain.
+      auto flow = net::flowFactory(m.src->ctx()).create(*m.src, *m.dst, cfg, options);
       auto* raw = flow.get();
       auto* flags = &set;
       flow->onAccepted = [flags](int) { flags->connected = true; };
       flow->onEstablished = [raw] { raw->sendData(sim::DataSize::terabytes(1)); };
       flow->start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.runS));
+      s.runFor(sim::Duration::fromSeconds(w.runS));
       r.metrics[p + ".delivered_bits"] = static_cast<double>(flow->deliveredBytes().bitCount());
       r.metrics[p + ".established"] = set.connected ? 1.0 : 0.0;
       r.metrics[p + ".retx"] = static_cast<double>(flow->retransmits());
@@ -348,7 +352,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
           w.fidelity));
       auto& transfer = *m.parallelTransfers.back();
       transfer.start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.timeoutS));
+      s.runFor(sim::Duration::fromSeconds(w.timeoutS));
       r.metrics[p + ".finished"] = transfer.finished() ? 1.0 : 0.0;
       r.metrics[p + ".elapsed_s"] = transfer.elapsed().toSeconds();
       break;
@@ -361,7 +365,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
           *m.site->remoteDtn, *m.site->primaryDtn(), w.file, sim::DataSize::bytes(w.bytes), port));
       auto& transfer = *m.dtnTransfers.back();
       transfer.start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.timeoutS));
+      s.runFor(sim::Duration::fromSeconds(w.timeoutS));
       r.metrics[p + ".completed"] = transfer.finished() ? 1.0 : 0.0;
       r.metrics[p + ".bps"] =
           transfer.finished() ? static_cast<double>(transfer.result().averageRate.bps()) : 0.0;
@@ -392,7 +396,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
         result->metrics[prefix + ".elapsed_s"] = report.elapsed.toSeconds();
       };
       campaign.start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.timeoutS));
+      s.runFor(sim::Duration::fromSeconds(w.timeoutS));
       if (!r.has(p + ".completed")) r.metrics[p + ".completed"] = 0.0;
       r.metrics[p + ".files_done"] = static_cast<double>(campaign.report().filesDone);
       if (m.site->parallelFs != nullptr) {
@@ -424,7 +428,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
       flow->onEstablished = [flags] { flags->connected = true; };
       flow->start();
       set.flows.push_back(std::move(flow));
-      s.simulator.runFor(sim::Duration::fromSeconds(w.runS));
+      s.runFor(sim::Duration::fromSeconds(w.runS));
       r.metrics[p + ".connected"] = set.connected ? 1.0 : 0.0;
       break;
     }
@@ -436,7 +440,7 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
           *m.src, *m.dst, sim::DataSize::bytes(w.bytes), options));
       auto& transfer = *m.roceTransfers.back();
       transfer.start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.timeoutS));
+      s.runFor(sim::Duration::fromSeconds(w.timeoutS));
       r.metrics[p + ".completed"] = transfer.result().completed ? 1.0 : 0.0;
       r.metrics[p + ".goodput_bps"] = static_cast<double>(transfer.result().goodput.bps());
       r.metrics[p + ".cpu_units"] = transfer.result().cpuUnits;
@@ -453,9 +457,9 @@ void runWorkload(const WorkloadSpec& w, const std::string& p, const ScenarioSpec
           s.ctx, m.edgeClients, m.edgeServers, port, profile, s.rng.fork(w.rngFork)));
       auto& traffic = *m.backgroundTraffic.back();
       traffic.start();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.runS));
+      s.runFor(sim::Duration::fromSeconds(w.runS));
       traffic.stop();
-      s.simulator.runFor(sim::Duration::fromSeconds(w.drainS));
+      s.runFor(sim::Duration::fromSeconds(w.drainS));
       r.metrics[p + ".flows_started"] = static_cast<double>(traffic.stats().flowsStarted);
       break;
     }
@@ -517,6 +521,53 @@ ScenarioResult runUsecase(const UsecaseTopology& u) {
   return r;
 }
 
+/// Validate the sharding gate and arm the scenario before any topology
+/// construction. Sharded execution covers the conservative subset the
+/// determinism contract holds for: path topologies with pure packet-TCP
+/// flow workloads. Everything else is refused loudly, never degraded.
+void maybeAttachShards(const ScenarioSpec& spec, int domains, Scenario& s) {
+  if (domains <= 0) return;
+  if (spec.topology.kind != TopologyKind::kPath) {
+    throw SpecError("sharded execution (domains=" + std::to_string(domains) +
+                    ") supports \"path\" topologies only, not \"" +
+                    toString(spec.topology.kind) + "\"");
+  }
+  for (const auto& w : spec.workloads) {
+    if (w.kind != WorkloadKind::kSteadyFlow && w.kind != WorkloadKind::kTimedFlow) {
+      throw SpecError(std::string{"workload \""} + toString(w.kind) +
+                      "\" cannot run sharded (only steady_flow and timed_flow)");
+    }
+    if (w.fidelity != net::FlowFidelity::kPacket) {
+      throw SpecError("sharded execution requires packet fidelity: the fluid "
+                      "engine's rate solve is global");
+    }
+  }
+  if (net::processFidelityOverride() == net::FlowFidelity::kFluid) {
+    throw SpecError("--fidelity=fluid does not compose with sharded execution");
+  }
+  if (profilingRequested()) {
+    throw SpecError("--profile does not compose with --domains: the self-profiler "
+                    "instruments one event queue; profile the unsharded run");
+  }
+  const sim::Duration floor =
+      spec.lookaheadUs > 0
+          ? sim::Duration::microseconds(static_cast<std::int64_t>(spec.lookaheadUs))
+          : sim::Duration::milliseconds(1);
+  const PathTopology& t = spec.topology.path;
+  ShardPlanBuilder b;
+  b.addNode(t.src.name);
+  if (t.middlebox != Middlebox::kNone) {
+    b.addNode(t.midName);
+    b.addNode(t.dst.name);
+    b.addEdge(t.src.name, t.midName, toLinkParams(t.link).delay);
+    b.addEdge(t.midName, t.dst.name, toLinkParams(t.link2 ? *t.link2 : t.link).delay);
+  } else {
+    b.addNode(t.dst.name);
+    b.addEdge(t.src.name, t.dst.name, toLinkParams(t.link).delay);
+  }
+  attachShards(s, b.plan(domains, floor), spec.seed, floor);
+}
+
 }  // namespace
 
 ScenarioResult runSpec(const ScenarioSpec& spec, sim::SweepCell& cell) {
@@ -526,6 +577,7 @@ ScenarioResult runSpec(const ScenarioSpec& spec, sim::SweepCell& cell) {
 
   Scenario s(spec.seed);
   if (spec.telemetry) s.ctx.telemetry().enable();
+  maybeAttachShards(spec, processDomainsOverride().value_or(spec.domains), s);
 
   Materialized m;
   switch (spec.topology.kind) {

@@ -26,6 +26,11 @@ struct Scenario;
 [[nodiscard]] bool profilingRequested();
 void writeCellObservability(Scenario& s, sim::SweepCell& cell);
 
+// Sharded-execution runtime (per-domain simulators/contexts + the
+// ShardedSimulator); defined in scenario/shard.hpp. A plain Scenario never
+// creates one — attachShards() (the engine's --domains path) does.
+struct ShardRuntime;
+
 struct Scenario {
   Scenario() { attachProfiler(); }
   explicit Scenario(std::uint64_t seed) : rng(seed) { attachProfiler(); }
@@ -35,7 +40,17 @@ struct Scenario {
   sim::Rng rng{20130101};
   sim::Logger logger;
   net::Context ctx{simulator, rng, logger};
+  // Declared between ctx and topo so teardown runs topo (devices, links,
+  // queued packets) -> extra domain contexts -> the primary context.
+  std::shared_ptr<ShardRuntime> shards;
   net::Topology topo{ctx};
+
+  /// Advance simulated time: the sharded barrier-epoch driver when shards
+  /// are attached, the plain single simulator otherwise. Workloads and
+  /// measurement loops must use this instead of simulator.runFor so the
+  /// same scenario code runs at any --domains. Defined in shard.cpp.
+  void runFor(sim::Duration d);
+  [[nodiscard]] bool sharded() const { return shards != nullptr; }
 
  private:
   void attachProfiler() {
@@ -49,15 +64,9 @@ struct Scenario {
 /// into the cell's BENCH_sim.json entry. When tracing/profiling is on,
 /// writeCellObservability() additionally correlates spans with the flight
 /// recorder, records spansEmitted, and writes per-cell trace/profile files.
-inline void finishCell(Scenario& s, sim::SweepCell& cell) {
-  cell.eventsExecuted = s.simulator.eventsExecuted();
-  cell.packetsForwarded = s.ctx.packetsForwarded();
-  cell.flowsCreated = net::flowFactory(s.ctx).flowsCreated();
-  if (s.ctx.telemetry().enabled()) {
-    cell.telemetryJson = s.ctx.telemetry().snapshot().toJson();
-  }
-  writeCellObservability(s, cell);
-}
+/// Sharded scenarios merge per-domain counters/telemetry/spans into
+/// partition-invariant cell results. Defined in shard.cpp.
+void finishCell(Scenario& s, sim::SweepCell& cell);
 
 /// Steady-state goodput of one bulk TCP flow between two hosts: start an
 /// effectively infinite transfer, discard `warmup`, measure `window`.
@@ -84,10 +93,10 @@ struct SteadyFlow {
   /// zero and flips established() false rather than silently measuring a
   /// flow that only appeared (or never appeared) mid-window off a zero base.
   [[nodiscard]] sim::DataRate measure(sim::Duration warmup, sim::Duration window) {
-    scenario.simulator.runFor(warmup);
+    scenario.runFor(warmup);
     established_ = accepted_;
     const auto base = accepted_ ? flow->deliveredBytes() : sim::DataSize::zero();
-    scenario.simulator.runFor(window);
+    scenario.runFor(window);
     if (!established_) return sim::DataRate::zero();
     const auto delta = flow->deliveredBytes() - base;
     return sim::DataRate::bitsPerSecond(static_cast<std::uint64_t>(

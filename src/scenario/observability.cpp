@@ -12,6 +12,7 @@
 
 #include "net/context.hpp"
 #include "scenario/json.hpp"
+#include "scenario/shard.hpp"
 #include "sim/profiler.hpp"
 #include "telemetry/span.hpp"
 
@@ -189,6 +190,47 @@ std::string profileOutputBase() {
 
 void writeCellObservability(Scenario& s, sim::SweepCell& cell) {
   const sim::SimTime now = s.ctx.now();
+  if (s.sharded()) {
+    // Sharded cell: each domain traced its own flows into its own Tracer,
+    // and a flow's hops recorded into whichever domain ring they live in.
+    // Correlate every domain tracer against the union of the rings, then
+    // merge into one tracer whose span order (and hence export bytes and
+    // spansEmitted) is partition-invariant.
+    std::vector<const telemetry::FlightRecorder*> recorders;
+    for (net::Context* ctx : s.shards->contexts) {
+      recorders.push_back(&ctx->telemetry().recorder());
+    }
+    std::vector<const telemetry::Tracer*> parts;
+    bool anyEnabled = false;
+    for (net::Context* ctx : s.shards->contexts) {
+      auto& t = ctx->extension<telemetry::Tracer>();
+      if (t.enabled()) {
+        anyEnabled = true;
+        t.correlate(recorders, now);
+      }
+      parts.push_back(&t);
+    }
+    if (anyEnabled) {
+      telemetry::Tracer merged;
+      merged.mergeFrom(parts);
+      cell.spansEmitted = merged.spansEmitted();
+      const std::string base = traceOutputBase();
+      if (!base.empty()) {
+        const std::string stem = base + ".cell" + std::to_string(cell.index);
+        char cellExtra[48];
+        std::snprintf(cellExtra, sizeof cellExtra, ", \"cell\": %zu", cell.index);
+        if (std::ofstream out(stem + ".spans.jsonl"); out) {
+          merged.exportSpansJsonl(out, now, cellExtra);
+        }
+        if (std::ofstream out(stem + ".trace.json"); out) {
+          merged.exportChromeTrace(out, now);
+        }
+      }
+    }
+    // --profile does not compose with sharding (attachShards refuses it),
+    // so there is no profiler block on this path.
+    return;
+  }
   auto& tracer = s.ctx.extension<telemetry::Tracer>();
   if (tracer.enabled()) {
     // Flow handles may still be alive (spans open): correlate against the

@@ -1,0 +1,80 @@
+#include "scenario/partition.hpp"
+
+#include <numeric>
+
+namespace scidmz::scenario {
+
+int ShardPlanBuilder::indexOf(const std::string& name) {
+  const auto [it, inserted] = index_.try_emplace(name, static_cast<int>(nodes_.size()));
+  if (inserted) nodes_.push_back(name);
+  return it->second;
+}
+
+void ShardPlanBuilder::addNode(const std::string& name) { indexOf(name); }
+
+void ShardPlanBuilder::addEdge(const std::string& a, const std::string& b, sim::Duration delay) {
+  const int ia = indexOf(a);
+  const int ib = indexOf(b);
+  edges_.push_back(Edge{ia, ib, delay});
+}
+
+ShardPlan ShardPlanBuilder::plan(int requestedDomains, sim::Duration lookaheadFloor) const {
+  ShardPlan out;
+  if (requestedDomains < 1) requestedDomains = 1;
+
+  // Union-find; contract every sub-floor edge.
+  std::vector<int> parent(nodes_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const Edge& e : edges_) {
+    if (e.delay >= lookaheadFloor) continue;
+    const int ra = find(e.a);
+    const int rb = find(e.b);
+    // Union toward the lower root so atom identity follows first mention.
+    if (ra != rb) parent[static_cast<std::size_t>(ra < rb ? rb : ra)] = ra < rb ? ra : rb;
+  }
+
+  // Atoms in first-mention order, with device counts.
+  std::vector<int> atomOf(nodes_.size(), -1);
+  std::vector<std::vector<int>> atoms;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int root = find(static_cast<int>(i));
+    if (atomOf[static_cast<std::size_t>(root)] < 0) {
+      atomOf[static_cast<std::size_t>(root)] = static_cast<int>(atoms.size());
+      atoms.emplace_back();
+    }
+    atoms[static_cast<std::size_t>(atomOf[static_cast<std::size_t>(root)])].push_back(
+        static_cast<int>(i));
+  }
+
+  const int effective =
+      atoms.empty() ? 1 : std::min<int>(requestedDomains, static_cast<int>(atoms.size()));
+  out.domains = effective;
+
+  // Contiguous blocking balanced by device count: domain d ends once the
+  // running total crosses (d+1)/effective of all devices.
+  const std::size_t total = nodes_.size();
+  int domain = 0;
+  std::size_t assigned = 0;
+  for (const auto& atom : atoms) {
+    for (const int node : atom) {
+      out.nodeDomain[nodes_[static_cast<std::size_t>(node)]] = domain;
+    }
+    assigned += atom.size();
+    while (domain + 1 < effective &&
+           assigned * static_cast<std::size_t>(effective) >=
+               (static_cast<std::size_t>(domain) + 1) * total) {
+      ++domain;
+    }
+  }
+  return out;
+}
+
+}  // namespace scidmz::scenario

@@ -1,0 +1,51 @@
+// Automatic topology partitioner for sharded execution: contract every
+// edge whose propagation delay is below the lookahead floor (those links
+// must never be cut), then deal the resulting atoms — LAN-connected device
+// groups — into contiguous, device-count-balanced domains. WAN links
+// (delay >= floor) are the only cut points, exactly the Science DMZ shape:
+// sites are dense low-latency islands stitched by long-haul paths.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace scidmz::scenario {
+
+/// The partitioner's output: how many domains were actually used (never
+/// more than the number of atoms) and each device's assignment.
+struct ShardPlan {
+  int domains = 1;
+  std::map<std::string, int> nodeDomain;
+};
+
+/// Collects the device graph by name, then plans. Nodes referenced only by
+/// addEdge are registered implicitly; insertion order (first mention) is
+/// the deterministic atom order.
+class ShardPlanBuilder {
+ public:
+  void addNode(const std::string& name);
+  void addEdge(const std::string& a, const std::string& b, sim::Duration delay);
+
+  /// Partition into at most `requestedDomains` (>= 1) domains with cuts
+  /// only at edges of delay >= `lookaheadFloor`. Atoms are assigned to
+  /// domains in first-mention order, blocked so device counts balance.
+  [[nodiscard]] ShardPlan plan(int requestedDomains, sim::Duration lookaheadFloor) const;
+
+ private:
+  int indexOf(const std::string& name);
+
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    sim::Duration delay = sim::Duration::zero();
+  };
+  std::vector<std::string> nodes_;
+  std::unordered_map<std::string, int> index_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace scidmz::scenario

@@ -18,6 +18,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     registerAblationScenarios(r);
     registerHybridScenarios(r);
     registerVcScenarios(r);
+    registerScaleScenarios(r);
     return r;
   }();
   return registry;

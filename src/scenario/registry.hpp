@@ -57,5 +57,6 @@ void registerUsecaseScenarios(ScenarioRegistry& registry);
 void registerAblationScenarios(ScenarioRegistry& registry);
 void registerHybridScenarios(ScenarioRegistry& registry);
 void registerVcScenarios(ScenarioRegistry& registry);
+void registerScaleScenarios(ScenarioRegistry& registry);
 
 }  // namespace scidmz::scenario

@@ -584,7 +584,7 @@ WorkloadSpec workloadFromJson(const Json& doc, const std::string& path, bool all
 // --- ScenarioSpec ----------------------------------------------------------
 
 Json ScenarioSpec::toJson() const {
-  bool v2 = false;
+  bool v2 = domains != 0 || lookaheadUs != 0;
   for (const auto& workload : workloads) {
     if (workloadNeedsV2(workload)) {
       v2 = true;
@@ -596,6 +596,10 @@ Json ScenarioSpec::toJson() const {
   j.set("name", name);
   j.set("seed", seed);
   j.set("telemetry", telemetry);
+  // v2 sharding knobs, emitted only when non-default so unsharded specs
+  // serialize as unchanged v1 documents.
+  if (domains != 0) j.set("domains", domains);
+  if (lookaheadUs != 0) j.set("lookahead_us", lookaheadUs);
   j.set("topology", topologyToJson(topology));
   j.set("analysis", analysisToJson(analysis));
   Json w = Json::array();
@@ -616,6 +620,11 @@ ScenarioSpec ScenarioSpec::fromJson(const Json& doc) {
   spec.name = r.getString("name");
   spec.seed = r.getUint("seed");
   spec.telemetry = r.getBool("telemetry");
+  if (allowV2 && r.has("domains")) {
+    spec.domains = r.getInt("domains");
+    if (spec.domains < 0) throw SpecError("\"scenario.domains\" must be non-negative");
+  }
+  if (allowV2 && r.has("lookahead_us")) spec.lookaheadUs = r.getUint("lookahead_us");
   spec.topology = topologyFromJson(r.getObject("topology"), "topology");
   spec.analysis = analysisFromJson(r.getObject("analysis"), "analysis");
   const Json& w = r.getArray("workloads");

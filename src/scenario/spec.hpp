@@ -210,6 +210,16 @@ struct ScenarioSpec {
   std::string name;
   std::uint64_t seed = 20130101;  ///< scenario rng seed (the paper's SC13 date)
   bool telemetry = false;  ///< force-enable telemetry for this cell
+  // -- v2 fields (serialized only when non-default) --
+  /// Sharded execution: partition the topology into this many per-worker
+  /// domains cut at WAN links (see DESIGN.md "Sharded execution"). 0 keeps
+  /// the classic single-queue path; any non-zero value (1 included) runs
+  /// the sharded scheduler, so results byte-compare across domain counts.
+  /// `scidmz_run --domains=N` overrides this per process.
+  int domains = 0;
+  /// Conservative lookahead floor in microseconds; links with at least this
+  /// much propagation delay are cut-eligible. 0 = the 1 ms default.
+  std::uint64_t lookaheadUs = 0;
   TopologySpec topology;
   AnalysisSpec analysis;
   std::vector<WorkloadSpec> workloads;

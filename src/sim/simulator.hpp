@@ -90,6 +90,39 @@ class Simulator {
   /// Run for `d` of simulated time from now.
   void runFor(Duration d) { runUntil(now_ + d); }
 
+  // --- Sharded-execution seam (sim::ShardedSimulator) ----------------------
+
+  /// Run events with time strictly < `horizon` (the exclusive epoch window
+  /// of the conservative sharded scheduler). The clock is left at the last
+  /// executed event — the epoch driver canonicalizes it afterwards via
+  /// advanceClockTo() — so an idle epoch moves nothing.
+  void runBefore(SimTime horizon) {
+    while (!queue_.empty()) {
+      if (queue_.nextTime() >= horizon) return;
+      auto ev = queue_.pop();
+      now_ = ev.at;
+      ++executed_;
+      if (profiler_ == nullptr) {
+        ev.cb();
+      } else {
+        profiler_->beginEvent();
+        ev.cb();
+        profiler_->endEvent(queue_.size(), queue_.parkedCount());
+      }
+    }
+  }
+
+  /// Time of the next pending event; SimTime::max() when the queue is
+  /// empty. Used to compute the conservative epoch horizon.
+  [[nodiscard]] SimTime nextEventTime() { return queue_.nextTime(); }
+
+  /// Move the clock forward to `t` without executing anything (no-op if the
+  /// clock is already past). The sharded driver uses this so every domain's
+  /// clock agrees at run boundaries, like a plain runUntil() would.
+  void advanceClockTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Stop the current run() after the in-flight callback returns.
   void stop() { stopped_ = true; }
 

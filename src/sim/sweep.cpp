@@ -86,7 +86,8 @@ struct SweepRunner::Pool {
       (*stats)[index] =
           SweepCellStats{wall,           cell.eventsExecuted, cell.packetsForwarded,
                          cell.flowsCreated, cell.spansEmitted, cell.snapshotBytes,
-                         std::move(cell.telemetryJson)};
+                         std::move(cell.telemetryJson), cell.domains,
+                         std::move(cell.domainEvents)};
       if (error) (*errs)[index] = error;
       if (++completed == total) {
         body = nullptr;
@@ -193,7 +194,15 @@ bool SweepRunner::writeJson(const std::string& benchName, const std::string& pat
           << ", \"packets\": " << run.cells[i].packetsForwarded
           << ", \"flows\": " << run.cells[i].flowsCreated
           << ", \"spans\": " << run.cells[i].spansEmitted
-          << ", \"snapshot_bytes\": " << run.cells[i].snapshotBytes;
+          << ", \"snapshot_bytes\": " << run.cells[i].snapshotBytes
+          << ", \"domains\": " << run.cells[i].domains;
+      if (!run.cells[i].domainEvents.empty()) {
+        out << ", \"domain_events\": [";
+        for (std::size_t d = 0; d < run.cells[i].domainEvents.size(); ++d) {
+          out << (d == 0 ? "" : ", ") << run.cells[i].domainEvents[d];
+        }
+        out << "]";
+      }
       // telemetryJson is already a JSON object (scidmz.telemetry.v1);
       // embed it raw so the cell's counters/series land in BENCH_sim.json.
       if (!run.cells[i].telemetryJson.empty()) {

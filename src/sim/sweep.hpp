@@ -42,6 +42,11 @@ struct SweepCellStats {
   /// when the cell did not instrument itself. Opaque to the runner — sim
   /// stays independent of the telemetry layer.
   std::string telemetryJson;
+  /// Execution domains the cell ran across (1 = single-threaded scenario).
+  std::uint32_t domains = 1;
+  /// Per-domain events executed when the cell ran sharded (sums to
+  /// eventsExecuted); empty for unsharded cells.
+  std::vector<std::uint64_t> domainEvents;
 };
 
 /// One run() call's report.
@@ -105,6 +110,10 @@ struct SweepCell {
   /// Cell may set this to its telemetry snapshot JSON
   /// (Telemetry::snapshot().toJson()); merged into BENCH_sim.json per cell.
   std::string telemetryJson;
+  /// Execution domains (sharded scenarios set this to their --domains).
+  std::uint32_t domains = 1;
+  /// Per-domain events executed for sharded cells (empty otherwise).
+  std::vector<std::uint64_t> domainEvents;
 };
 
 /// Fixed-size worker pool executing scenario cells.

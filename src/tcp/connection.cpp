@@ -881,6 +881,28 @@ std::uint64_t TcpConnection::serialize(sim::Codec& c) {
     restoreTelemetry(telPoint);
   }
 
+  // Span-trace machine. The ids index the tracer's span table, which the
+  // snapshot's SPAN overlay replaces wholesale after the TCP section, so
+  // restored ids land on exactly the spans they named when saved. A blob
+  // traced into an untraced rebuild leaves tracer_ null (spans drop); the
+  // ids stay parked and every emit site guards on tracer_.
+  bool traced = tracer_ != nullptr;
+  c.b(traced);
+  std::uint8_t tracePhase = static_cast<std::uint8_t>(trace_phase_);
+  c.u8(tracePhase);
+  c.vu32(trace_parent_.value);
+  c.vint(trace_stream_);
+  c.vu32(phase_span_.value);
+  c.vu32(episode_span_.value);
+  c.f64(loss_cwnd_ref_);
+  if (!c.writing()) {
+    trace_phase_ = static_cast<TracePhase>(tracePhase);
+    if (traced) {
+      telemetry::Tracer& tracer = host_.ctx().extension<telemetry::Tracer>();
+      tracer_ = tracer.enabled() ? &tracer : nullptr;
+    }
+  }
+
   // Pending timers, re-armed under their original keys.
   claimed += sim::codecTimer(c, host_.ctx().sim(), rto_timer_, [this] {
     rto_timer_ = sim::EventId{};

@@ -1,8 +1,10 @@
 #include "telemetry/span.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <utility>
 
 namespace scidmz::telemetry {
 
@@ -118,6 +120,10 @@ void Tracer::setCorrelationKey(SpanId id, std::uint32_t srcAddr, std::uint32_t d
 }
 
 void Tracer::correlate(const FlightRecorder& recorder, sim::SimTime now) {
+  correlate(std::vector<const FlightRecorder*>{&recorder}, now);
+}
+
+void Tracer::correlate(const std::vector<const FlightRecorder*>& recorders, sim::SimTime now) {
   for (auto& span : spans_) {
     if (span.correlated || (span.corrSrc == 0 && span.corrDst == 0)) continue;
     span.correlated = true;
@@ -126,24 +132,114 @@ void Tracer::correlate(const FlightRecorder& recorder, sim::SimTime now) {
     std::uint64_t linkLoss = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t maxDepth = 0;
-    recorder.forEachInWindow(span.t0, t1, [&](const FlightEvent& ev) {
-      const bool fwd = ev.flow.src == span.corrSrc && ev.flow.dst == span.corrDst;
-      const bool rev = ev.flow.src == span.corrDst && ev.flow.dst == span.corrSrc;
-      if (!fwd && !rev) return;
-      switch (ev.kind) {
-        case FlightEventKind::kDrop: ++drops; break;
-        case FlightEventKind::kLinkLoss: ++linkLoss; break;
-        case FlightEventKind::kRetransmit: ++retransmits; break;
-        case FlightEventKind::kEnqueue:
-          if (ev.aux2 > maxDepth) maxDepth = ev.aux2;
-          break;
-        default: break;
-      }
-    });
+    for (const FlightRecorder* recorder : recorders) {
+      recorder->forEachInWindow(span.t0, t1, [&](const FlightEvent& ev) {
+        const bool fwd = ev.flow.src == span.corrSrc && ev.flow.dst == span.corrDst;
+        const bool rev = ev.flow.src == span.corrDst && ev.flow.dst == span.corrSrc;
+        if (!fwd && !rev) return;
+        switch (ev.kind) {
+          case FlightEventKind::kDrop: ++drops; break;
+          case FlightEventKind::kLinkLoss: ++linkLoss; break;
+          case FlightEventKind::kRetransmit: ++retransmits; break;
+          case FlightEventKind::kEnqueue:
+            if (ev.aux2 > maxDepth) maxDepth = ev.aux2;
+            break;
+          default: break;
+        }
+      });
+    }
     span.args.emplace_back("fr_drops", jsonNumber(drops));
     span.args.emplace_back("fr_link_loss", jsonNumber(linkLoss));
     span.args.emplace_back("fr_retransmits", jsonNumber(retransmits));
     span.args.emplace_back("fr_max_queue_bytes", jsonNumber(maxDepth));
+  }
+}
+
+void Tracer::mergeFrom(const std::vector<const Tracer*>& parts) {
+  spans_.clear();
+  open_count_ = 0;
+
+  // Gather every root with a sort key; subtrees stay in creation order and
+  // follow their root, so only roots need a canonical order.
+  struct RootRef {
+    std::size_t part = 0;
+    std::size_t index = 0;
+    const Span* span = nullptr;
+  };
+  std::vector<RootRef> roots;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const auto& src = parts[p]->spans_;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      if (src[i].parent == 0) roots.push_back(RootRef{p, i, &src[i]});
+    }
+  }
+  const auto argsKey = [](const Span& s) {
+    std::string key;
+    for (const auto& [k, v] : s.args) {
+      key += k;
+      key += '=';
+      key += v;
+      key += ';';
+    }
+    return key;
+  };
+  std::stable_sort(roots.begin(), roots.end(), [&](const RootRef& a, const RootRef& b) {
+    if (a.span->t0 != b.span->t0) return a.span->t0 < b.span->t0;
+    if (a.span->name != b.span->name) return a.span->name < b.span->name;
+    const std::string ka = argsKey(*a.span);
+    const std::string kb = argsKey(*b.span);
+    if (ka != kb) return ka < kb;
+    if (a.span->corrSrc != b.span->corrSrc) return a.span->corrSrc < b.span->corrSrc;
+    return a.span->corrDst < b.span->corrDst;
+  });
+
+  // Emit each root followed by its descendants (a span's root is found by
+  // chasing parents — parents always precede children in creation order).
+  for (const RootRef& root : roots) {
+    const auto& src = parts[root.part]->spans_;
+    std::vector<std::uint32_t> remap(src.size(), 0);  // old index+1 -> new id
+    const auto rootIndexOf = [&src](std::size_t i) {
+      while (src[i].parent != 0) i = src[i].parent - 1;
+      return i;
+    };
+    for (std::size_t i = root.index; i < src.size(); ++i) {
+      if (rootIndexOf(i) != root.index) continue;
+      Span copy = src[i];
+      copy.parent = copy.parent == 0 ? 0 : remap[copy.parent - 1];
+      remap[i] = static_cast<std::uint32_t>(spans_.size() + 1);
+      if (copy.open) ++open_count_;
+      spans_.push_back(std::move(copy));
+    }
+  }
+}
+
+void Tracer::serialize(sim::Codec& c) {
+  std::uint64_t count = spans_.size();
+  c.vu64(count);
+  if (!c.writing()) {
+    spans_.clear();
+    spans_.resize(count);
+    open_count_ = 0;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Span& s = spans_[i];
+    c.str(s.name);
+    c.str(s.category);
+    c.vu32(s.parent);
+    sim::codecTime(c, s.t0);
+    sim::codecTime(c, s.t1);
+    c.b(s.open);
+    c.vu32(s.corrSrc);
+    c.vu32(s.corrDst);
+    c.b(s.correlated);
+    std::uint64_t nargs = s.args.size();
+    c.vu64(nargs);
+    if (!c.writing()) s.args.resize(nargs);
+    for (auto& [k, v] : s.args) {
+      c.str(k);
+      c.str(v);
+    }
+    if (!c.writing() && s.open) ++open_count_;
   }
 }
 

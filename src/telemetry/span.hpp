@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/codec.hpp"
 #include "sim/units.hpp"
 #include "telemetry/flight_recorder.hpp"
 
@@ -87,6 +88,11 @@ class Tracer {
   /// queue depth among matching-flow events inside the span's [t0, t1|now]
   /// window. Idempotent per span (keyed spans are correlated once).
   void correlate(const FlightRecorder& recorder, sim::SimTime now);
+  /// Same, accumulating across several recorders before annotating — the
+  /// sharded path, where a flow's hops record into per-domain rings. The
+  /// union of the rings is partition-invariant (absent overflow), so the
+  /// appended counts match a single-ring run.
+  void correlate(const std::vector<const FlightRecorder*>& recorders, sim::SimTime now);
 
   /// Spans opened over the tracer's lifetime (the BENCH_sim.json
   /// spans_emitted column).
@@ -113,6 +119,18 @@ class Tracer {
   void forEachSpan(F&& fn) const {
     for (std::size_t i = 0; i < spans_.size(); ++i) fn(SpanId{static_cast<std::uint32_t>(i + 1)}, spans_[i]);
   }
+
+  /// Deterministically merge per-domain tracers into this (empty) tracer:
+  /// root spans are ordered by (t0, name, args, correlation key) — a total
+  /// order for the catalog's flows, whose roots carry a unique port — and
+  /// each root's subtree follows in its domain's creation order, ids
+  /// renumbered. The result is partition-invariant: the same set of spans
+  /// merges to the same bytes at any domain count.
+  void mergeFrom(const std::vector<const Tracer*>& parts);
+
+  /// Snapshot/restore of the full span table (scidmz.snap.v1 TRC section).
+  /// Claims no pending events — the tracer is passive state.
+  void serialize(sim::Codec& c);
 
   /// scidmz.spans.v1 JSONL. `headerExtra` is a comma-led JSON fragment
   /// spliced into the header object (e.g. ",\"cell\": 0"); pass "" for none.

@@ -5,6 +5,7 @@
 
 #include "apps/bulk_transfer.hpp"
 #include "net/topology.hpp"
+#include "scenario/callback_registry.hpp"
 #include "sim/log.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -60,15 +61,20 @@ PennStateDirection runDirection(const PennStateConfig& config, bool sequenceChec
   apps::BulkTransfer transfer{src, dst, 5001, config.transferSize, tcpCfg};
   transfer.start();
 
-  // Sample the receiver's advertised window as seen by the sender.
+  // Sample the receiver's advertised window as seen by the sender. Named
+  // registration (not a raw schedule) so a snapshot mid-run can claim and
+  // re-arm the sampler.
   std::uint64_t peakWindow = 0;
-  std::function<void()> sample = [&] {
+  auto& callbacks = ctx.extension<scenario::CallbackRegistry>();
+  callbacks.registerNamed("pennstate/window_sampler", [&] {
     if (auto* conn = transfer.clientConnection()) {
       peakWindow = std::max(peakWindow, conn->peerWindowBytes());
     }
-    if (!transfer.finished()) simulator.schedule(50_ms, sample);
-  };
-  simulator.schedule(50_ms, sample);
+    if (!transfer.finished()) {
+      callbacks.scheduleNamed(simulator, "pennstate/window_sampler", 50_ms);
+    }
+  });
+  callbacks.scheduleNamed(simulator, "pennstate/window_sampler", 50_ms);
   simulator.runUntil(sim::SimTime::zero() + 600_s);
 
   PennStateDirection out;

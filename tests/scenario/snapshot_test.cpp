@@ -4,8 +4,10 @@
 // connection state, queue/telemetry contents, flight-recorder ring — and
 // (b) continue to results byte-identical to the uninterrupted run, at
 // packet, fluid and mixed fidelity, at any SCIDMZ_SWEEP_THREADS.
-// Unsupported scenarios (scenario-level closures, tracing, unarmed
-// contexts) must be refused loudly, never silently corrupted.
+// Traced runs snapshot too: the blob carries a SPAN overlay that replaces
+// the rebuilt cell's construction-time span table. Unsupported scenarios
+// (unregistered scenario-level closures, unarmed contexts) must be
+// refused loudly, never silently corrupted.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -16,6 +18,7 @@
 #include "net/flow.hpp"
 #include "net/loss.hpp"
 #include "net/topology.hpp"
+#include "scenario/callback_registry.hpp"
 #include "scenario/checkpoint.hpp"
 #include "scenario/harness.hpp"
 #include "sim/sweep.hpp"
@@ -34,8 +37,11 @@ using namespace scidmz::sim::literals;
 /// from the same arguments yields the identical rebuild the restore
 /// protocol requires.
 struct Cell {
-  explicit Cell(net::FlowFidelity fidelity, int flows = 1) : s(20260809) {
+  explicit Cell(net::FlowFidelity fidelity, int flows = 1, bool traced = false) : s(20260809) {
     s.ctx.armSnapshots();
+    // Tracing must be on before flows are created so the factory arms the
+    // construction-time flow spans the restore protocol replays.
+    if (traced) s.ctx.extension<telemetry::Tracer>().enable();
     telemetry::TelemetryConfig tel;
     tel.sampleEvery = 10_ms;
     tel.ringCapacity = 4096;
@@ -97,6 +103,8 @@ std::string signature(Cell& c) {
   }
   out << c.s.ctx.telemetry().snapshot().toJson() << '\n';
   c.s.ctx.telemetry().recorder().exportJsonl(out);
+  auto& tracer = c.s.ctx.extension<telemetry::Tracer>();
+  if (tracer.enabled()) tracer.exportSpansJsonl(out, c.s.simulator.now());
   return out.str();
 }
 
@@ -204,6 +212,58 @@ TEST(SnapshotRoundTrip, ByteIdenticalAtAnyWorkerCount) {
   }
 }
 
+TEST(SnapshotRoundTrip, RegisteredClosureIsClaimedAndReArmed) {
+  // A scenario-level closure registered by name is claimed by the snapshot
+  // (no "pending events" refusal) and re-armed on restore: the continuation
+  // fires it on the same schedule as the uninterrupted run.
+  auto arm = [](Cell& cell, int& counter) {
+    auto& callbacks = cell.s.ctx.extension<CallbackRegistry>();
+    sim::Simulator& simulator = cell.s.simulator;
+    callbacks.registerNamed("test/tick", [&counter, &callbacks, &simulator] {
+      ++counter;
+      callbacks.scheduleNamed(simulator, "test/tick", 100_ms);
+    });
+    callbacks.scheduleNamed(simulator, "test/tick", 100_ms);
+  };
+
+  Cell original(net::FlowFidelity::kPacket, 1);
+  int originalTicks = 0;
+  arm(original, originalTicks);
+  original.s.simulator.runFor(250_ms);
+  const SnapshotBlob blob = saveSnapshot(original.s);
+  ASSERT_TRUE(blob.ok()) << blob.error;
+  const int ticksAtSnapshot = originalTicks;
+  original.s.simulator.runFor(700_ms);
+
+  Cell rebuilt(net::FlowFidelity::kPacket, 1);
+  int rebuiltTicks = 0;
+  arm(rebuilt, rebuiltTicks);
+  std::string error;
+  ASSERT_TRUE(restoreSnapshot(rebuilt.s, blob.bytes, &error)) << error;
+  EXPECT_EQ(rebuiltTicks, 0);  // restore re-arms the timer, it does not fire it
+  rebuilt.s.simulator.runFor(700_ms);
+  EXPECT_EQ(rebuiltTicks, originalTicks - ticksAtSnapshot);
+  expectSameSignature(signature(rebuilt), signature(original), "closure continuation");
+}
+
+TEST(SnapshotRefusal, UnregisteredClosureArmedInBlobIsRefusedOnRestore) {
+  // If the blob names a registered closure the rebuilt cell never
+  // registered, restore must fail loudly instead of silently dropping the
+  // timer.
+  Cell original(net::FlowFidelity::kPacket, 1);
+  auto& callbacks = original.s.ctx.extension<CallbackRegistry>();
+  sim::Simulator& simulator = original.s.simulator;
+  callbacks.registerNamed("test/orphan", [] {});
+  callbacks.scheduleNamed(simulator, "test/orphan", 10_s);
+  original.s.simulator.runFor(100_ms);
+  const SnapshotBlob blob = saveSnapshot(original.s);
+  ASSERT_TRUE(blob.ok()) << blob.error;
+
+  Cell rebuilt(net::FlowFidelity::kPacket, 1);  // never registers test/orphan
+  std::string error;
+  EXPECT_FALSE(restoreSnapshot(rebuilt.s, blob.bytes, &error));
+}
+
 TEST(SnapshotRefusal, UnarmedContextIsRefused) {
   Scenario s(1);
   net::Topology& topo = s.topo;
@@ -224,13 +284,25 @@ TEST(SnapshotRefusal, ScenarioLevelClosureIsRefusedNotDropped) {
   EXPECT_NE(blob.error.find("pending events"), std::string::npos) << blob.error;
 }
 
-TEST(SnapshotRefusal, TracedRunIsRefused) {
-  Cell cell(net::FlowFidelity::kPacket, 1);
-  cell.s.ctx.extension<telemetry::Tracer>().enable();
-  cell.s.simulator.runFor(100_ms);
-  const SnapshotBlob blob = saveSnapshot(cell.s);
-  EXPECT_FALSE(blob.ok());
-  EXPECT_NE(blob.error.find("tracing"), std::string::npos) << blob.error;
+TEST(SnapshotRoundTrip, TracedRunContinuesWithSpansByteIdentical) {
+  // --trace and --restore now compose: the blob's SPAN overlay replaces the
+  // rebuilt cell's construction-time span table, and connections re-resolve
+  // their tracer on restore, so both the restore-point state and the
+  // continuation's span export match the uninterrupted traced run.
+  Cell original(net::FlowFidelity::kPacket, 1, /*traced=*/true);
+  original.s.simulator.runFor(300_ms);
+  const SnapshotBlob blob = saveSnapshot(original.s);
+  ASSERT_TRUE(blob.ok()) << blob.error;
+  const std::string atSnapshot = signature(original);
+  original.s.simulator.runFor(700_ms);
+  const std::string uninterrupted = signature(original);
+
+  Cell rebuilt(net::FlowFidelity::kPacket, 1, /*traced=*/true);
+  std::string error;
+  ASSERT_TRUE(restoreSnapshot(rebuilt.s, blob.bytes, &error)) << error;
+  expectSameSignature(signature(rebuilt), atSnapshot, "traced state at restore point");
+  rebuilt.s.simulator.runFor(700_ms);
+  expectSameSignature(signature(rebuilt), uninterrupted, "traced continuation");
 }
 
 TEST(SnapshotRefusal, GarbageBlobIsRefused) {

@@ -9,6 +9,10 @@
 //                                         # SCIDMZ_* env vars already say else)
 //   scidmz_run --fidelity=fluid --run ... # override flow model fidelity for
 //                                         # every non-pinned flow this run
+//   scidmz_run --domains=8 --run ...      # sharded parallel execution: cut
+//                                         # the topology at WAN links into N
+//                                         # per-worker domains (results byte-
+//                                         # identical at any N)
 //   scidmz_run --trace=BASE --run ...     # causal span traces per cell:
 //                                         # BASE.cellN.spans.jsonl + Perfetto
 //                                         # BASE.cellN.trace.json
@@ -36,6 +40,7 @@
 #include "scenario/json.hpp"
 #include "scenario/observability.hpp"
 #include "scenario/run.hpp"
+#include "scenario/shard.hpp"
 #include "scenario/spec.hpp"
 #include "telemetry/flight_recorder.hpp"
 
@@ -48,8 +53,8 @@ using scenario::ScenarioSpec;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--trace BASE] \\\n"
-               "          [--profile BASE] [--list] [--dump] [--run NAME]... \\\n"
+               "usage: %s [--out DIR] [--fidelity packet|fluid|auto] [--domains N] \\\n"
+               "          [--trace BASE] [--profile BASE] [--list] [--dump] [--run NAME]... \\\n"
                "          [--spec FILE [--sweep dotted.path=v1,v2,...]...] \\\n"
                "          [--snapshot BASE] [--restore FILE]\n"
                "       %s report SPANS.jsonl [SPANS.jsonl ...]\n"
@@ -423,6 +428,17 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       net::setProcessFidelityOverride(*parsed);
+    } else if (arg == "--domains" || arg.rfind("--domains=", 0) == 0) {
+      const std::string text =
+          arg == "--domains" ? operand("a domain count") : arg.substr(std::strlen("--domains="));
+      char* end = nullptr;
+      const long n = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || n < 1 || n > 1024) {
+        std::fprintf(stderr, "scidmz_run: --domains wants an integer in [1, 1024] (got \"%s\")\n",
+                     text.c_str());
+        return usage(argv[0]);
+      }
+      scenario::setProcessDomainsOverride(static_cast<int>(n));
     } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
       const std::string base =
           arg == "--trace" ? operand("an output base path") : arg.substr(std::strlen("--trace="));

@@ -414,6 +414,26 @@ def validate_bench_report(doc, where):
                 cell_flows += check_uint(cell, "flows", where)
             if "spans" in cell:
                 cell_spans += check_uint(cell, "spans", where)
+            if "domains" in cell:
+                domains = check_uint(cell, "domains", where)
+                require(domains >= 1, where,
+                        f"run {run['name']!r}: cell domains must be >= 1")
+                if "domain_events" in cell:
+                    split = cell["domain_events"]
+                    require(isinstance(split, list), where,
+                            f"run {run['name']!r}: domain_events must be a list")
+                    require(len(split) == domains, where,
+                            f"run {run['name']!r}: domain_events has {len(split)} "
+                            f"entries for {domains} domains")
+                    require(all(isinstance(e, int) and e >= 0 for e in split), where,
+                            f"run {run['name']!r}: domain_events entries must be "
+                            f"non-negative integers")
+                    require(sum(split) == cell.get("events"), where,
+                            f"run {run['name']!r}: domain_events sums to "
+                            f"{sum(split)} but the cell executed {cell.get('events')}")
+            else:
+                require("domain_events" not in cell, where,
+                        f"run {run['name']!r}: domain_events without domains")
             if "telemetry" in cell:
                 validate_snapshot(cell["telemetry"], where)
                 cells_with_telemetry += 1
